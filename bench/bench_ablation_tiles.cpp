@@ -1,0 +1,59 @@
+// Ablation (§5.3/§6.1): the pre-deployment profiler's tile-configuration
+// choices, per scheme. Intensity-guided ABFT is integrated into the
+// CUTLASS-profiler workflow, so the protected kernel is free to pick a
+// different tiling than the baseline (e.g. wider warp tiles lower
+// one-sided ABFT's 8/Nw extra-MMA fraction).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/intensity_guided.hpp"
+
+using namespace aift;
+
+int main() {
+  bench::print_header(
+      "Ablation §5.3 — per-scheme tile-configuration selection",
+      "T4, FP16. Best tile per scheme for representative layer shapes.");
+
+  GemmCostModel model(devices::t4());
+  IntensityGuidedSelector sel(model);
+
+  Table t({"GEMM (MxNxK)", "base tile", "one-sided tile", "global tile",
+           "one-sided", "global"});
+  const GemmShape shapes[] = {
+      {8, 512, 16},          // DLRM bottom fc1, batch 1
+      {160000, 24, 32},      // NoScope Coral conv1, batch 64
+      {518400, 64, 152},     // ResNet-50 conv1 at HD
+      {32400, 512, 4608},    // big HD 3x3 conv (compute bound)
+      {512, 512, 512},       // Figure 12 midpoint
+      {2048, 2048, 2048},    // Figure 12 right edge
+  };
+  for (const auto& g : shapes) {
+    const auto one = sel.evaluate(Scheme::thread_one_sided, g, DType::f16);
+    const auto glob = sel.evaluate(Scheme::global_abft, g, DType::f16);
+    t.add_row({std::to_string(g.m) + "x" + std::to_string(g.n) + "x" +
+                   std::to_string(g.k),
+               one.base.tile.name(), one.redundant.tile.name(),
+               glob.redundant.tile.name(), fmt_pct(one.overhead_pct),
+               fmt_pct(glob.overhead_pct)});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf("\nFull profile of 512x512x512 under one-sided ABFT:\n");
+  Table p({"tile", "total", "exec", "occupancy blocks/SM", "bottleneck"});
+  for (const auto& pk :
+       profile_all(model, {512, 512, 512}, DType::f16, [&](const TileConfig& tc) {
+         return scheme_delta(Scheme::thread_one_sided, {512, 512, 512}, tc,
+                             DType::f16, model.device());
+       })) {
+    p.add_row({pk.tile.name(),
+               std::isinf(pk.cost.total_us) ? "does not fit"
+                                            : fmt_time_us(pk.cost.total_us),
+               std::isinf(pk.cost.total_us) ? "-" : fmt_time_us(pk.cost.exec_us),
+               std::to_string(pk.cost.occupancy.blocks_per_sm),
+               bottleneck_name(pk.cost.bottleneck)});
+  }
+  std::printf("%s", p.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches.
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+#include "nn/model.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace aift::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& description) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment.c_str(), description.c_str());
+}
+
+/// Execution-time overheads of one model under the three policies the
+/// paper's Figures 8-11 compare.
+struct ModelOverheads {
+  std::string name;
+  double aggregate_intensity = 0.0;
+  double thread_pct = 0.0;
+  double global_pct = 0.0;
+  double guided_pct = 0.0;
+  double base_us = 0.0;
+  int guided_thread_layers = 0;
+  int total_layers = 0;
+
+  [[nodiscard]] double reduction_factor() const {
+    return guided_pct > 0.0 ? global_pct / guided_pct : 0.0;
+  }
+};
+
+inline ModelOverheads evaluate_model(const Model& m,
+                                     const ProtectedPipeline& pipe,
+                                     DType dtype = DType::f16) {
+  ModelOverheads row;
+  row.name = m.name();
+  row.aggregate_intensity = m.aggregate_intensity(dtype);
+  const auto thread = pipe.plan(m, ProtectionPolicy::thread_level, dtype);
+  const auto global = pipe.plan(m, ProtectionPolicy::global_abft, dtype);
+  const auto guided = pipe.plan(m, ProtectionPolicy::intensity_guided, dtype);
+  row.thread_pct = thread.overhead_pct();
+  row.global_pct = global.overhead_pct();
+  row.guided_pct = guided.overhead_pct();
+  row.base_us = guided.total_base_us;
+  row.guided_thread_layers = guided.count_scheme(Scheme::thread_one_sided);
+  row.total_layers = static_cast<int>(guided.entries.size());
+  return row;
+}
+
+}  // namespace aift::bench

@@ -1,0 +1,52 @@
+// Device sweep (§3.3, §7.1-7.2): the selection crossover tracks each
+// device's compute-to-memory-bandwidth ratio. Higher-CMR devices leave
+// more GEMM sizes bandwidth bound, widening thread-level ABFT's territory
+// — the trend the paper argues will grow with future hardware.
+
+#include "bench_common.hpp"
+#include "core/intensity_guided.hpp"
+#include "nn/zoo/zoo.hpp"
+
+using namespace aift;
+
+int main() {
+  bench::print_header(
+      "Device sweep — CMR and the intensity-guided selection crossover",
+      "Scheme selected per square-GEMM size on each modeled device (FP16; "
+      "INT8 for Xavier AGX). T = thread-level, G = global.");
+
+  Table t({"device", "dtype", "CMR", "64", "128", "256", "512", "1024",
+           "2048", "crossover AI"});
+  for (const auto& dev : devices::all()) {
+    const DType dtype = dev.name == "Xavier-AGX" ? DType::i8 : DType::f16;
+    GemmCostModel model(dev);
+    IntensityGuidedSelector sel(model);
+    std::vector<std::string> row{dev.name, dtype_name(dtype),
+                                 fmt_double(dev.cmr(dtype), 0)};
+    double crossover = -1.0;
+    for (const int s : {64, 128, 256, 512, 1024, 2048}) {
+      const auto choice = sel.select({s, s, s}, dtype);
+      const bool thread = choice.chosen.scheme == Scheme::thread_one_sided;
+      row.push_back(thread ? "T" : "G");
+      if (!thread && crossover < 0.0) crossover = choice.intensity;
+    }
+    row.push_back(crossover < 0.0 ? "> 683" : fmt_double(crossover, 0));
+    t.add_row(std::move(row));
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf("\nResNet-50 @HD: bandwidth-bound layer count per device "
+              "(paper §3.3 trend — higher CMR, more bound layers):\n");
+  Table b({"device", "CMR (FP16)", "bandwidth-bound layers", "of"});
+  const auto m = zoo::resnet50(zoo::hd_input(1));
+  for (const auto& dev : devices::all()) {
+    int bw = 0;
+    for (const auto& l : m.layers()) {
+      if (l.intensity(DType::f16) < dev.cmr(DType::f16)) ++bw;
+    }
+    b.add_row({dev.name, fmt_double(dev.cmr(DType::f16), 0),
+               std::to_string(bw), std::to_string(m.num_layers())});
+  }
+  std::printf("%s", b.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 4: FP16 aggregate arithmetic intensity of the eight
+// general-purpose CNNs on 1080x1920 images at batch size one.
+
+#include "bench_common.hpp"
+#include "nn/zoo/zoo.hpp"
+
+using namespace aift;
+
+int main() {
+  bench::print_header(
+      "Figure 4 — aggregate arithmetic intensity of general-purpose CNNs",
+      "FP16, images 1080x1920, batch 1. Paper values in the right column.");
+
+  const double paper[] = {71.1, 76.6, 79.0, 122.0, 125.5, 155.5, 220.8, 220.8};
+
+  Table t({"model", "layers", "total GFLOPs", "total MB", "aggregate AI",
+           "paper AI"});
+  int i = 0;
+  for (const auto& m : zoo::general_cnns(zoo::hd_input(1))) {
+    t.add_row({m.name(), std::to_string(m.num_layers()),
+               fmt_double(static_cast<double>(m.total_flops()) * 1e-9, 1),
+               fmt_double(static_cast<double>(m.total_bytes(DType::f16)) * 1e-6, 1),
+               fmt_double(m.aggregate_intensity(DType::f16), 1),
+               fmt_double(paper[i++], 1)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nTakeaway (paper §3.2): a wide range of aggregate intensities\n"
+      "(71-220) relative to the T4's FP16 CMR of 203.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 5: FP16 arithmetic intensity of the individual convolutional and
+// fully-connected layers of ResNet-50 on HD images at batch size one.
+
+#include "bench_common.hpp"
+#include "device/device.hpp"
+#include "nn/intensity.hpp"
+#include "nn/zoo/zoo.hpp"
+
+using namespace aift;
+
+int main() {
+  bench::print_header(
+      "Figure 5 — per-layer arithmetic intensity of ResNet-50",
+      "FP16, 1080x1920, batch 1. Paper reports a 1-511 range with wide "
+      "variance; the T4 CMR (203) splits layers into bandwidth- and "
+      "compute-bound.");
+
+  const auto model = zoo::resnet50(zoo::hd_input(1));
+  const auto rep = analyze_intensity(model, DType::f16, devices::t4());
+
+  Table t({"idx", "layer", "M", "N", "K", "intensity", "bound"});
+  int idx = 0;
+  for (const auto& li : rep.per_layer) {
+    t.add_row({std::to_string(idx++), li.layer->name,
+               std::to_string(li.layer->gemm.m),
+               std::to_string(li.layer->gemm.n),
+               std::to_string(li.layer->gemm.k), fmt_double(li.intensity, 1),
+               li.bandwidth_bound ? "bandwidth" : "compute"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nRange: %.1f - %.1f (paper: 1-511). %d/%zu layers bandwidth-bound "
+      "vs T4 CMR %.0f.\n",
+      rep.min_intensity, rep.max_intensity, rep.bandwidth_bound_layers,
+      rep.per_layer.size(), devices::t4().cmr(DType::f16));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 10: ABFT overheads on the DLRM MLPs at batch sizes 1 and 2048,
+// plus the §3.2 batch-size intensity scaling (7.4/7.7 -> 70/109 -> 92/176).
+
+#include "bench_common.hpp"
+#include "nn/zoo/zoo.hpp"
+
+using namespace aift;
+
+int main() {
+  bench::print_header(
+      "Figure 10 — ABFT overheads on DLRM MLPs",
+      "T4, FP16. Paper: at batch 1 intensity-guided reduces overhead by "
+      "4.55x (Bottom) and 3.24x (Top);\nat batch 2048 thread-level still "
+      "wins for Bottom (AI 92) while the gap narrows for Top (AI 175.8).");
+
+  GemmCostModel model(devices::t4());
+  ProtectedPipeline pipe(model);
+
+  Table t({"model", "batch", "agg AI", "paper AI", "thread-level",
+           "global ABFT", "intensity-guided", "reduction"});
+  struct Cfg {
+    const char* which;
+    std::int64_t batch;
+    double paper_ai;
+  };
+  for (const Cfg cfg : {Cfg{"bottom", 1, 7.4}, Cfg{"top", 1, 7.7},
+                        Cfg{"bottom", 2048, 92.0}, Cfg{"top", 2048, 175.8}}) {
+    const Model m = std::string(cfg.which) == "bottom"
+                        ? zoo::dlrm_mlp_bottom(cfg.batch)
+                        : zoo::dlrm_mlp_top(cfg.batch);
+    const auto row = bench::evaluate_model(m, pipe);
+    t.add_row({row.name, std::to_string(cfg.batch),
+               fmt_double(row.aggregate_intensity, 1),
+               fmt_double(cfg.paper_ai, 1), fmt_pct(row.thread_pct),
+               fmt_pct(row.global_pct), fmt_pct(row.guided_pct),
+               fmt_factor(row.reduction_factor())});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf("\nBatch-size intensity scaling (paper §3.2: 7 -> 70-109 at "
+              "batch 256):\n");
+  Table s({"batch", "MLP-Bottom AI", "MLP-Top AI"});
+  for (std::int64_t b : {1, 8, 64, 256, 1024, 2048}) {
+    s.add_row({std::to_string(b),
+               fmt_double(zoo::dlrm_mlp_bottom(b).aggregate_intensity(DType::f16), 1),
+               fmt_double(zoo::dlrm_mlp_top(b).aggregate_intensity(DType::f16), 1)});
+  }
+  std::printf("%s", s.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 11: ABFT overheads on the NoScope specialized CNNs at batch 64.
+// Paper: reductions of 1.6-5.3x; Coral quoted as 17% -> 4.6%.
+
+#include "bench_common.hpp"
+#include "nn/zoo/zoo.hpp"
+
+using namespace aift;
+
+int main() {
+  bench::print_header(
+      "Figure 11 — ABFT overheads on specialized (NoScope) CNNs, batch 64",
+      "T4, FP16. 50x50 video-frame regions, binary-classification filters.\n"
+      "Paper: intensity-guided reduces overhead by 1.6-5.3x on these "
+      "bandwidth-dominated models.");
+
+  GemmCostModel model(devices::t4());
+  ProtectedPipeline pipe(model);
+
+  const double paper_ai[] = {15.1, 37.9, 51.9, 52.7};
+  Table t({"model", "agg AI", "paper AI", "thread-level", "global ABFT",
+           "intensity-guided", "reduction"});
+  int i = 0;
+  for (const auto& m : {zoo::noscope_coral(64), zoo::noscope_roundabout(64),
+                        zoo::noscope_taipei(64), zoo::noscope_amsterdam(64)}) {
+    const auto row = bench::evaluate_model(m, pipe);
+    t.add_row({row.name, fmt_double(row.aggregate_intensity, 1),
+               fmt_double(paper_ai[i++], 1), fmt_pct(row.thread_pct),
+               fmt_pct(row.global_pct), fmt_pct(row.guided_pct),
+               fmt_factor(row.reduction_factor())});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}

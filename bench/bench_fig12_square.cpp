@@ -1,0 +1,41 @@
+// Figure 12: execution-time overhead of one-sided/two-sided thread-level
+// ABFT, thread-level replication and global ABFT on square GEMMs from 32
+// to 2048. Sizes with arithmetic intensity below the T4's FP16 CMR (203)
+// sit left of the paper's dashed line.
+
+#include "bench_common.hpp"
+#include "core/intensity_guided.hpp"
+
+using namespace aift;
+
+int main() {
+  bench::print_header(
+      "Figure 12 — overheads on square GEMMs (M=N=K), T4, FP16",
+      "Paper shape: thread-level ~free left of the CMR line (global up to "
+      "6.5x worse);\nglobal wins right of it (up to 14x lower than "
+      "thread-level); replication spikes above 70% at 1024+.");
+
+  GemmCostModel model(devices::t4());
+  IntensityGuidedSelector sel(model);
+  const double cmr = model.device().cmr(DType::f16);
+
+  Table t({"size", "intensity", "vs CMR 203", "thread 1-sided",
+           "thread 2-sided", "replication", "global ABFT", "base time"});
+  for (const int s : {32, 64, 128, 256, 512, 1024, 2048}) {
+    const GemmShape g{s, s, s};
+    const auto one = sel.evaluate(Scheme::thread_one_sided, g, DType::f16);
+    const auto two = sel.evaluate(Scheme::thread_two_sided, g, DType::f16);
+    const auto rep = sel.evaluate(Scheme::repl_single_acc, g, DType::f16);
+    const auto glob = sel.evaluate(Scheme::global_abft, g, DType::f16);
+    const double ai = paper_intensity(g, DType::f16);
+    t.add_row({std::to_string(s), fmt_double(ai, 1),
+               ai < cmr ? "bandwidth-bound" : "compute-bound",
+               fmt_pct(one.overhead_pct), fmt_pct(two.overhead_pct),
+               fmt_pct(rep.overhead_pct), fmt_pct(glob.overhead_pct),
+               fmt_time_us(one.base.cost.total_us)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nDashed line (intensity == CMR %.0f) falls between sizes 512 "
+              "(170.7) and 1024 (341.3), as in the paper.\n", cmr);
+  return 0;
+}

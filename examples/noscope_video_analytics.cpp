@@ -1,0 +1,74 @@
+// High-throughput offline video analytics with specialized CNNs (NoScope,
+// paper §6.4.3): plan the four filter models, then run a fault-injection
+// campaign on a Coral conv layer to measure detection coverage of the
+// deployed thread-level scheme vs global ABFT.
+
+#include <cstdio>
+
+#include "core/global_abft.hpp"
+#include "core/thread_level_abft.hpp"
+#include "fault/campaign.hpp"
+#include "nn/zoo/zoo.hpp"
+#include "runtime/pipeline.hpp"
+
+using namespace aift;
+
+int main() {
+  const GemmCostModel cost(devices::t4());
+  const ProtectedPipeline pipe(cost);
+
+  std::printf("Specialized video-analytics CNNs at batch 64 on T4 "
+              "(paper Fig. 11)\n\n");
+  std::printf("%-12s %8s | %10s %10s %10s\n", "model", "agg AI", "thread",
+              "global", "guided");
+  for (const auto& m : {zoo::noscope_coral(64), zoo::noscope_roundabout(64),
+                        zoo::noscope_taipei(64), zoo::noscope_amsterdam(64)}) {
+    std::printf("%-12s %8.1f | %9.2f%% %9.2f%% %9.2f%%\n", m.name().c_str(),
+                m.aggregate_intensity(DType::f16),
+                pipe.plan(m, ProtectionPolicy::thread_level).overhead_pct(),
+                pipe.plan(m, ProtectionPolicy::global_abft).overhead_pct(),
+                pipe.plan(m, ProtectionPolicy::intensity_guided).overhead_pct());
+  }
+
+  // Detection-coverage campaign on a Coral-like conv layer (scaled down so
+  // the functional runs stay quick): random single-bit accumulator flips.
+  std::printf("\nFault-injection campaign (Coral-like conv GEMM, 120 "
+              "single-bit accumulator faults, bits 10-30):\n");
+  CampaignConfig cfg;
+  cfg.shape = GemmShape{2500, 16, 216};  // one frame region worth of conv2
+  cfg.tile = TileConfig{64, 64, 32, 32, 32, 2};
+  cfg.trials = 120;
+  cfg.seed = 99;
+  cfg.fault_opts.min_bit = 10;
+  cfg.fault_opts.max_bit = 30;
+
+  const auto thread_stats = run_campaign(cfg, [&](const Matrix<half_t>& a,
+                                                  const Matrix<half_t>& b,
+                                                  const Matrix<half_t>& c) {
+    return ThreadLevelAbft(cfg.tile, ThreadAbftSide::one_sided)
+        .check(a, b, c)
+        .fault_detected;
+  });
+  const auto global_stats = run_campaign(cfg, [](const Matrix<half_t>& a,
+                                                 const Matrix<half_t>& b,
+                                                 const Matrix<half_t>& c) {
+    return GlobalAbft(b).check(a, c).fault_detected;
+  });
+
+  auto report = [](const char* name, const CampaignStats& s) {
+    std::printf("  %-18s detected %3lld  masked-by-rounding %3lld  missed %3lld"
+                "  -> effective coverage %.1f%%\n",
+                name, static_cast<long long>(s.detected),
+                static_cast<long long>(s.masked),
+                static_cast<long long>(s.missed),
+                100.0 * s.effective_coverage());
+  };
+  report("thread-level ABFT", thread_stats);
+  report("global ABFT", global_stats);
+  std::printf("\nThread-level checks compare sums over a handful of values, "
+              "so their thresholds are tighter than global ABFT's "
+              "whole-matrix summation — coverage is at least as good, at a "
+              "fraction of the execution-time overhead on these "
+              "bandwidth-bound models.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#pragma once
+// Lightweight runtime checks used across the library.
+//
+// AIFT_CHECK is always on (it guards API misuse and invariants whose
+// violation would silently corrupt results); it throws std::logic_error so
+// callers and tests can observe failures deterministically.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aift::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "AIFT_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace aift::detail
+
+#define AIFT_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::aift::detail::check_failed(#expr, __FILE__, __LINE__, "");       \
+  } while (0)
+
+#define AIFT_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream os_;                                            \
+      os_ << msg;                                                        \
+      ::aift::detail::check_failed(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,68 @@
+#pragma once
+// Dense row-major matrix container used by the functional GEMM executor and
+// the ABFT checks. Deliberately minimal: owning storage, bounds-checked
+// element access in debug, and lightweight views.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace aift {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::int64_t rows, std::int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols)) {
+    AIFT_CHECK(rows >= 0 && cols >= 0);
+  }
+  Matrix(std::int64_t rows, std::int64_t cols, T fill_value)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows * cols), fill_value) {
+    AIFT_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  [[nodiscard]] std::int64_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::int64_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::int64_t size() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  T& operator()(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  const T& operator()(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  T& at(std::int64_t r, std::int64_t c) {
+    AIFT_CHECK_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                   "index (" << r << "," << c << ") out of bounds for "
+                             << rows_ << "x" << cols_);
+    return (*this)(r, c);
+  }
+  const T& at(std::int64_t r, std::int64_t c) const {
+    AIFT_CHECK_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                   "index (" << r << "," << c << ") out of bounds for "
+                             << rows_ << "x" << cols_);
+    return (*this)(r, c);
+  }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace aift

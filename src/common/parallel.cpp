@@ -1,0 +1,153 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aift {
+namespace {
+
+int detect_workers() {
+  if (const char* env = std::getenv("AIFT_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int>(hw);
+}
+
+// A minimal long-lived worker pool. Each parallel_for posts one "job"
+// (a chunked index range); workers pull chunks via an atomic cursor. Jobs
+// are shared_ptr-owned so a worker that observes a job late (after the
+// caller returned) only ever touches a drained, still-alive Job object.
+class Pool {
+ public:
+  Pool() : workers_(static_cast<std::size_t>(detect_workers())) {
+    for (auto& w : workers_) w = std::thread([this] { worker_loop(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  void run(std::int64_t begin, std::int64_t end,
+           const std::function<void(std::int64_t)>& fn) {
+    if (begin >= end) return;
+    const std::int64_t n = end - begin;
+    const std::int64_t chunks_target = static_cast<std::int64_t>(size()) * 4;
+    const std::int64_t chunk =
+        std::max<std::int64_t>(1, n / std::max<std::int64_t>(1, chunks_target));
+
+    auto job = std::make_shared<Job>();
+    job->end = end;
+    job->chunk = chunk;
+    job->fn = &fn;
+    job->cursor.store(begin, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job_ = job;
+    }
+    cv_.notify_all();
+
+    work_on(*job);  // the calling thread participates
+
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&] { return job->active.load() == 0; });
+      if (job_ == job) job_.reset();
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  struct Job {
+    std::int64_t end = 0, chunk = 1;
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    std::atomic<std::int64_t> cursor{0};
+    std::atomic<int> active{0};  // threads currently executing this job
+    std::exception_ptr error;
+    std::mutex error_mu;
+
+    bool drained() const noexcept {
+      return cursor.load(std::memory_order_relaxed) >= end;
+    }
+  };
+
+  void work_on(Job& job) {
+    job.active.fetch_add(1, std::memory_order_acq_rel);
+    for (;;) {
+      const std::int64_t lo =
+          job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
+      if (lo >= job.end) break;
+      const std::int64_t hi = std::min(job.end, lo + job.chunk);
+      try {
+        for (std::int64_t i = lo; i < hi; ++i) (*job.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(job.error_mu);
+        if (!job.error) job.error = std::current_exception();
+        job.cursor.store(job.end, std::memory_order_relaxed);  // drain
+      }
+    }
+    if (job.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return stop_ || (job_ && !job_->drained()); });
+        if (stop_) return;
+        job = job_;
+      }
+      work_on(*job);
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;
+  bool stop_ = false;
+};
+
+Pool& pool() {
+  static Pool p;
+  return p;
+}
+
+}  // namespace
+
+int parallel_workers() { return pool().size(); }
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn) {
+  if (end - begin <= 1) {
+    serial_for(begin, end, fn);
+    return;
+  }
+  pool().run(begin, end, fn);
+}
+
+void serial_for(std::int64_t begin, std::int64_t end,
+                const std::function<void(std::int64_t)>& fn) {
+  for (std::int64_t i = begin; i < end; ++i) fn(i);
+}
+
+}  // namespace aift

@@ -1,0 +1,26 @@
+#pragma once
+// CPU parallelism for the functional GPU simulator. The executor maps GPU
+// threadblocks onto CPU worker threads; this header provides the shared
+// worker pool and a blocking parallel_for over an index range.
+
+#include <cstdint>
+#include <functional>
+
+namespace aift {
+
+/// Number of workers in the shared pool (defaults to hardware concurrency,
+/// overridable with the AIFT_NUM_THREADS environment variable).
+int parallel_workers();
+
+/// Runs fn(i) for each i in [begin, end). Blocks until all iterations are
+/// complete. Iterations are distributed in contiguous chunks; fn must be
+/// safe to call concurrently for distinct i. Exceptions thrown by fn are
+/// rethrown (first one wins) on the calling thread.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn);
+
+/// Serial fallback used by tests to compare against parallel execution.
+void serial_for(std::int64_t begin, std::int64_t end,
+                const std::function<void(std::int64_t)>& fn);
+
+}  // namespace aift

@@ -1,0 +1,35 @@
+#include "common/rng.hpp"
+
+namespace aift {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+half_t Rng::uniform_half(double lo, double hi) {
+  return half_t(static_cast<float>(uniform(lo, hi)));
+}
+
+void Rng::fill_uniform(Matrix<half_t>& m, double lo, double hi) {
+  for (std::int64_t r = 0; r < m.rows(); ++r)
+    for (std::int64_t c = 0; c < m.cols(); ++c) m(r, c) = uniform_half(lo, hi);
+}
+
+void Rng::fill_uniform(Matrix<float>& m, double lo, double hi) {
+  for (std::int64_t r = 0; r < m.rows(); ++r)
+    for (std::int64_t c = 0; c < m.cols(); ++c)
+      m(r, c) = static_cast<float>(uniform(lo, hi));
+}
+
+}  // namespace aift

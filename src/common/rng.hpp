@@ -1,0 +1,44 @@
+#pragma once
+// Deterministic random number generation. All stochastic components of the
+// library (synthetic activations/weights, fault-site sampling) draw from
+// this generator so experiments are reproducible from a single seed.
+
+#include <cstdint>
+#include <random>
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+
+namespace aift {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EED5EEDULL) : engine_(splitmix(seed)) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal.
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Uniform FP16 value in [lo, hi) (rounded to representable half).
+  half_t uniform_half(double lo, double hi);
+
+  /// Fills a matrix with uniform FP16 values in [lo, hi).
+  void fill_uniform(Matrix<half_t>& m, double lo = -1.0, double hi = 1.0);
+  void fill_uniform(Matrix<float>& m, double lo = -1.0, double hi = 1.0);
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  static std::uint64_t splitmix(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  std::mt19937_64 engine_;
+};
+
+}  // namespace aift

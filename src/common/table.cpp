@@ -1,0 +1,90 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace aift {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  AIFT_CHECK(!headers_.empty());
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  AIFT_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, table has "
+                            << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (const auto w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = hline() + render_row(headers_) + hline();
+  for (const auto& row : rows_) out += render_row(row);
+  out += hline();
+  return out;
+}
+
+std::string Table::to_csv() const {
+  auto esc = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string r = "\"";
+    for (char ch : s) {
+      if (ch == '"') r += "\"\"";
+      else r += ch;
+    }
+    return r + "\"";
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << esc(headers_[c]);
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << esc(row[c]);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction_times_100, int digits) {
+  return fmt_double(fraction_times_100, digits) + "%";
+}
+
+std::string fmt_factor(double f, int digits) {
+  return fmt_double(f, digits) + "x";
+}
+
+std::string fmt_time_us(double us) {
+  if (us < 1000.0) return fmt_double(us, 2) + " us";
+  if (us < 1.0e6) return fmt_double(us / 1000.0, 3) + " ms";
+  return fmt_double(us / 1.0e6, 4) + " s";
+}
+
+}  // namespace aift

@@ -1,0 +1,38 @@
+#pragma once
+// ASCII table / CSV rendering used by the benchmark harness to print
+// paper-style rows (one table per figure).
+
+#include <string>
+#include <vector>
+
+namespace aift {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Renders a boxed ASCII table.
+  [[nodiscard]] std::string to_string() const;
+  /// Renders comma-separated values (headers + rows).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string fmt_double(double v, int digits = 2);
+/// Formats a percentage such as "12.3%".
+std::string fmt_pct(double fraction_times_100, int digits = 1);
+/// Formats a reduction factor such as "4.6x".
+std::string fmt_factor(double f, int digits = 2);
+/// Formats microseconds with adaptive units (us / ms / s).
+std::string fmt_time_us(double us);
+
+}  // namespace aift

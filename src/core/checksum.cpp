@@ -1,0 +1,92 @@
+#include "core/checksum.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace aift {
+
+std::vector<double> checksum_weights(std::int64_t len, int power) {
+  AIFT_CHECK(len >= 0 && power >= 0);
+  std::vector<double> w(static_cast<std::size_t>(len));
+  for (std::int64_t i = 0; i < len; ++i) {
+    w[static_cast<std::size_t>(i)] = std::pow(static_cast<double>(i + 1), power);
+  }
+  return w;
+}
+
+std::vector<double> column_checksum(const Matrix<half_t>& a,
+                                    const std::vector<double>* row_weights) {
+  if (row_weights != nullptr) {
+    AIFT_CHECK(static_cast<std::int64_t>(row_weights->size()) == a.rows());
+  }
+  std::vector<double> out(static_cast<std::size_t>(a.cols()), 0.0);
+  for (std::int64_t m = 0; m < a.rows(); ++m) {
+    const double w =
+        row_weights ? (*row_weights)[static_cast<std::size_t>(m)] : 1.0;
+    for (std::int64_t k = 0; k < a.cols(); ++k) {
+      out[static_cast<std::size_t>(k)] += w * a(m, k).to_float();
+    }
+  }
+  return out;
+}
+
+std::vector<double> row_checksum(const Matrix<half_t>& b) {
+  std::vector<double> out(static_cast<std::size_t>(b.rows()), 0.0);
+  for (std::int64_t k = 0; k < b.rows(); ++k) {
+    double s = 0.0;
+    for (std::int64_t n = 0; n < b.cols(); ++n) s += b(k, n).to_float();
+    out[static_cast<std::size_t>(k)] = s;
+  }
+  return out;
+}
+
+double dot(const std::vector<double>& x, const std::vector<double>& y) {
+  AIFT_CHECK(x.size() == y.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+MatrixSum matrix_sum(const Matrix<half_t>& c) {
+  MatrixSum out;
+  for (std::int64_t r = 0; r < c.rows(); ++r) {
+    for (std::int64_t j = 0; j < c.cols(); ++j) {
+      const double v = c(r, j).to_float();
+      out.sum += v;
+      out.abs_sum += std::abs(v);
+    }
+  }
+  return out;
+}
+
+MatrixSum matrix_sum(const Matrix<float>& c) {
+  MatrixSum out;
+  for (std::int64_t r = 0; r < c.rows(); ++r) {
+    for (std::int64_t j = 0; j < c.cols(); ++j) {
+      const double v = c(r, j);
+      out.sum += v;
+      out.abs_sum += std::abs(v);
+    }
+  }
+  return out;
+}
+
+MatrixSum weighted_matrix_sum(const Matrix<half_t>& c,
+                              const std::vector<double>& w) {
+  AIFT_CHECK(static_cast<std::int64_t>(w.size()) == c.rows());
+  MatrixSum out;
+  for (std::int64_t r = 0; r < c.rows(); ++r) {
+    double row = 0.0, row_abs = 0.0;
+    for (std::int64_t j = 0; j < c.cols(); ++j) {
+      const double v = c(r, j).to_float();
+      row += v;
+      row_abs += std::abs(v);
+    }
+    out.sum += w[static_cast<std::size_t>(r)] * row;
+    out.abs_sum += std::abs(w[static_cast<std::size_t>(r)]) * row_abs;
+  }
+  return out;
+}
+
+}  // namespace aift

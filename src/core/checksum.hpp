@@ -1,0 +1,52 @@
+#pragma once
+// ABFT checksum mathematics (paper §2.4, Figure 1).
+//
+// For C = A*B, the column checksum of A (a 1 x K vector of column sums)
+// dotted with the row checksum of B (a K x 1 vector of row sums) equals
+// the sum of all entries of C in exact arithmetic. Weighted variants with
+// independent linear combinations extend detection to multiple faults and
+// enable locating a faulty row (paper §2.4: "multiple checksum columns and
+// rows based on independent linear combinations").
+//
+// Checksums are accumulated in double precision. On the GPU these sums run
+// in FP32 trees; double accumulation here models them as exact so that the
+// detection threshold (error_bound.hpp) is governed by the one rounding
+// the hardware cannot avoid: the FP16 quantization of stored outputs.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+
+namespace aift {
+
+/// Weight vector w[i] = (i+1)^power. power = 0 is the plain (all-ones)
+/// checksum; power = 1,2,... give the independent combinations used for
+/// multi-fault detection and fault localization.
+[[nodiscard]] std::vector<double> checksum_weights(std::int64_t len, int power);
+
+/// Column checksum of A: out[k] = sum_m w[m] * A[m][k]; w defaults to ones.
+[[nodiscard]] std::vector<double> column_checksum(
+    const Matrix<half_t>& a, const std::vector<double>* row_weights = nullptr);
+
+/// Row checksum of B: out[k] = sum_n B[k][n].
+[[nodiscard]] std::vector<double> row_checksum(const Matrix<half_t>& b);
+
+[[nodiscard]] double dot(const std::vector<double>& x,
+                         const std::vector<double>& y);
+
+/// Sum and absolute-magnitude sum of a matrix (the output summation of
+/// §2.5 step 2; the absolute sum feeds the detection threshold).
+struct MatrixSum {
+  double sum = 0.0;
+  double abs_sum = 0.0;
+};
+[[nodiscard]] MatrixSum matrix_sum(const Matrix<half_t>& c);
+[[nodiscard]] MatrixSum matrix_sum(const Matrix<float>& c);
+
+/// Row-weighted matrix sum: sum_m w[m] * sum_n C[m][n].
+[[nodiscard]] MatrixSum weighted_matrix_sum(const Matrix<half_t>& c,
+                                            const std::vector<double>& w);
+
+}  // namespace aift

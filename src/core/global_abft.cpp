@@ -1,0 +1,94 @@
+#include "core/global_abft.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace aift {
+
+GlobalAbft::GlobalAbft(const Matrix<half_t>& b, int num_checksums,
+                       ErrorBoundParams bound)
+    : weight_checksum_(row_checksum(b)),
+      num_checksums_(num_checksums),
+      bound_(bound),
+      k_(b.rows()) {
+  AIFT_CHECK(num_checksums >= 1);
+}
+
+std::vector<std::vector<double>> GlobalAbft::activation_checksums(
+    const Matrix<half_t>& a) const {
+  AIFT_CHECK(a.cols() == k_);
+  std::vector<std::vector<double>> out;
+  out.reserve(static_cast<std::size_t>(num_checksums_));
+  out.push_back(column_checksum(a));
+  for (int j = 1; j < num_checksums_; ++j) {
+    const auto w = checksum_weights(a.rows(), j);
+    out.push_back(column_checksum(a, &w));
+  }
+  return out;
+}
+
+Detection GlobalAbft::check(const Matrix<half_t>& a,
+                            const Matrix<half_t>& c) const {
+  return check_with_checksums(activation_checksums(a), c);
+}
+
+Detection GlobalAbft::check_with_checksums(
+    const std::vector<std::vector<double>>& activation_checksums,
+    const Matrix<half_t>& c) const {
+  AIFT_CHECK(static_cast<int>(activation_checksums.size()) == num_checksums_);
+
+  Detection det;
+  std::vector<double> residuals;
+  residuals.reserve(activation_checksums.size());
+
+  for (int j = 0; j < num_checksums_; ++j) {
+    const auto& act = activation_checksums[static_cast<std::size_t>(j)];
+    AIFT_CHECK(static_cast<std::int64_t>(act.size()) == k_);
+    const double expected = dot(act, weight_checksum_);
+
+    MatrixSum sum;
+    if (j == 0) {
+      sum = matrix_sum(c);
+    } else {
+      const auto w = checksum_weights(c.rows(), j);
+      sum = weighted_matrix_sum(c, w);
+    }
+
+    const double residual = std::abs(expected - sum.sum);
+    const double threshold = detection_threshold(sum.abs_sum, bound_);
+    residuals.push_back(expected - sum.sum);
+    // Non-finite output summations (overflow from a corrupted exponent)
+    // are faults by definition: finite FP16 operands cannot produce them.
+    if (!std::isfinite(sum.sum)) {
+      det.fault_detected = true;
+      det.residual = residual;
+      det.threshold = threshold;
+      continue;
+    }
+    if (residual > threshold) {
+      det.fault_detected = true;
+      det.residual = std::max(det.residual, residual);
+      det.threshold = threshold;
+    } else if (!det.fault_detected) {
+      det.residual = std::max(det.residual, residual);
+      det.threshold = threshold;
+    }
+  }
+
+  // Row localization (extension beyond the paper's detection focus): with
+  // the plain and the index-weighted checksum, a single fault of error e at
+  // row r gives residual_0 = -e and residual_1 = -(r+1)*e.
+  if (det.fault_detected && num_checksums_ >= 2 &&
+      std::abs(residuals[0]) > 0.0) {
+    const double ratio = residuals[1] / residuals[0];
+    const double row = std::round(ratio - 1.0);
+    if (row >= 0.0 && row < static_cast<double>(c.rows()) &&
+        std::abs(ratio - 1.0 - row) < 0.25) {
+      det.located_row = static_cast<std::int64_t>(row);
+    }
+  }
+  return det;
+}
+
+}  // namespace aift

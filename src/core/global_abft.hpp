@@ -1,0 +1,71 @@
+#pragma once
+// Functional global ABFT (paper §2.4–§2.5; the optimized scheme of Hari
+// et al. [43] that intensity-guided ABFT uses for compute-bound layers).
+//
+// Workflow per protected layer (§2.5):
+//   1. GEMM produces C;
+//   2. fused epilogue produces the output summation;
+//   3. activation function is applied;
+//   4. fused epilogue produces the next layer's activation checksum;
+//   5. a reduction kernel dots the activation checksum with the offline
+//      weight checksum and compares against the output summation.
+// This class implements the numerical content of that flow: the weight
+// checksum is built once at construction (offline, reused across
+// requests), the activation checksum is either supplied by the previous
+// layer or computed on demand, and check() performs step 5.
+
+#include <optional>
+#include <vector>
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+#include "core/checksum.hpp"
+#include "core/error_bound.hpp"
+
+namespace aift {
+
+struct Detection {
+  bool fault_detected = false;
+  double residual = 0.0;
+  double threshold = 0.0;
+  /// Located faulty row (multi-checksum extension; nullopt for the paper's
+  /// single-checksum detection or when no fault was detected).
+  std::optional<std::int64_t> located_row;
+};
+
+class GlobalAbft {
+ public:
+  /// Builds the weight checksum(s) of B offline. num_checksums >= 1;
+  /// checksum j uses row weights (m+1)^j on the A side, enabling detection
+  /// of up to num_checksums faults and row localization with >= 2.
+  explicit GlobalAbft(const Matrix<half_t>& b, int num_checksums = 1,
+                      ErrorBoundParams bound = {});
+
+  /// Activation checksum(s) of A: entry j is the weighted column checksum
+  /// sum_m (m+1)^j * A[m][k]. Produced by the previous layer's fused
+  /// epilogue in the real pipeline (§2.5 step 4).
+  [[nodiscard]] std::vector<std::vector<double>> activation_checksums(
+      const Matrix<half_t>& a) const;
+
+  /// Step 5: compare checksum dot products against output summations.
+  [[nodiscard]] Detection check(const Matrix<half_t>& a,
+                                const Matrix<half_t>& c) const;
+
+  /// Same, with the activation checksums already available (fused path).
+  [[nodiscard]] Detection check_with_checksums(
+      const std::vector<std::vector<double>>& activation_checksums,
+      const Matrix<half_t>& c) const;
+
+  [[nodiscard]] int num_checksums() const { return num_checksums_; }
+  [[nodiscard]] const std::vector<double>& weight_checksum() const {
+    return weight_checksum_;
+  }
+
+ private:
+  std::vector<double> weight_checksum_;  // row checksum of B, length K
+  int num_checksums_;
+  ErrorBoundParams bound_;
+  std::int64_t k_;
+};
+
+}  // namespace aift

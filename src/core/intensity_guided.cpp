@@ -1,0 +1,60 @@
+#include "core/intensity_guided.hpp"
+
+#include "common/check.hpp"
+
+namespace aift {
+
+IntensityGuidedSelector::IntensityGuidedSelector(const GemmCostModel& model,
+                                                 AbftOptions opts,
+                                                 std::vector<Scheme> candidates)
+    : model_(model), opts_(opts), candidates_(std::move(candidates)) {
+  AIFT_CHECK(!candidates_.empty());
+}
+
+SchemeProfile IntensityGuidedSelector::evaluate(Scheme scheme,
+                                                const GemmShape& shape,
+                                                DType dtype) const {
+  SchemeProfile p;
+  p.scheme = scheme;
+  p.base = profile_best(model_, shape, dtype);
+  if (scheme == Scheme::none) {
+    p.redundant = p.base;
+    p.overhead_pct = 0.0;
+    return p;
+  }
+  p.redundant = profile_best(
+      model_, shape, dtype, [&](const TileConfig& tile) {
+        return scheme_delta(scheme, shape, tile, dtype, model_.device(), opts_);
+      });
+  p.overhead_pct =
+      (p.redundant.cost.total_us - p.base.cost.total_us) /
+      p.base.cost.total_us * 100.0;
+  return p;
+}
+
+Scheme IntensityGuidedSelector::rule_based_scheme(const GemmShape& shape,
+                                                  DType dtype) const {
+  return paper_intensity(shape, dtype) < model_.device().cmr(dtype)
+             ? Scheme::thread_one_sided
+             : Scheme::global_abft;
+}
+
+SchemeChoice IntensityGuidedSelector::select(const GemmShape& shape,
+                                             DType dtype) const {
+  SchemeChoice choice;
+  choice.intensity = paper_intensity(shape, dtype);
+  choice.device_cmr = model_.device().cmr(dtype);
+  choice.bandwidth_bound = choice.intensity < choice.device_cmr;
+
+  for (const Scheme s : candidates_) {
+    choice.considered.push_back(evaluate(s, shape, dtype));
+  }
+  const SchemeProfile* best = &choice.considered.front();
+  for (const auto& p : choice.considered) {
+    if (p.redundant.cost.total_us < best->redundant.cost.total_us) best = &p;
+  }
+  choice.chosen = *best;
+  return choice;
+}
+
+}  // namespace aift

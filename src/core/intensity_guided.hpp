@@ -1,0 +1,72 @@
+#pragma once
+// Intensity-guided ABFT (paper §5.3) — the paper's headline contribution.
+//
+// For each linear layer, profile the layer under global ABFT and under
+// thread-level (one-sided) ABFT — each with its own best tile
+// configuration, exactly like the CUTLASS pre-deployment profiler — and
+// deploy the scheme with the lower execution-time overhead. The layer's
+// arithmetic intensity relative to the device CMR predicts the winner
+// (bandwidth-bound -> thread-level, compute-bound -> global); the final
+// decision is made on profiled time, so intensity-guided ABFT is by
+// construction at least as fast as either fixed scheme (§6.2).
+
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "gemm/profiler.hpp"
+
+namespace aift {
+
+/// Outcome of profiling one scheme on one layer.
+struct SchemeProfile {
+  Scheme scheme = Scheme::none;
+  ProfiledKernel base;       ///< fastest unprotected kernel (T_o)
+  ProfiledKernel redundant;  ///< fastest protected kernel (T_r)
+  double overhead_pct = 0.0; ///< (T_r - T_o) / T_o * 100
+};
+
+/// The per-layer decision made by the selector.
+struct SchemeChoice {
+  SchemeProfile chosen;
+  std::vector<SchemeProfile> considered;
+  double intensity = 0.0;       ///< paper intensity of the layer's GEMM
+  double device_cmr = 0.0;
+  bool bandwidth_bound = false; ///< intensity < CMR (Equation 1)
+};
+
+class IntensityGuidedSelector {
+ public:
+  /// `candidates` are the schemes enumerated during pre-deployment
+  /// profiling; the paper uses {global ABFT, one-sided thread-level ABFT}.
+  IntensityGuidedSelector(
+      const GemmCostModel& model, AbftOptions opts = {},
+      std::vector<Scheme> candidates = {Scheme::global_abft,
+                                        Scheme::thread_one_sided});
+
+  /// Profiles all candidate schemes and returns the fastest (plus the
+  /// full comparison, for reporting).
+  [[nodiscard]] SchemeChoice select(const GemmShape& shape, DType dtype) const;
+
+  /// Profiles one fixed scheme (used for the paper's fixed-scheme
+  /// baselines and for Figure 12's four-way comparison).
+  [[nodiscard]] SchemeProfile evaluate(Scheme scheme, const GemmShape& shape,
+                                       DType dtype) const;
+
+  /// The §7.2 analytical alternative to profiling: select purely from the
+  /// roofline rule — thread-level ABFT if the layer's paper intensity is
+  /// below the device CMR, global ABFT otherwise. No cost model involved.
+  /// The paper argues (and tests/core/test_selection_rule.cpp verifies)
+  /// that profiled selection "typically aligns" with this rule.
+  [[nodiscard]] Scheme rule_based_scheme(const GemmShape& shape,
+                                         DType dtype) const;
+
+  [[nodiscard]] const GemmCostModel& model() const { return model_; }
+  [[nodiscard]] const AbftOptions& options() const { return opts_; }
+
+ private:
+  const GemmCostModel& model_;
+  AbftOptions opts_;
+  std::vector<Scheme> candidates_;
+};
+
+}  // namespace aift

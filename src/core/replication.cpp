@@ -1,0 +1,118 @@
+#include "core/replication.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace aift {
+
+ThreadReplication::ThreadReplication(TileConfig tile, ReplicationKind kind,
+                                     ErrorBoundParams bound)
+    : tile_(tile), kind_(kind), bound_(bound) {
+  AIFT_CHECK_MSG(tile_.valid(), "invalid tile " << tile_.name());
+}
+
+ThreadLevelResult ThreadReplication::check(const Matrix<half_t>& a,
+                                           const Matrix<half_t>& b,
+                                           const Matrix<half_t>& c) const {
+  AIFT_CHECK(a.cols() == b.rows());
+  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::int64_t m = a.rows(), n = b.cols(), k = a.cols();
+
+  const std::int64_t bm = (m + tile_.mb - 1) / tile_.mb;
+  const std::int64_t bn = (n + tile_.nb - 1) / tile_.nb;
+  const int warps_m = tile_.mb / tile_.mw;
+  const int warps_n = tile_.nb / tile_.nw;
+
+  ThreadLevelResult result;
+  std::mutex result_mu;
+
+  parallel_for(0, bm * bn, [&](std::int64_t block) {
+    const std::int64_t bi = block / bn;
+    const std::int64_t bj = block % bn;
+    std::vector<ThreadCheckFailure> local_failures;
+    std::int64_t local_threads = 0;
+
+    for (int wm = 0; wm < warps_m; ++wm) {
+      for (int wn = 0; wn < warps_n; ++wn) {
+        const std::int64_t wr0 = bi * tile_.mb + wm * tile_.mw;
+        const std::int64_t wc0 = bj * tile_.nb + wn * tile_.nw;
+        if (wr0 >= m || wc0 >= n) continue;
+
+        for (int lane = 0; lane < 32; ++lane) {
+          std::vector<std::int64_t> rows, cols;
+          for (int r : tile_.lane_rows(lane)) {
+            if (wr0 + r < m) rows.push_back(wr0 + r);
+          }
+          for (int col : tile_.lane_cols(lane)) {
+            if (wc0 + col < n) cols.push_back(wc0 + col);
+          }
+          if (rows.empty() || cols.empty()) continue;
+          ++local_threads;
+
+          if (kind_ == ReplicationKind::traditional) {
+            // Element-wise duplicate-and-compare.
+            for (const auto row : rows) {
+              for (const auto col : cols) {
+                double redo = 0.0;
+                for (std::int64_t kk = 0; kk < k; ++kk) {
+                  redo += a(row, kk).to_float() * b(kk, col).to_float();
+                }
+                const double v = c(row, col).to_float();
+                const double residual = std::abs(redo - v);
+                const double threshold =
+                    detection_threshold(std::abs(v), bound_);
+                // Non-finite stored outputs are faults: finite FP16 inputs
+                // cannot overflow the FP32 accumulator.
+                if (residual > threshold || !std::isfinite(v)) {
+                  local_failures.push_back(ThreadCheckFailure{
+                      bi, bj, wm, wn, lane, row, residual, threshold});
+                }
+              }
+            }
+          } else {
+            // Single-accumulation: the replicated MMAs accumulate every
+            // product into one register set; compare aggregate sums.
+            double redo_sum = 0.0;
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              double a_dot_b = 0.0;
+              for (const auto row : rows) {
+                const double av = a(row, kk).to_float();
+                for (const auto col : cols) {
+                  a_dot_b += av * b(kk, col).to_float();
+                }
+              }
+              redo_sum += a_dot_b;
+            }
+            double out_sum = 0.0, out_abs = 0.0;
+            for (const auto row : rows) {
+              for (const auto col : cols) {
+                const double v = c(row, col).to_float();
+                out_sum += v;
+                out_abs += std::abs(v);
+              }
+            }
+            const double residual = std::abs(redo_sum - out_sum);
+            const double threshold = detection_threshold(out_abs, bound_);
+            if (residual > threshold || !std::isfinite(out_sum)) {
+              local_failures.push_back(ThreadCheckFailure{bi, bj, wm, wn, lane,
+                                                          -1, residual,
+                                                          threshold});
+            }
+          }
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lk(result_mu);
+    result.threads_checked += local_threads;
+    for (auto& f : local_failures) result.failures.push_back(f);
+  });
+
+  result.fault_detected = !result.failures.empty();
+  return result;
+}
+
+}  // namespace aift

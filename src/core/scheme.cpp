@@ -1,0 +1,148 @@
+#include "core/scheme.hpp"
+
+#include "common/check.hpp"
+
+namespace aift {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::none: return "none";
+    case Scheme::global_abft: return "global-abft";
+    case Scheme::thread_one_sided: return "thread-abft-1s";
+    case Scheme::thread_two_sided: return "thread-abft-2s";
+    case Scheme::repl_traditional: return "repl-traditional";
+    case Scheme::repl_single_acc: return "repl-single-acc";
+  }
+  return "?";
+}
+
+Scheme scheme_by_name(const std::string& name) {
+  for (Scheme s : {Scheme::none, Scheme::global_abft, Scheme::thread_one_sided,
+                   Scheme::thread_two_sided, Scheme::repl_traditional,
+                   Scheme::repl_single_acc}) {
+    if (name == scheme_name(s)) return s;
+  }
+  AIFT_CHECK_MSG(false, "unknown scheme: " << name);
+  return Scheme::none;
+}
+
+RedundancyDelta scheme_delta(Scheme scheme, const GemmShape& shape,
+                             const TileConfig& tile, DType dtype,
+                             const DeviceSpec& dev, const AbftOptions& opts) {
+  (void)dtype;
+  AIFT_CHECK(opts.num_checksums >= 1);
+  RedundancyDelta d;
+  const double j = opts.num_checksums;
+
+  switch (scheme) {
+    case Scheme::none:
+      break;
+
+    case Scheme::global_abft: {
+      // §2.5: fused output summation + fused next-layer activation checksum
+      // in the epilogue; a separate reduction/compare kernel reads the
+      // per-block partials and the (offline) weight checksum.
+      // Per-block output partials are written to a workspace; the N-wide
+      // activation checksum is accumulated with atomics (block-local
+      // reduction first), so its traffic is a small multiple of N rather
+      // than blocks_m * N.
+      constexpr double kAtomicAmplification = 8.0;
+      const double blocks = static_cast<double>(tile.grid_blocks(shape));
+      d.epilogue_alu_per_output =
+          j * (1.0 + opts.activation_checksum_multiplicity);
+      d.epilogue_bytes =
+          j * (blocks * 4.0 +
+               kAtomicAmplification * static_cast<double>(shape.n) * 4.0);
+      d.second_kernel_fixed_us = dev.reduction_kernel_fixed_us;
+      d.second_kernel_bytes =
+          j * (blocks * 4.0 + static_cast<double>(shape.n) * 4.0 +
+               2.0 * static_cast<double>(shape.k) * 4.0);
+      d.overlap_fraction = opts.overlap_fraction;
+      if (!opts.fused_input_checksum) {
+        d.pre_kernel_fixed_us = dev.reduction_kernel_fixed_us;
+        d.pre_kernel_bytes =
+            opts.input_feature_bytes + static_cast<double>(shape.k) * 4.0;
+      }
+      break;
+    }
+
+    case Scheme::thread_one_sided:
+      // §5.2.2 one-sided: per warp per k8-step, Mw/16 extra MMAs (At times
+      // the Bt row-checksum column) out of (Mw/16)(Nw/8) baseline MMAs, and
+      // O(Nt) checksum additions on the traditional ALUs (HADD2-style,
+      // reading the already-staged Bt slab — no extra global loads,
+      // §5.2.1: weight checksums are recomputed online, never loaded).
+      d.extra_tensor_frac = j * 8.0 / tile.nw;
+      d.extra_alu_ops_per_thread_k8 = j * (tile.nw / 4.0) + 2.0;
+      d.extra_regs_per_thread = static_cast<int>(j) * tile.mt();
+      d.epilogue_alu_per_output = 1.0;  // per-thread row sums + compare
+      d.in_kernel_check = true;
+      break;
+
+    case Scheme::thread_two_sided:
+      // §5.2.2 two-sided: one extra MMA per warp per k8-step, O(Mt+Nt)
+      // checksum additions (both operand slabs are summed).
+      d.extra_tensor_frac = j * 128.0 / (tile.mw * tile.nw);
+      d.extra_alu_ops_per_thread_k8 = j * ((tile.mw + tile.nw) / 4.0) + 2.0;
+      d.extra_regs_per_thread = static_cast<int>(j) * 4;
+      d.epilogue_alu_per_output = 1.0;
+      d.in_kernel_check = true;
+      break;
+
+    case Scheme::repl_traditional:
+      // §4: duplicate every MMA and accumulate into a second full set of
+      // output registers — the register doubling throttles occupancy.
+      d.extra_tensor_frac = 1.0;
+      d.extra_regs_per_thread = tile.accumulators_per_thread();
+      d.epilogue_alu_per_output = 1.0;  // element-wise compare
+      d.in_kernel_check = true;
+      break;
+
+    case Scheme::repl_single_acc:
+      // §4: duplicate every MMA but accumulate into a single set of four
+      // registers; compare the two aggregate sums at the end.
+      d.extra_tensor_frac = 1.0;
+      d.extra_regs_per_thread = 4;
+      d.extra_alu_ops_per_thread_k8 = 2.0;
+      d.epilogue_alu_per_output = 1.0;
+      d.in_kernel_check = true;
+      break;
+  }
+
+  // Extra MMAs also consume warp-wide issue slots (~4 cycles each,
+  // amortized over 32 lanes) — this is what makes replication's doubled
+  // MMA stream visible even before the tensor pipe saturates.
+  d.extra_alu_ops_per_thread_k8 +=
+      d.extra_tensor_frac * tile.mmas_per_warp_step() * 4.0 / 32.0;
+  return d;
+}
+
+Table1Counts table1_counts(Scheme s, const TileConfig& tile) {
+  // Paper Table 1 with Mt/Nt in MMA-grain units (Mt = Mw/8, Nt = Nw/8):
+  // replication MtNt/2 extra MMAs, two-sided 1, one-sided Mt/2; checksum
+  // ops 0 / O(Mt+Nt) / O(Nt).
+  const double mt = tile.mw / 8.0;
+  const double nt = tile.nw / 8.0;
+  Table1Counts c;
+  switch (s) {
+    case Scheme::repl_traditional:
+    case Scheme::repl_single_acc:
+      c.extra_mmas_per_kstep = mt * nt / 2.0;
+      c.checksum_ops_per_kstep = 0.0;
+      break;
+    case Scheme::thread_two_sided:
+      c.extra_mmas_per_kstep = 1.0;
+      c.checksum_ops_per_kstep = mt + nt;
+      break;
+    case Scheme::thread_one_sided:
+      c.extra_mmas_per_kstep = mt / 2.0;
+      c.checksum_ops_per_kstep = nt;
+      break;
+    case Scheme::none:
+    case Scheme::global_abft:
+      break;
+  }
+  return c;
+}
+
+}  // namespace aift

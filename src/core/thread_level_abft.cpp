@@ -1,0 +1,125 @@
+#include "core/thread_level_abft.hpp"
+
+#include <cmath>
+#include <mutex>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace aift {
+
+ThreadLevelAbft::ThreadLevelAbft(TileConfig tile, ThreadAbftSide side,
+                                 ErrorBoundParams bound)
+    : tile_(tile), side_(side), bound_(bound) {
+  AIFT_CHECK_MSG(tile_.valid(), "invalid tile " << tile_.name());
+}
+
+ThreadLevelResult ThreadLevelAbft::check(const Matrix<half_t>& a,
+                                         const Matrix<half_t>& b,
+                                         const Matrix<half_t>& c) const {
+  AIFT_CHECK(a.cols() == b.rows());
+  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::int64_t m = a.rows(), n = b.cols(), k = a.cols();
+
+  const std::int64_t bm = (m + tile_.mb - 1) / tile_.mb;
+  const std::int64_t bn = (n + tile_.nb - 1) / tile_.nb;
+  const int warps_m = tile_.mb / tile_.mw;
+  const int warps_n = tile_.nb / tile_.nw;
+
+  ThreadLevelResult result;
+  std::mutex result_mu;
+
+  parallel_for(0, bm * bn, [&](std::int64_t block) {
+    const std::int64_t bi = block / bn;
+    const std::int64_t bj = block % bn;
+    std::vector<ThreadCheckFailure> local_failures;
+    std::int64_t local_threads = 0;
+
+    for (int wm = 0; wm < warps_m; ++wm) {
+      for (int wn = 0; wn < warps_n; ++wn) {
+        const std::int64_t wr0 = bi * tile_.mb + wm * tile_.mw;
+        const std::int64_t wc0 = bj * tile_.nb + wn * tile_.nw;
+        if (wr0 >= m || wc0 >= n) continue;  // fully out-of-range warp
+
+        for (int lane = 0; lane < 32; ++lane) {
+          // The thread's owned rows/columns, clipped to the problem.
+          std::vector<std::int64_t> rows, cols;
+          for (int r : tile_.lane_rows(lane)) {
+            if (wr0 + r < m) rows.push_back(wr0 + r);
+          }
+          for (int col : tile_.lane_cols(lane)) {
+            if (wc0 + col < n) cols.push_back(wc0 + col);
+          }
+          if (rows.empty() || cols.empty()) continue;
+          ++local_threads;
+
+          // Online Bt row checksum over the thread's columns (§5.2.1:
+          // recomputed alongside the matmul, never loaded).
+          std::vector<double> s(static_cast<std::size_t>(k), 0.0);
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            double acc = 0.0;
+            for (const auto col : cols) acc += b(kk, col).to_float();
+            s[static_cast<std::size_t>(kk)] = acc;
+          }
+
+          if (side_ == ThreadAbftSide::one_sided) {
+            // abft[r] = sum_k A[r][k] * s[k]; compare per owned row.
+            for (const auto row : rows) {
+              double abft = 0.0;
+              for (std::int64_t kk = 0; kk < k; ++kk) {
+                abft += a(row, kk).to_float() * s[static_cast<std::size_t>(kk)];
+              }
+              double out_sum = 0.0, out_abs = 0.0;
+              for (const auto col : cols) {
+                const double v = c(row, col).to_float();
+                out_sum += v;
+                out_abs += std::abs(v);
+              }
+              const double residual = std::abs(abft - out_sum);
+              const double threshold = detection_threshold(out_abs, bound_);
+              // Non-finite outputs (overflow from a corrupted exponent) are
+              // faults by definition: finite FP16 inputs cannot produce them.
+              if (residual > threshold || !std::isfinite(out_sum)) {
+                local_failures.push_back(ThreadCheckFailure{
+                    bi, bj, wm, wn, lane, row, residual, threshold});
+              }
+            }
+          } else {
+            // Two-sided: additionally checksum At over the owned rows,
+            // producing a single running scalar.
+            double abft = 0.0;
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              double a_sum = 0.0;
+              for (const auto row : rows) a_sum += a(row, kk).to_float();
+              abft += a_sum * s[static_cast<std::size_t>(kk)];
+            }
+            double out_sum = 0.0, out_abs = 0.0;
+            for (const auto row : rows) {
+              for (const auto col : cols) {
+                const double v = c(row, col).to_float();
+                out_sum += v;
+                out_abs += std::abs(v);
+              }
+            }
+            const double residual = std::abs(abft - out_sum);
+            const double threshold = detection_threshold(out_abs, bound_);
+            if (residual > threshold || !std::isfinite(out_sum)) {
+              local_failures.push_back(ThreadCheckFailure{bi, bj, wm, wn, lane,
+                                                          -1, residual,
+                                                          threshold});
+            }
+          }
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lk(result_mu);
+    result.threads_checked += local_threads;
+    for (auto& f : local_failures) result.failures.push_back(f);
+  });
+
+  result.fault_detected = !result.failures.empty();
+  return result;
+}
+
+}  // namespace aift

@@ -1,0 +1,68 @@
+#pragma once
+// Functional thread-level ABFT (paper §5.1–§5.2).
+//
+// Each GPU thread owns a scattered Mt x Nt sub-tile of its warp's output
+// (rows lane_rows(), columns lane_cols() of tile_config.hpp — the PTX
+// m16n8k8 accumulator distribution). Thread-level ABFT performs the
+// checksum arithmetic entirely within that sub-problem, sharing the
+// operand loads the thread already performs and storing nothing:
+//
+//   one-sided (§5.2.2): maintain the row checksum of the thread's Bt
+//     columns (s[k] = sum of owned B[k][*]) and accumulate the redundant
+//     products abft[r] += A[r][k]*s[k] via extra MMAs; at the end compare
+//     abft[r] with the sum of the thread's outputs in row r.
+//   two-sided: additionally checksum At's rows, collapsing the redundant
+//     computation to a single running scalar.
+//
+// check() replays that arithmetic against a possibly-faulty C and reports
+// every failing thread with its location — the fault is localized to a
+// specific (block, warp, lane, row), unlike global ABFT's single bit.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+#include "core/error_bound.hpp"
+#include "gemm/tile_config.hpp"
+
+namespace aift {
+
+enum class ThreadAbftSide { one_sided, two_sided };
+
+struct ThreadCheckFailure {
+  std::int64_t block_row = 0, block_col = 0;  ///< threadblock grid coords
+  int warp_m = 0, warp_n = 0;                 ///< warp coords within block
+  int lane = 0;                               ///< lane within warp
+  std::int64_t row = -1;  ///< global C row (one-sided localization; -1 for
+                          ///< two-sided, which checks a single scalar)
+  double residual = 0.0;
+  double threshold = 0.0;
+};
+
+struct ThreadLevelResult {
+  bool fault_detected = false;
+  std::vector<ThreadCheckFailure> failures;
+  std::int64_t threads_checked = 0;
+};
+
+class ThreadLevelAbft {
+ public:
+  ThreadLevelAbft(TileConfig tile, ThreadAbftSide side,
+                  ErrorBoundParams bound = {});
+
+  /// Verifies C (claimed to equal A*B computed with this tile config).
+  [[nodiscard]] ThreadLevelResult check(const Matrix<half_t>& a,
+                                        const Matrix<half_t>& b,
+                                        const Matrix<half_t>& c) const;
+
+  [[nodiscard]] const TileConfig& tile() const { return tile_; }
+  [[nodiscard]] ThreadAbftSide side() const { return side_; }
+
+ private:
+  TileConfig tile_;
+  ThreadAbftSide side_;
+  ErrorBoundParams bound_;
+};
+
+}  // namespace aift

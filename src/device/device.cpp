@@ -1,0 +1,138 @@
+#include "device/device.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.hpp"
+
+namespace aift {
+
+std::string dtype_name(DType t) {
+  switch (t) {
+    case DType::f16: return "FP16";
+    case DType::f32: return "FP32";
+    case DType::i8: return "INT8";
+  }
+  return "?";
+}
+
+double DeviceSpec::peak_math_flops(DType t) const {
+  switch (t) {
+    case DType::f16:
+      return tensor_tflops_f16 * 1.0e12;
+    case DType::i8:
+      return tensor_tops_i8 * 1.0e12;
+    case DType::f32:
+      return fma_tflops_f32 * 1.0e12;
+  }
+  return 0.0;
+}
+
+double DeviceSpec::alu_ops_per_sec() const {
+  // Traditional cores: 64 FP32/INT lanes per SM on the modeled
+  // architectures, one op per lane per cycle. FP16 checksum additions use
+  // HADD2 (two halves per op), which the cost model accounts for at the
+  // call site.
+  return static_cast<double>(sm_count) * 64.0 * clock_ghz * 1.0e9;
+}
+
+namespace devices {
+
+DeviceSpec t4() {
+  DeviceSpec d;
+  d.name = "T4";
+  d.sm_count = 40;
+  d.clock_ghz = 1.59;  // boost clock used by the CUTLASS T4 profiling setup
+  d.tensor_tflops_f16 = 65.0;
+  d.tensor_tops_i8 = 130.0;
+  d.fma_tflops_f32 = 8.1;
+  d.mem_bw_gbps = 320.0;
+  d.regs_per_sm = 65536;
+  d.max_threads_per_sm = 1024;
+  d.max_warps_per_sm = 32;
+  d.smem_per_sm_bytes = 65536;
+  return d;
+}
+
+DeviceSpec p4() {
+  DeviceSpec d;
+  d.name = "P4";
+  d.sm_count = 20;
+  d.clock_ghz = 1.11;
+  d.has_tensor_cores = false;
+  d.tensor_tflops_f16 = 11.0;  // FP16 via FP32 cores at 2x rate (paper §3.3)
+  d.tensor_tops_i8 = 22.0;     // DP4A
+  d.fma_tflops_f32 = 5.5;
+  d.mem_bw_gbps = 192.0;
+  d.max_threads_per_sm = 2048;
+  d.max_warps_per_sm = 64;
+  d.smem_per_sm_bytes = 98304;
+  return d;
+}
+
+DeviceSpec v100() {
+  DeviceSpec d;
+  d.name = "V100";
+  d.sm_count = 80;
+  d.clock_ghz = 1.53;
+  d.tensor_tflops_f16 = 125.0;
+  d.tensor_tops_i8 = 125.0;  // Volta tensor cores are FP16-only; INT8 on DP4A
+  d.fma_tflops_f32 = 15.7;
+  d.mem_bw_gbps = 900.0;
+  d.max_threads_per_sm = 2048;
+  d.max_warps_per_sm = 64;
+  d.smem_per_sm_bytes = 98304;
+  return d;
+}
+
+DeviceSpec a100() {
+  DeviceSpec d;
+  d.name = "A100";
+  d.sm_count = 108;
+  d.clock_ghz = 1.41;
+  d.tensor_tflops_f16 = 312.0;
+  d.tensor_tops_i8 = 624.0;
+  d.fma_tflops_f32 = 19.5;
+  d.mem_bw_gbps = 1555.0;
+  d.max_threads_per_sm = 2048;
+  d.max_warps_per_sm = 64;
+  d.smem_per_sm_bytes = 167936;
+  return d;
+}
+
+DeviceSpec xavier_agx() {
+  DeviceSpec d;
+  d.name = "Xavier-AGX";
+  d.sm_count = 8;
+  d.clock_ghz = 1.377;
+  d.tensor_tflops_f16 = 16.0;
+  d.tensor_tops_i8 = 32.0;
+  d.fma_tflops_f32 = 2.8;
+  d.mem_bw_gbps = 136.5;  // LPDDR4x; yields the paper's INT8 CMR of 235
+  d.max_threads_per_sm = 2048;
+  d.max_warps_per_sm = 64;
+  d.smem_per_sm_bytes = 98304;
+  d.kernel_launch_us = 6.0;  // edge SoC launch latency is higher
+  d.reduction_kernel_fixed_us = 2.0;
+  return d;
+}
+
+std::vector<DeviceSpec> all() { return {t4(), p4(), v100(), a100(), xavier_agx()}; }
+
+DeviceSpec by_name(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  for (auto& d : all()) {
+    std::string dn = d.name;
+    std::transform(dn.begin(), dn.end(), dn.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    if (dn == lower) return d;
+  }
+  AIFT_CHECK_MSG(false, "unknown device: " << name);
+  return {};
+}
+
+}  // namespace devices
+}  // namespace aift

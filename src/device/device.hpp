@@ -1,0 +1,99 @@
+#pragma once
+// GPU device models. The paper's evaluation runs on an NVIDIA T4; its
+// analysis (§3.3) also cites P4, V100, A100 and Jetson AGX Xavier. With no
+// GPU in this environment, these specs parameterize the analytic kernel
+// cost model (DESIGN.md §2, §5). All figures are from public datasheets /
+// the paper itself; the compute-to-memory-bandwidth ratios (CMR) they
+// induce match the paper's quoted values (T4: 203 FP16, P4: ~58 FP16,
+// V100: 139, A100: 201, Xavier: 235 INT8).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aift {
+
+/// Element datatypes considered by the paper (inference runs in FP16/INT8;
+/// FP32 appears in the §7.1 discussion of HPC workloads).
+enum class DType { f16, f32, i8 };
+
+[[nodiscard]] constexpr int dtype_bytes(DType t) noexcept {
+  switch (t) {
+    case DType::f16: return 2;
+    case DType::f32: return 4;
+    case DType::i8: return 1;
+  }
+  return 2;
+}
+
+[[nodiscard]] std::string dtype_name(DType t);
+
+struct DeviceSpec {
+  std::string name;
+
+  // Compute resources.
+  int sm_count = 0;
+  double clock_ghz = 0.0;
+  double tensor_tflops_f16 = 0.0;  ///< peak FP16 tensor-core TFLOP/s
+  double tensor_tops_i8 = 0.0;     ///< peak INT8 tensor-core TOP/s
+  double fma_tflops_f32 = 0.0;     ///< peak FP32 FLOP/s on traditional cores
+  bool has_tensor_cores = true;
+
+  // Memory system.
+  double mem_bw_gbps = 0.0;  ///< peak DRAM bandwidth, GB/s
+
+  // Per-SM limits (occupancy inputs).
+  int regs_per_sm = 65536;
+  int max_regs_per_thread = 255;
+  int max_threads_per_sm = 1024;
+  int max_blocks_per_sm = 16;
+  int smem_per_sm_bytes = 65536;
+  int max_warps_per_sm = 32;
+
+  // Fixed kernel costs (CUDA driver/runtime launch latency; the separate
+  // ABFT reduction kernel is small so its fixed cost is lower — it launches
+  // into an already-hot context and reads a tiny workspace).
+  double kernel_launch_us = 4.0;
+  double reduction_kernel_fixed_us = 1.4;
+
+  /// Peak arithmetic throughput (FLOP/s or OP/s) for linear-layer math in
+  /// the given dtype. On tensor-core devices, FP16/INT8 GEMM math runs on
+  /// tensor cores; FP32 runs on the traditional FMA pipes.
+  [[nodiscard]] double peak_math_flops(DType t) const;
+
+  /// Peak throughput of the traditional (non-tensor-core) arithmetic
+  /// units, in scalar op/s. Checksum additions (HADD2-style), loop and
+  /// address arithmetic execute here (paper §5.2.2).
+  [[nodiscard]] double alu_ops_per_sec() const;
+
+  /// Memory bandwidth in bytes/sec.
+  [[nodiscard]] double mem_bytes_per_sec() const { return mem_bw_gbps * 1.0e9; }
+
+  /// Compute-to-memory-bandwidth ratio (FLOPs per byte), Equation 1 RHS.
+  [[nodiscard]] double cmr(DType t) const {
+    return peak_math_flops(t) / mem_bytes_per_sec();
+  }
+};
+
+namespace devices {
+
+/// NVIDIA T4 (Turing, inference-optimized; the paper's evaluation GPU).
+DeviceSpec t4();
+/// NVIDIA P4 (Pascal; the T4's predecessor, no tensor cores).
+DeviceSpec p4();
+/// NVIDIA V100 (Volta, HBM2).
+DeviceSpec v100();
+/// NVIDIA A100 (Ampere, HBM2e).
+DeviceSpec a100();
+/// NVIDIA Jetson AGX Xavier (edge; INT8-focused tensor cores).
+DeviceSpec xavier_agx();
+
+/// All modeled devices, T4 first.
+std::vector<DeviceSpec> all();
+
+/// Lookup by case-insensitive name ("t4", "a100", ...). Throws on unknown.
+DeviceSpec by_name(const std::string& name);
+
+}  // namespace devices
+
+}  // namespace aift

@@ -1,0 +1,61 @@
+#include "device/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace aift {
+
+namespace {
+constexpr int kRegAllocGranularity = 8;
+
+int round_up(int v, int granularity) {
+  return (v + granularity - 1) / granularity * granularity;
+}
+}  // namespace
+
+Occupancy compute_occupancy(const DeviceSpec& dev, const KernelResources& res) {
+  AIFT_CHECK(res.threads_per_block > 0);
+  AIFT_CHECK(res.regs_per_thread > 0);
+
+  Occupancy out;
+
+  int regs = res.regs_per_thread;
+  if (regs > dev.max_regs_per_thread) {
+    out.register_spill = true;
+    regs = dev.max_regs_per_thread;
+  }
+  regs = round_up(regs, kRegAllocGranularity);
+
+  const int regs_per_block = regs * res.threads_per_block;
+  const int by_regs = regs_per_block > 0 ? dev.regs_per_sm / regs_per_block : 0;
+  const int by_threads = dev.max_threads_per_sm / res.threads_per_block;
+  const int by_warps =
+      dev.max_warps_per_sm / std::max(1, res.threads_per_block / 32);
+  const int by_smem = res.smem_bytes_per_block > 0
+                          ? dev.smem_per_sm_bytes / res.smem_bytes_per_block
+                          : dev.max_blocks_per_sm;
+  const int by_blocks = dev.max_blocks_per_sm;
+
+  const int blocks = std::min({by_regs, by_threads, by_warps, by_smem, by_blocks});
+  out.blocks_per_sm = std::max(0, blocks);
+  out.warps_per_sm = out.blocks_per_sm * (res.threads_per_block / 32);
+  out.occupancy = dev.max_warps_per_sm > 0
+                      ? static_cast<double>(out.warps_per_sm) / dev.max_warps_per_sm
+                      : 0.0;
+
+  if (blocks <= 0) {
+    out.limiter = "none";
+  } else if (blocks == by_regs && by_regs <= std::min({by_threads, by_warps, by_smem, by_blocks})) {
+    out.limiter = "registers";
+  } else if (blocks == by_smem && by_smem <= std::min({by_threads, by_warps, by_blocks})) {
+    out.limiter = "smem";
+  } else if (blocks == by_threads || blocks == by_warps) {
+    out.limiter = "threads";
+  } else {
+    out.limiter = "blocks";
+  }
+  return out;
+}
+
+}  // namespace aift

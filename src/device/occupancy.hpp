@@ -1,0 +1,39 @@
+#pragma once
+// GPU occupancy calculator. Occupancy — the number of threadblocks (and
+// hence warps) co-resident on an SM — is central to §4 of the paper: the
+// traditional thread-level replication scheme doubles accumulator-register
+// usage per thread, which lowers occupancy and causes "significant
+// slowdowns". This module reproduces the CUDA occupancy rules the paper's
+// kernels were subject to: register, thread, warp, shared-memory and
+// block-count limits.
+
+#include "device/device.hpp"
+
+namespace aift {
+
+/// Per-threadblock resource footprint of a kernel configuration.
+struct KernelResources {
+  int threads_per_block = 0;
+  int regs_per_thread = 0;
+  int smem_bytes_per_block = 0;
+};
+
+struct Occupancy {
+  int blocks_per_sm = 0;   ///< co-resident threadblocks per SM
+  int warps_per_sm = 0;    ///< co-resident warps per SM
+  double occupancy = 0.0;  ///< warps_per_sm / max_warps_per_sm, in [0,1]
+  bool register_spill = false;  ///< regs/thread exceeded the hardware cap
+  /// Which limit bound the result ("registers", "threads", "smem",
+  /// "blocks", or "none" when nothing fits).
+  const char* limiter = "none";
+};
+
+/// Computes achievable occupancy of `res` on `dev`. Register allocation is
+/// rounded to the hardware granularity (8 registers). If regs_per_thread
+/// exceeds the per-thread cap, the kernel would spill to local memory;
+/// the result caps registers and sets `register_spill` so the cost model
+/// can charge spill traffic.
+[[nodiscard]] Occupancy compute_occupancy(const DeviceSpec& dev,
+                                          const KernelResources& res);
+
+}  // namespace aift

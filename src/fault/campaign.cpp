@@ -1,0 +1,76 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace aift {
+
+double CampaignStats::effective_coverage() const {
+  const std::int64_t effective = trials - masked;
+  if (effective <= 0) return 1.0;
+  return static_cast<double>(detected) / static_cast<double>(effective);
+}
+
+CampaignStats run_campaign(const CampaignConfig& config,
+                           const FaultChecker& checker) {
+  AIFT_CHECK(config.trials > 0);
+  AIFT_CHECK(checker != nullptr);
+
+  Rng rng(config.seed);
+  Matrix<half_t> a(config.shape.m, config.shape.k);
+  Matrix<half_t> b(config.shape.k, config.shape.n);
+  rng.fill_uniform(a);
+  rng.fill_uniform(b);
+
+  // Clean output, used to classify masked faults.
+  Matrix<half_t> c_clean(config.shape.m, config.shape.n);
+  functional_gemm(a, b, c_clean, config.tile);
+
+  CampaignStats stats;
+  stats.trials = config.trials;
+
+  for (int t = 0; t < config.trials; ++t) {
+    const FaultSpec fault =
+        random_fault(rng, config.shape, config.tile, config.fault_opts);
+    const int bit = fault_bit(fault);
+
+    Matrix<half_t> c(config.shape.m, config.shape.n);
+    FunctionalOptions opts;
+    opts.faults = {fault};
+    functional_gemm(a, b, c, config.tile, opts);
+
+    const bool changed = !(c == c_clean);
+    const bool flagged = checker(a, b, c);
+
+    if (bit >= 0) ++stats.by_bit[static_cast<std::size_t>(bit)].injected;
+    if (!changed) {
+      // Mutually exclusive with detected/missed: the fault rounded away
+      // before reaching any stored output.
+      ++stats.masked;
+      if (bit >= 0) ++stats.by_bit[static_cast<std::size_t>(bit)].masked;
+      continue;
+    }
+    if (flagged) {
+      ++stats.detected;
+      if (bit >= 0) ++stats.by_bit[static_cast<std::size_t>(bit)].detected;
+    } else {
+      ++stats.missed;
+      double max_delta = 0.0;
+      for (std::int64_t r = 0; r < c.rows(); ++r) {
+        for (std::int64_t j = 0; j < c.cols(); ++j) {
+          const double d =
+              std::abs(static_cast<double>(c(r, j).to_float()) -
+                       c_clean(r, j).to_float());
+          max_delta = std::max(max_delta, d);
+        }
+      }
+      stats.largest_missed_delta =
+          std::max(stats.largest_missed_delta, max_delta);
+    }
+  }
+  return stats;
+}
+
+}  // namespace aift

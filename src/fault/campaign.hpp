@@ -1,0 +1,60 @@
+#pragma once
+// Fault-injection campaigns: the software equivalent of the fault-injection
+// and beam studies the paper cites (§2.2) for validating detection
+// coverage of an ABFT scheme.
+//
+// Each trial injects one random single-bit fault into the functional GEMM,
+// runs the checker under test, and classifies the outcome:
+//   detected — checker flagged the run;
+//   masked   — the fault never changed any stored FP16 output (flips of
+//              low accumulator bits can round away); undetectable by any
+//              output-space scheme, and harmless;
+//   missed   — the output changed but the checker stayed silent (possible
+//              for corruptions at or below FP16 rounding magnitude).
+
+#include <array>
+#include <functional>
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+#include "fault/fault.hpp"
+
+namespace aift {
+
+/// Detection predicate over (A, B, possibly-faulty C).
+using FaultChecker = std::function<bool(
+    const Matrix<half_t>&, const Matrix<half_t>&, const Matrix<half_t>&)>;
+
+struct CampaignConfig {
+  GemmShape shape{64, 64, 64};
+  TileConfig tile{64, 64, 32, 32, 32, 2};
+  int trials = 100;
+  std::uint64_t seed = 42;
+  FaultModelOptions fault_opts;
+};
+
+struct BitOutcome {
+  std::int64_t injected = 0;
+  std::int64_t detected = 0;
+  std::int64_t masked = 0;
+};
+
+struct CampaignStats {
+  std::int64_t trials = 0;
+  std::int64_t detected = 0;
+  std::int64_t masked = 0;
+  std::int64_t missed = 0;
+  std::array<BitOutcome, 32> by_bit{};
+  /// Largest output corruption |C_faulty - C_clean| among missed trials.
+  /// Sum-based checks legitimately miss corruptions below their rounding
+  /// threshold; this field lets callers verify that *only* those escape.
+  double largest_missed_delta = 0.0;
+
+  /// Detected / (trials - masked): coverage over faults that mattered.
+  [[nodiscard]] double effective_coverage() const;
+};
+
+[[nodiscard]] CampaignStats run_campaign(const CampaignConfig& config,
+                                         const FaultChecker& checker);
+
+}  // namespace aift

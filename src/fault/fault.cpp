@@ -1,0 +1,38 @@
+#include "fault/fault.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace aift {
+
+FaultSpec random_fault(Rng& rng, const GemmShape& shape, const TileConfig& tile,
+                       const FaultModelOptions& opts) {
+  AIFT_CHECK(shape.m > 0 && shape.n > 0 && shape.k > 0);
+  AIFT_CHECK(opts.min_bit >= 0 && opts.max_bit <= 30 &&
+             opts.min_bit <= opts.max_bit);
+
+  FaultSpec f;
+  f.row = rng.uniform_int(0, shape.m - 1);
+  f.col = rng.uniform_int(0, shape.n - 1);
+
+  if (opts.at_output_only) {
+    f.k8_step = -1;
+  } else {
+    const std::int64_t steps = tile.k8_steps(shape);
+    // -1 (post-accumulation) is one more equally-likely site.
+    f.k8_step = rng.uniform_int(-1, steps - 1);
+  }
+
+  int bit = static_cast<int>(rng.uniform_int(opts.min_bit, opts.max_bit));
+  if (opts.include_sign_bit && rng.uniform_int(0, 31) == 0) bit = 31;
+  f.xor_bits = 1u << bit;
+  return f;
+}
+
+int fault_bit(const FaultSpec& f) {
+  if (f.xor_bits == 0 || (f.xor_bits & (f.xor_bits - 1)) != 0) return -1;
+  return std::countr_zero(f.xor_bits);
+}
+
+}  // namespace aift

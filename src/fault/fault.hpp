@@ -1,0 +1,38 @@
+#pragma once
+// Fault model (paper §2.3): a single faulty output value in C caused by a
+// transient error in processing logic. Faults are realized by flipping
+// bits of an FP32 accumulator mid-computation (gemm/functional.hpp), which
+// is exactly the observable of an erroneous MMA or FFMA.
+//
+// The memory hierarchy is assumed ECC-protected and control logic correct,
+// so faults target only compute state — in line with the paper and with
+// prior fault-injection studies it cites.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "gemm/functional.hpp"
+#include "gemm/gemm_shape.hpp"
+#include "gemm/tile_config.hpp"
+
+namespace aift {
+
+struct FaultModelOptions {
+  int min_bit = 0;   ///< lowest FP32 accumulator bit eligible for a flip
+  int max_bit = 30;  ///< highest (30 = top exponent bit; 31 = sign)
+  bool include_sign_bit = false;
+  /// If true the fault is injected after the final accumulation (k8_step
+  /// = -1); otherwise a uniformly random k8-step is chosen.
+  bool at_output_only = false;
+};
+
+/// Draws a uniformly random single-bit fault site for a GEMM executed with
+/// `tile` on `shape`.
+[[nodiscard]] FaultSpec random_fault(Rng& rng, const GemmShape& shape,
+                                     const TileConfig& tile,
+                                     const FaultModelOptions& opts = {});
+
+/// The bit index of a single-bit xor mask (-1 if not a single-bit mask).
+[[nodiscard]] int fault_bit(const FaultSpec& f);
+
+}  // namespace aift

@@ -1,0 +1,58 @@
+#pragma once
+// Calibration constants for the analytic kernel cost model.
+//
+// These encode achievable-vs-peak efficiencies and fixed costs observed on
+// real inference GPUs (CUTLASS on T4 reaches ~85-90% of tensor peak on
+// large GEMMs; DRAM efficiency ~80%; kernel launch ~4 us in back-to-back
+// measurement loops). The paper-shape test suite
+// (tests/calibration/test_paper_shapes.cpp) pins the qualitative behaviour
+// these constants must reproduce; see DESIGN.md §5.
+
+namespace aift {
+
+struct CostParams {
+  // Fractions of datasheet peak achievable by a well-tuned kernel.
+  double mem_efficiency = 0.82;
+  double tensor_efficiency = 0.88;
+  double alu_efficiency = 0.70;
+
+  // Concurrency needed to saturate each pipe, in resident warps per SM.
+  // Below these, achieved throughput scales linearly with residency
+  // (latency-bound region). Two warps fill an SM's 64 traditional lanes;
+  // DRAM and tensor cores need deeper latency hiding.
+  double bw_sat_warps_per_sm = 1.7;
+  double tensor_sat_warps_per_sm = 4.0;
+  double alu_sat_warps_per_sm = 2.0;
+
+  // Scalar-instruction cost of the mainloop per thread per k8-step:
+  // address arithmetic, predicate updates, cp.async issue, loop control.
+  double base_alu_ops_per_thread_k8 = 16.0;
+
+  // Dependent-chain latency of one mainloop k8-step (cycles); bounds how
+  // fast a single threadblock can walk K regardless of throughput.
+  double cycles_per_k8_step = 30.0;
+
+  // Fixed in-kernel cost (prologue, grid scheduling) added to every
+  // kernel on top of the driver launch latency.
+  double kernel_fixed_us = 2.0;
+
+  // Fixed cost added by an in-kernel final ABFT check (the thread-local
+  // compare epilogue of thread-level schemes): a short dependent tail.
+  double thread_check_fixed_us = 0.25;
+
+  // Mainloop dilation for schemes that add work inside the tight inner
+  // loop (thread-level ABFT / replication): the extra dependencies and
+  // register pressure degrade CUTLASS's hand-tuned software pipeline
+  // slightly even when no pipe saturates.
+  double thread_mainloop_dilation = 1.02;
+
+  // Multiplier applied when the configuration would spill registers
+  // (traditional replication's failure mode, paper §4).
+  double register_spill_penalty = 1.6;
+
+  // Effective bandwidth of the small ABFT reduction/compare kernel
+  // (bytes/s as a fraction of peak; it is latency- not bandwidth-bound).
+  double reduction_kernel_bw_frac = 0.30;
+};
+
+}  // namespace aift

@@ -1,0 +1,199 @@
+#include "gemm/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace aift {
+
+const char* bottleneck_name(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::memory: return "memory";
+    case Bottleneck::tensor: return "tensor";
+    case Bottleneck::alu: return "alu";
+    case Bottleneck::latency: return "latency";
+  }
+  return "?";
+}
+
+GemmCostModel::GemmCostModel(DeviceSpec dev, CostParams params)
+    : dev_(std::move(dev)), params_(params) {}
+
+KernelCost GemmCostModel::estimate(const GemmShape& shape,
+                                   const TileConfig& tile, DType dtype,
+                                   const RedundancyDelta& delta) const {
+  AIFT_CHECK_MSG(tile.valid(), "invalid tile " << tile.name());
+  AIFT_CHECK(shape.m > 0 && shape.n > 0 && shape.k > 0);
+
+  KernelCost out;
+
+  const double esize = dtype_bytes(dtype);
+  const std::int64_t bm = tile.grid_blocks_m(shape);
+  const std::int64_t bn = tile.grid_blocks_n(shape);
+  const std::int64_t blocks = bm * bn;
+  const std::int64_t k8 = tile.k8_steps(shape);
+  out.blocks = blocks;
+
+  // ----- Occupancy --------------------------------------------------------
+  KernelResources res;
+  res.threads_per_block = tile.threads();
+  res.regs_per_thread = tile.regs_per_thread() + delta.extra_regs_per_thread;
+  res.smem_bytes_per_block = tile.smem_bytes(dtype);
+  out.occupancy = compute_occupancy(dev_, res);
+  if (out.occupancy.blocks_per_sm <= 0) {
+    // Configuration does not fit on this device at all.
+    out.total_us = std::numeric_limits<double>::infinity();
+    return out;
+  }
+  const std::int64_t concurrent =
+      static_cast<std::int64_t>(out.occupancy.blocks_per_sm) * dev_.sm_count;
+  const int warps_per_block = tile.warps();
+
+  // ----- Total work -------------------------------------------------------
+  // Tensor-core FLOPs: full tiles are executed with predication, so edge
+  // blocks do the same MMA work as interior blocks.
+  const double base_flops =
+      2.0 * static_cast<double>(blocks) * tile.mb * tile.nb *
+      static_cast<double>(k8) * MmaShape::kK;
+  const double tensor_flops = base_flops * (1.0 + delta.extra_tensor_frac);
+  out.tensor_flops = tensor_flops;
+
+  // Traditional-ALU ops: mainloop bookkeeping + checksum adds + epilogue.
+  const double threads_total =
+      static_cast<double>(blocks) * tile.threads();
+  const double mainloop_alu =
+      threads_total * static_cast<double>(k8) *
+      (params_.base_alu_ops_per_thread_k8 + delta.extra_alu_ops_per_thread_k8);
+  const double epilogue_alu = static_cast<double>(blocks) * tile.mb * tile.nb *
+                              (1.0 + delta.epilogue_alu_per_output);
+  const double alu_ops = mainloop_alu + epilogue_alu;
+  out.alu_ops = alu_ops;
+
+  // ----- Throughputs ------------------------------------------------------
+  const double bw_peak = dev_.mem_bytes_per_sec() * params_.mem_efficiency;
+  const double tensor_peak =
+      dev_.peak_math_flops(dtype) * params_.tensor_efficiency;
+  const double alu_peak = dev_.alu_ops_per_sec() * params_.alu_efficiency;
+
+  const double bw_sat_warps = params_.bw_sat_warps_per_sm * dev_.sm_count;
+  const double tensor_sat_warps =
+      params_.tensor_sat_warps_per_sm * dev_.sm_count;
+  const double alu_sat_warps = params_.alu_sat_warps_per_sm * dev_.sm_count;
+
+  // ----- DRAM traffic (per wave, swizzle-footprint model) ------------------
+  // Within one resident wave of `r` blocks arranged in a gx x gy footprint,
+  // distinct A rows fetched = min(gy*mb, M) and distinct B cols = min(gx*nb,
+  // N); tiles are streamed in kb slabs so only the slab working set must be
+  // cache-resident (it always is). Output tiles are written once.
+  const double store_bytes_per_block =
+      (static_cast<double>(shape.m) * shape.n / blocks) * esize;
+  const double epilogue_bytes_per_block =
+      delta.epilogue_bytes / static_cast<double>(blocks);
+
+  double remaining = static_cast<double>(blocks);
+  double waves = 0.0;
+  double total_dram = 0.0;
+  double exec = 0.0, mem_sum = 0.0, tensor_sum = 0.0, alu_sum = 0.0,
+         lat_sum = 0.0;
+
+  const double latency_per_wave_us =
+      static_cast<double>(k8) * params_.cycles_per_k8_step /
+      (dev_.clock_ghz * 1000.0);
+
+  while (remaining > 0.5) {
+    const double resident = std::min<double>(remaining, concurrent);
+    const double frac = resident / static_cast<double>(blocks);
+    const double resident_warps = resident * warps_per_block;
+
+    // Footprint of the resident wave (threadblock swizzle keeps it
+    // square-ish to maximize L2 reuse of A rows / B columns).
+    double gy = std::sqrt(resident * static_cast<double>(tile.nb) / tile.mb);
+    gy = std::clamp(gy, 1.0, static_cast<double>(bm));
+    double gx = std::clamp(resident / gy, 1.0, static_cast<double>(bn));
+    gy = std::clamp(resident / gx, 1.0, static_cast<double>(bm));
+
+    const double a_rows = std::min<double>(gy * tile.mb, shape.m);
+    const double b_cols = std::min<double>(gx * tile.nb, shape.n);
+    const double wave_bytes =
+        (a_rows * shape.k + static_cast<double>(shape.k) * b_cols) * esize +
+        resident * (store_bytes_per_block + epilogue_bytes_per_block);
+    total_dram += wave_bytes;
+
+    const double bw_util = std::min(1.0, resident_warps / bw_sat_warps);
+    const double tensor_util =
+        std::min(1.0, resident_warps / tensor_sat_warps);
+    const double alu_util = std::min(1.0, resident_warps / alu_sat_warps);
+
+    const double t_mem = wave_bytes / (bw_peak * bw_util) * 1.0e6;
+    const double t_tensor =
+        tensor_flops * frac / (tensor_peak * tensor_util) * 1.0e6;
+    const double t_alu = alu_ops * frac / (alu_peak * alu_util) * 1.0e6;
+    const double t_lat = latency_per_wave_us;
+
+    mem_sum += t_mem;
+    tensor_sum += t_tensor;
+    alu_sum += t_alu;
+    lat_sum += t_lat;
+    exec += std::max({t_mem, t_tensor, t_alu, t_lat});
+
+    remaining -= resident;
+    waves += 1.0;
+  }
+
+  if (out.occupancy.register_spill) exec *= params_.register_spill_penalty;
+  if (delta.in_kernel_check) {
+    exec = exec * params_.thread_mainloop_dilation +
+           params_.thread_check_fixed_us;
+  }
+
+  out.mem_us = mem_sum;
+  out.tensor_us = tensor_sum;
+  out.alu_us = alu_sum;
+  out.latency_us = lat_sum;
+  out.exec_us = exec;
+  out.waves = waves;
+  out.dram_bytes = total_dram;
+  out.launch_us = dev_.kernel_launch_us + params_.kernel_fixed_us;
+
+  // Bottleneck classification from the summed pipe times.
+  out.bottleneck = Bottleneck::memory;
+  double best = mem_sum;
+  if (tensor_sum > best) {
+    best = tensor_sum;
+    out.bottleneck = Bottleneck::tensor;
+  }
+  if (alu_sum > best) {
+    best = alu_sum;
+    out.bottleneck = Bottleneck::alu;
+  }
+  if (lat_sum > best) {
+    out.bottleneck = Bottleneck::latency;
+  }
+
+  // ----- Optional second (reduction/compare) kernel ------------------------
+  if (delta.second_kernel_fixed_us > 0.0 || delta.second_kernel_bytes > 0.0) {
+    const double t2 =
+        delta.second_kernel_fixed_us +
+        delta.second_kernel_bytes /
+            (dev_.mem_bytes_per_sec() * params_.reduction_kernel_bw_frac) *
+            1.0e6;
+    out.second_kernel_us =
+        t2 * (1.0 - std::clamp(delta.overlap_fraction, 0.0, 1.0));
+  }
+
+  if (delta.pre_kernel_fixed_us > 0.0 || delta.pre_kernel_bytes > 0.0) {
+    // The standalone checksum-generation kernel streams the source
+    // activations once; it approaches (but does not reach) full bandwidth.
+    out.pre_kernel_us =
+        delta.pre_kernel_fixed_us +
+        delta.pre_kernel_bytes /
+            (dev_.mem_bytes_per_sec() * params_.mem_efficiency * 0.7) * 1.0e6;
+  }
+
+  out.total_us =
+      out.pre_kernel_us + out.exec_us + out.launch_us + out.second_kernel_us;
+  return out;
+}
+
+}  // namespace aift

@@ -1,0 +1,100 @@
+#pragma once
+// Analytic execution-time model for hierarchical tensor-core GEMM kernels
+// and their ABFT-augmented variants.
+//
+// This is the stand-in for wall-clock measurement on the paper's T4 (see
+// DESIGN.md §2/§5): per-pipe work accounting (memory / tensor cores /
+// traditional ALUs), occupancy from register/smem/thread limits, wave
+// quantization, launch overhead, and an L2-aware DRAM traffic estimate
+// using the resident-wave footprint of the threadblock swizzle.
+//
+// Redundant-execution schemes describe themselves to the model as a
+// RedundancyDelta: extra tensor-core work, extra per-thread checksum ops
+// on the traditional ALUs, extra registers, epilogue work/traffic, and an
+// optional second (reduction/compare) kernel — exactly the knobs the
+// paper's §4/§5 design discussion turns.
+
+#include <cstdint>
+
+#include "device/device.hpp"
+#include "device/occupancy.hpp"
+#include "gemm/calibration.hpp"
+#include "gemm/gemm_shape.hpp"
+#include "gemm/tile_config.hpp"
+
+namespace aift {
+
+enum class Bottleneck { memory, tensor, alu, latency };
+
+[[nodiscard]] const char* bottleneck_name(Bottleneck b);
+
+/// How a redundancy scheme perturbs the kernel (all fields default to "no
+/// redundancy"). Produced by core/scheme.cpp for each ABFT/replication
+/// scheme given a tile configuration.
+struct RedundancyDelta {
+  /// Extra tensor-core MMAs as a fraction of the baseline MMA count
+  /// (one-sided: 8/Nw; two-sided: 128/(Mw*Nw); replication: 1.0).
+  double extra_tensor_frac = 0.0;
+  /// Extra traditional-ALU ops per thread per k8-step (checksum adds).
+  double extra_alu_ops_per_thread_k8 = 0.0;
+  /// Extra registers per thread (ABFT accumulators / duplicated outputs).
+  int extra_regs_per_thread = 0;
+  /// Extra epilogue ALU ops per output element (summations, compares).
+  double epilogue_alu_per_output = 0.0;
+  /// Extra global-memory traffic in the main kernel (bytes): checksum
+  /// workspace writes, partial sums.
+  double epilogue_bytes = 0.0;
+  /// Adds a dependent in-kernel check tail (thread-level schemes).
+  bool in_kernel_check = false;
+  /// Separate reduction/compare kernel (global ABFT): fixed cost and its
+  /// memory traffic. overlap_fraction in [0,1] is the part hidden behind
+  /// the next layer's execution (paper §2.5 step 5).
+  double second_kernel_fixed_us = 0.0;
+  double second_kernel_bytes = 0.0;
+  double overlap_fraction = 0.0;
+  /// Separate activation-checksum generation kernel *preceding* the GEMM,
+  /// needed when checksum fusion with the previous layer is impossible
+  /// (first layer, or pooling in between). Never overlappable.
+  double pre_kernel_fixed_us = 0.0;
+  double pre_kernel_bytes = 0.0;
+};
+
+struct KernelCost {
+  double mem_us = 0.0;     ///< memory-pipe time (summed over waves)
+  double tensor_us = 0.0;  ///< tensor-pipe time
+  double alu_us = 0.0;     ///< traditional-ALU time
+  double latency_us = 0.0; ///< dependent-chain floor (summed over waves)
+  double exec_us = 0.0;    ///< kernel execution (max-per-wave, summed)
+  double launch_us = 0.0;  ///< driver launch + fixed prologue
+  double second_kernel_us = 0.0;  ///< charged part of the reduction kernel
+  double pre_kernel_us = 0.0;     ///< standalone checksum-generation kernel
+  double total_us = 0.0;   ///< pre kernel + exec + launch + second kernel
+
+  Bottleneck bottleneck = Bottleneck::memory;
+  Occupancy occupancy;
+  std::int64_t blocks = 0;
+  double waves = 0.0;
+  double dram_bytes = 0.0;
+  double tensor_flops = 0.0;
+  double alu_ops = 0.0;
+};
+
+class GemmCostModel {
+ public:
+  explicit GemmCostModel(DeviceSpec dev, CostParams params = {});
+
+  /// Estimated execution cost of one GEMM kernel (plus any scheme-added
+  /// second kernel) for the given problem, tiling and datatype.
+  [[nodiscard]] KernelCost estimate(const GemmShape& shape,
+                                    const TileConfig& tile, DType dtype,
+                                    const RedundancyDelta& delta = {}) const;
+
+  [[nodiscard]] const DeviceSpec& device() const { return dev_; }
+  [[nodiscard]] const CostParams& params() const { return params_; }
+
+ private:
+  DeviceSpec dev_;
+  CostParams params_;
+};
+
+}  // namespace aift

@@ -1,0 +1,179 @@
+#include "gemm/functional.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "gemm/mma.hpp"
+
+namespace aift {
+namespace {
+
+// Converts an FP16 matrix to FP32 once up front (exact), so the inner
+// loops run on floats. Zero padding is materialized to the tile grid.
+Matrix<float> to_f32_padded(const Matrix<half_t>& m, std::int64_t rows,
+                            std::int64_t cols) {
+  Matrix<float> out(rows, cols, 0.0f);
+  for (std::int64_t r = 0; r < m.rows(); ++r)
+    for (std::int64_t c = 0; c < m.cols(); ++c) out(r, c) = m(r, c).to_float();
+  return out;
+}
+
+struct BlockFault {
+  std::int64_t local_row, local_col, k8_step;
+  std::uint32_t xor_bits;
+};
+
+void apply_fault(float& acc, std::uint32_t xor_bits) {
+  acc = std::bit_cast<float>(std::bit_cast<std::uint32_t>(acc) ^ xor_bits);
+}
+
+template <typename StoreFn>
+void run_blocks(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                std::int64_t m, std::int64_t n, std::int64_t k,
+                const TileConfig& tile, const FunctionalOptions& opts,
+                const StoreFn& store) {
+  AIFT_CHECK_MSG(tile.valid(), "invalid tile config " << tile.name());
+  const std::int64_t bm = (m + tile.mb - 1) / tile.mb;
+  const std::int64_t bn = (n + tile.nb - 1) / tile.nb;
+  const std::int64_t k_slabs = (k + tile.kb - 1) / tile.kb;
+  const std::int64_t k8_per_block = k_slabs * (tile.kb / MmaShape::kK);
+  const std::int64_t kpad = k_slabs * tile.kb;
+
+  // Pre-convert operands (padded to the executed tile grid).
+  const Matrix<float> af = to_f32_padded(a, bm * tile.mb, kpad);
+  const Matrix<float> bf = to_f32_padded(b, kpad, bn * tile.nb);
+
+  std::atomic<std::int64_t> mma_count{0};
+
+  auto body = [&](std::int64_t block) {
+    const std::int64_t bi = block / bn;
+    const std::int64_t bj = block % bn;
+    const std::int64_t r0 = bi * tile.mb;
+    const std::int64_t c0 = bj * tile.nb;
+
+    // Faults landing in this block, in local accumulator coordinates.
+    std::vector<BlockFault> faults;
+    for (const auto& f : opts.faults) {
+      if (f.row >= r0 && f.row < r0 + tile.mb && f.col >= c0 &&
+          f.col < c0 + tile.nb) {
+        faults.push_back(BlockFault{f.row - r0, f.col - c0, f.k8_step,
+                                    f.xor_bits});
+      }
+    }
+
+    std::vector<float> acc(static_cast<std::size_t>(tile.mb) * tile.nb, 0.0f);
+    std::int64_t mmas_here = 0;
+
+    for (std::int64_t step = 0; step < k8_per_block; ++step) {
+      const std::int64_t kk = step * MmaShape::kK;
+      for (int mi = 0; mi < tile.mb; mi += MmaShape::kM) {
+        for (int nj = 0; nj < tile.nb; nj += MmaShape::kN) {
+          // One m16n8k8 MMA on the padded FP32 copies.
+          for (int r = 0; r < MmaShape::kM; ++r) {
+            const float* arow = &af(r0 + mi + r, kk);
+            float* crow = &acc[static_cast<std::size_t>((mi + r)) * tile.nb + nj];
+            for (int c = 0; c < MmaShape::kN; ++c) {
+              float sum = crow[c];
+              for (int kx = 0; kx < MmaShape::kK; ++kx) {
+                sum += arow[kx] * bf(kk + kx, c0 + nj + c);
+              }
+              crow[c] = sum;
+            }
+          }
+          ++mmas_here;
+        }
+      }
+      for (const auto& f : faults) {
+        if (f.k8_step == step) {
+          apply_fault(acc[static_cast<std::size_t>(f.local_row) * tile.nb +
+                          f.local_col],
+                      f.xor_bits);
+        }
+      }
+    }
+    for (const auto& f : faults) {
+      if (f.k8_step < 0 || f.k8_step >= k8_per_block) {
+        apply_fault(
+            acc[static_cast<std::size_t>(f.local_row) * tile.nb + f.local_col],
+            f.xor_bits);
+      }
+    }
+
+    store(r0, c0, acc);
+    mma_count.fetch_add(mmas_here, std::memory_order_relaxed);
+  };
+
+  if (opts.parallel) {
+    parallel_for(0, bm * bn, body);
+  } else {
+    serial_for(0, bm * bn, body);
+  }
+
+  if (opts.counters != nullptr) {
+    opts.counters->mmas = mma_count.load();
+    opts.counters->k8_steps = k8_per_block;
+    opts.counters->blocks = bm * bn;
+    opts.counters->fp16_stores = m * n;
+  }
+}
+
+}  // namespace
+
+void functional_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                     Matrix<half_t>& c, const TileConfig& tile,
+                     const FunctionalOptions& opts) {
+  AIFT_CHECK(a.cols() == b.rows());
+  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::int64_t m = a.rows(), n = b.cols(), k = a.cols();
+  run_blocks(a, b, m, n, k, tile, opts,
+             [&](std::int64_t r0, std::int64_t c0, const std::vector<float>& acc) {
+               for (int r = 0; r < tile.mb; ++r) {
+                 if (r0 + r >= m) break;
+                 for (int cc = 0; cc < tile.nb; ++cc) {
+                   if (c0 + cc >= n) break;
+                   c(r0 + r, c0 + cc) =
+                       half_t(acc[static_cast<std::size_t>(r) * tile.nb + cc]);
+                 }
+               }
+             });
+}
+
+void functional_gemm_f32out(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                            Matrix<float>& c, const TileConfig& tile,
+                            const FunctionalOptions& opts) {
+  AIFT_CHECK(a.cols() == b.rows());
+  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::int64_t m = a.rows(), n = b.cols(), k = a.cols();
+  run_blocks(a, b, m, n, k, tile, opts,
+             [&](std::int64_t r0, std::int64_t c0, const std::vector<float>& acc) {
+               for (int r = 0; r < tile.mb; ++r) {
+                 if (r0 + r >= m) break;
+                 for (int cc = 0; cc < tile.nb; ++cc) {
+                   if (c0 + cc >= n) break;
+                   c(r0 + r, c0 + cc) =
+                       acc[static_cast<std::size_t>(r) * tile.nb + cc];
+                 }
+               }
+             });
+}
+
+Matrix<float> reference_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b) {
+  AIFT_CHECK(a.cols() == b.rows());
+  Matrix<float> c(a.rows(), b.cols(), 0.0f);
+  for (std::int64_t i = 0; i < a.rows(); ++i) {
+    for (std::int64_t j = 0; j < b.cols(); ++j) {
+      double sum = 0.0;
+      for (std::int64_t k = 0; k < a.cols(); ++k) {
+        sum += static_cast<double>(a(i, k).to_float()) *
+               static_cast<double>(b(k, j).to_float());
+      }
+      c(i, j) = static_cast<float>(sum);
+    }
+  }
+  return c;
+}
+
+}  // namespace aift

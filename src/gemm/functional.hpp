@@ -1,0 +1,63 @@
+#pragma once
+// Functional executor for the hierarchical tensor-core GEMM.
+//
+// Emulates exactly what the cost model prices: the kernel is decomposed
+// into threadblock tiles, each of which walks the K dimension in kb slabs
+// of m16n8k8 MMAs, accumulating in FP32 and storing FP16 (paper §2.1).
+// Threadblocks are executed in parallel on CPU workers. Faults (paper
+// §2.3: a single faulty output value caused by an error in processing
+// logic) are injected by XOR-ing bits into a chosen FP32 accumulator after
+// a chosen k8-step, then propagate naturally to the stored output.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/half.hpp"
+#include "common/matrix.hpp"
+#include "gemm/gemm_shape.hpp"
+#include "gemm/tile_config.hpp"
+
+namespace aift {
+
+/// One injected fault. Coordinates address the output element whose
+/// accumulator is corrupted; k8_step selects when (-1 = after the final
+/// accumulation, i.e. corrupt the finished value before the store).
+struct FaultSpec {
+  std::int64_t row = 0;
+  std::int64_t col = 0;
+  std::int64_t k8_step = -1;
+  std::uint32_t xor_bits = 0x00400000u;  // flip a high mantissa bit
+};
+
+/// Execution counters used to cross-check the analytic per-scheme op
+/// counts of Table 1 and to validate the cost model's work accounting.
+struct GemmCounters {
+  std::int64_t mmas = 0;
+  std::int64_t k8_steps = 0;
+  std::int64_t blocks = 0;
+  std::int64_t fp16_stores = 0;
+};
+
+struct FunctionalOptions {
+  bool parallel = true;
+  std::vector<FaultSpec> faults;
+  GemmCounters* counters = nullptr;
+};
+
+/// C (M x N, FP16) = A (M x K, FP16) * B (K x N, FP16), FP32 accumulation,
+/// FP16 store (round-to-nearest-even). Out-of-range reads behave as zero
+/// padding; the tile grid covers ceil dims like a predicated GPU kernel.
+void functional_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                     Matrix<half_t>& c, const TileConfig& tile,
+                     const FunctionalOptions& opts = {});
+
+/// Variant that keeps the FP32 accumulators (no FP16 output rounding);
+/// used by tests that verify accumulation semantics in isolation.
+void functional_gemm_f32out(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                            Matrix<float>& c, const TileConfig& tile,
+                            const FunctionalOptions& opts = {});
+
+/// Naive double-precision reference (no tiling, no FP16 store) for tests.
+Matrix<float> reference_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b);
+
+}  // namespace aift

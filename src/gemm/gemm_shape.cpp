@@ -1,0 +1,33 @@
+#include "gemm/gemm_shape.hpp"
+
+#include "common/check.hpp"
+
+namespace aift {
+
+namespace {
+std::int64_t round_up(std::int64_t v, std::int64_t a) {
+  return (v + a - 1) / a * a;
+}
+}  // namespace
+
+GemmShape GemmShape::padded(std::int64_t alignment) const {
+  AIFT_CHECK(alignment > 0);
+  return GemmShape{round_up(m, alignment), round_up(n, alignment),
+                   round_up(k, alignment)};
+}
+
+double GemmShape::intensity(DType t) const {
+  const auto bytes = operand_bytes(t);
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(flops()) / static_cast<double>(bytes);
+}
+
+double paper_intensity(const GemmShape& s, DType t) {
+  return s.padded().intensity(t);
+}
+
+bool is_bandwidth_bound(const GemmShape& s, DType t, const DeviceSpec& dev) {
+  return paper_intensity(s, t) < dev.cmr(t);
+}
+
+}  // namespace aift

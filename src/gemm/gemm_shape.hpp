@@ -1,0 +1,52 @@
+#pragma once
+// GEMM problem shapes and the paper's arithmetic-intensity metric.
+//
+// A linear layer is the multiplication of A (M x K activations) by
+// B (K x N weights) into C (M x N). §6.2 of the paper pads M, N, K to
+// multiples of eight to match the m16n8k8 tensor-core operation; all
+// intensity figures in the paper are computed on the padded GEMM operands
+// (FLOPs / operand bytes) — that convention reproduces the paper's DLRM
+// intensities exactly (see DESIGN.md §2).
+
+#include <cstdint>
+
+#include "device/device.hpp"
+
+namespace aift {
+
+struct GemmShape {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+
+  /// Pads each dimension up to a multiple of `alignment` (paper: 8).
+  [[nodiscard]] GemmShape padded(std::int64_t alignment = 8) const;
+
+  /// 2*M*N*K multiply-accumulate FLOPs.
+  [[nodiscard]] std::int64_t flops() const { return 2 * m * n * k; }
+
+  /// Total operand elements: M*K + K*N + M*N.
+  [[nodiscard]] std::int64_t operand_elems() const {
+    return m * k + k * n + m * n;
+  }
+
+  /// Operand bytes in the given datatype.
+  [[nodiscard]] std::int64_t operand_bytes(DType t) const {
+    return operand_elems() * dtype_bytes(t);
+  }
+
+  /// Arithmetic intensity (FLOPs per byte) of this exact shape.
+  [[nodiscard]] double intensity(DType t) const;
+
+  friend bool operator==(const GemmShape&, const GemmShape&) = default;
+};
+
+/// The paper's intensity metric: intensity of the 8-padded shape.
+[[nodiscard]] double paper_intensity(const GemmShape& s, DType t);
+
+/// True when the padded shape's intensity is below the device CMR
+/// (Equation 1): the kernel is predicted memory-bandwidth bound.
+[[nodiscard]] bool is_bandwidth_bound(const GemmShape& s, DType t,
+                                      const DeviceSpec& dev);
+
+}  // namespace aift

@@ -1,0 +1,57 @@
+#include "gemm/mma.hpp"
+
+#include "common/check.hpp"
+#include "gemm/tile_config.hpp"
+
+namespace aift {
+
+std::array<FragCoord, 4> mma_c_fragment(int lane) {
+  AIFT_CHECK(lane >= 0 && lane < 32);
+  const int g = lane / 4;
+  const int t = lane % 4;
+  return {FragCoord{g, 2 * t}, FragCoord{g, 2 * t + 1},
+          FragCoord{g + 8, 2 * t}, FragCoord{g + 8, 2 * t + 1}};
+}
+
+std::array<FragCoord, 4> mma_a_fragment(int lane) {
+  AIFT_CHECK(lane >= 0 && lane < 32);
+  const int g = lane / 4;
+  const int t = lane % 4;
+  return {FragCoord{g, 2 * t}, FragCoord{g, 2 * t + 1},
+          FragCoord{g + 8, 2 * t}, FragCoord{g + 8, 2 * t + 1}};
+}
+
+std::array<FragCoord, 2> mma_b_fragment(int lane) {
+  AIFT_CHECK(lane >= 0 && lane < 32);
+  const int g = lane / 4;
+  const int t = lane % 4;
+  return {FragCoord{2 * t, g}, FragCoord{2 * t + 1, g}};
+}
+
+int mma_c_owner_lane(int row, int col) {
+  AIFT_CHECK(row >= 0 && row < MmaShape::kM);
+  AIFT_CHECK(col >= 0 && col < MmaShape::kN);
+  return (row % 8) * 4 + col / 2;
+}
+
+void mma_m16n8k8(const half_t* a, const half_t* b, float* c) {
+  float af[16 * 8];
+  float bf[8 * 8];
+  for (int i = 0; i < 16 * 8; ++i) af[i] = a[i].to_float();
+  for (int i = 0; i < 8 * 8; ++i) bf[i] = b[i].to_float();
+  mma_m16n8k8_f32ops(af, bf, c);
+}
+
+void mma_m16n8k8_f32ops(const float* a, const float* b, float* c) {
+  for (int r = 0; r < MmaShape::kM; ++r) {
+    for (int col = 0; col < MmaShape::kN; ++col) {
+      float acc = c[r * MmaShape::kN + col];
+      for (int k = 0; k < MmaShape::kK; ++k) {
+        acc += a[r * MmaShape::kK + k] * b[k * MmaShape::kN + col];
+      }
+      c[r * MmaShape::kN + col] = acc;
+    }
+  }
+}
+
+}  // namespace aift

@@ -1,0 +1,51 @@
+#pragma once
+// Functional emulation of the PTX mma.sync.aligned.m16n8k8 tensor-core
+// operation with FP16 operands and FP32 accumulation, including the
+// per-lane fragment ownership maps (PTX ISA 7.2, "Matrix Fragments for
+// mma.m16n8k8" — reference [12] in the paper).
+//
+// Products of two FP16 values are exactly representable in FP32 (11-bit
+// significands), so emulating the multiply in FP32 is bit-faithful; the
+// accumulation is performed in FP32 as on hardware (sequential order over
+// the eight k-products, a documented simplification of the hardware's
+// reduction tree).
+
+#include <array>
+#include <cstdint>
+
+#include "common/half.hpp"
+
+namespace aift {
+
+struct FragCoord {
+  int row = 0;
+  int col = 0;
+  friend bool operator==(const FragCoord&, const FragCoord&) = default;
+};
+
+/// Accumulator/output fragment: the 4 elements of the 16x8 C tile owned by
+/// `lane` (rows g,g+8 with g=lane/4; columns 2t,2t+1 with t=lane%4).
+std::array<FragCoord, 4> mma_c_fragment(int lane);
+
+/// A-operand fragment: the 4 elements of the 16x8 A tile held by `lane`.
+std::array<FragCoord, 4> mma_a_fragment(int lane);
+
+/// B-operand fragment: the 2 elements of the 8x8 B tile held by `lane`
+/// (rows 2t,2t+1; column g).
+std::array<FragCoord, 2> mma_b_fragment(int lane);
+
+/// Lane owning C element (row, col) of the 16x8 tile.
+int mma_c_owner_lane(int row, int col);
+
+/// D = A(16x8) * B(8x8) + C, FP32 accumulate. A and B are row-major dense
+/// tiles (the executor materializes fragments as full tiles; ownership
+/// maps above are used for fault addressing and thread-tile queries).
+void mma_m16n8k8(const half_t* a /*16x8*/, const half_t* b /*8x8*/,
+                 float* c /*16x8*/);
+
+/// Same, with pre-converted FP32 copies of the FP16 operands (fast path
+/// used by the block executor; numerically identical).
+void mma_m16n8k8_f32ops(const float* a /*16x8*/, const float* b /*8x8*/,
+                        float* c /*16x8*/);
+
+}  // namespace aift

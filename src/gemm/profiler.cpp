@@ -1,0 +1,35 @@
+#include "gemm/profiler.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace aift {
+
+std::vector<ProfiledKernel> profile_all(const GemmCostModel& model,
+                                        const GemmShape& shape, DType dtype,
+                                        const DeltaFn& delta_fn) {
+  std::vector<ProfiledKernel> out;
+  out.reserve(candidate_tiles().size());
+  for (const auto& tile : candidate_tiles()) {
+    const RedundancyDelta delta =
+        delta_fn ? delta_fn(tile) : RedundancyDelta{};
+    out.push_back(ProfiledKernel{tile, model.estimate(shape, tile, dtype, delta)});
+  }
+  return out;
+}
+
+ProfiledKernel profile_best(const GemmCostModel& model, const GemmShape& shape,
+                            DType dtype, const DeltaFn& delta_fn) {
+  ProfiledKernel best;
+  best.cost.total_us = std::numeric_limits<double>::infinity();
+  for (auto& pk : profile_all(model, shape, dtype, delta_fn)) {
+    if (pk.cost.total_us < best.cost.total_us) best = pk;
+  }
+  AIFT_CHECK_MSG(std::isfinite(best.cost.total_us),
+                 "no candidate tile fits device " << model.device().name);
+  return best;
+}
+
+}  // namespace aift

@@ -1,0 +1,38 @@
+#pragma once
+// Pre-deployment kernel profiler (paper §5.3 / §6.1).
+//
+// Mirrors the CUTLASS profiler workflow the paper integrates with: for a
+// given GEMM problem, enumerate candidate tile configurations, evaluate
+// each (here: via the analytic cost model instead of wall clock — §7.2 of
+// the paper endorses analytic models as a drop-in), and keep the fastest.
+// Redundancy schemes participate through a tile-dependent delta callback,
+// because their extra work depends on the warp tiling (e.g. one-sided
+// thread-level ABFT adds MMAs in proportion 8/Nw).
+
+#include <functional>
+
+#include "gemm/cost_model.hpp"
+
+namespace aift {
+
+struct ProfiledKernel {
+  TileConfig tile;
+  KernelCost cost;
+};
+
+/// Computes a scheme's cost-model perturbation for a tile configuration.
+using DeltaFn = std::function<RedundancyDelta(const TileConfig&)>;
+
+/// Returns the fastest candidate configuration for `shape` (optionally
+/// with a redundancy scheme applied via `delta_fn`). Configurations that
+/// do not fit the device are skipped; at least one always fits.
+[[nodiscard]] ProfiledKernel profile_best(const GemmCostModel& model,
+                                          const GemmShape& shape, DType dtype,
+                                          const DeltaFn& delta_fn = nullptr);
+
+/// Evaluates all candidate configurations (for ablation benches).
+[[nodiscard]] std::vector<ProfiledKernel> profile_all(
+    const GemmCostModel& model, const GemmShape& shape, DType dtype,
+    const DeltaFn& delta_fn = nullptr);
+
+}  // namespace aift

@@ -1,0 +1,37 @@
+#include "nn/intensity.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace aift {
+
+IntensityReport analyze_intensity(const Model& model, DType dtype,
+                                  const DeviceSpec& dev) {
+  IntensityReport rep;
+  rep.aggregate = model.aggregate_intensity(dtype);
+  rep.total_flops = model.total_flops();
+  rep.total_bytes = model.total_bytes(dtype);
+  rep.min_intensity = std::numeric_limits<double>::infinity();
+  rep.max_intensity = 0.0;
+
+  const double cmr = dev.cmr(dtype);
+  rep.per_layer.reserve(model.layers().size());
+  for (const auto& l : model.layers()) {
+    LayerIntensity li;
+    li.layer = &l;
+    li.intensity = l.intensity(dtype);
+    li.bandwidth_bound = li.intensity < cmr;
+    rep.min_intensity = std::min(rep.min_intensity, li.intensity);
+    rep.max_intensity = std::max(rep.max_intensity, li.intensity);
+    if (li.bandwidth_bound) {
+      ++rep.bandwidth_bound_layers;
+    } else {
+      ++rep.compute_bound_layers;
+    }
+    rep.per_layer.push_back(li);
+  }
+  if (rep.per_layer.empty()) rep.min_intensity = 0.0;
+  return rep;
+}
+
+}  // namespace aift

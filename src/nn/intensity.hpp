@@ -1,0 +1,35 @@
+#pragma once
+// Arithmetic-intensity analysis of models against a device (paper §3):
+// per-layer intensities (Figure 5), aggregate intensity (Figure 4), and
+// the bandwidth-/compute-bound split induced by the device CMR.
+
+#include <vector>
+
+#include "device/device.hpp"
+#include "nn/model.hpp"
+
+namespace aift {
+
+struct LayerIntensity {
+  const LayerDesc* layer = nullptr;
+  double intensity = 0.0;
+  bool bandwidth_bound = false;
+};
+
+struct IntensityReport {
+  double aggregate = 0.0;
+  std::int64_t total_flops = 0;
+  std::int64_t total_bytes = 0;
+  std::vector<LayerIntensity> per_layer;
+  int bandwidth_bound_layers = 0;
+  int compute_bound_layers = 0;
+  double min_intensity = 0.0;
+  double max_intensity = 0.0;
+};
+
+/// Full intensity analysis of `model` in `dtype` against `dev`'s CMR.
+/// The returned per_layer pointers reference `model`'s layers.
+[[nodiscard]] IntensityReport analyze_intensity(const Model& model, DType dtype,
+                                                const DeviceSpec& dev);
+
+}  // namespace aift

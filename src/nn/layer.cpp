@@ -1,0 +1,45 @@
+#include "nn/layer.hpp"
+
+#include "common/check.hpp"
+
+namespace aift {
+
+int conv_out_dim(int in, int kernel, int stride, int pad, bool ceil_mode) {
+  AIFT_CHECK(in > 0 && kernel > 0 && stride > 0 && pad >= 0);
+  const int numer = in + 2 * pad - kernel;
+  AIFT_CHECK_MSG(numer >= 0, "kernel " << kernel << " larger than padded input "
+                                       << in + 2 * pad);
+  if (ceil_mode) return (numer + stride - 1) / stride + 1;
+  return numer / stride + 1;
+}
+
+LayerDesc make_conv_layer(std::string name, std::int64_t batch, int in_c,
+                          int in_h, int in_w, int out_c, int kh, int kw,
+                          int stride, int pad) {
+  const int oh = conv_out_dim(in_h, kh, stride, pad);
+  const int ow = conv_out_dim(in_w, kw, stride, pad);
+  LayerDesc d;
+  d.name = std::move(name);
+  d.kind = LayerKind::conv2d;
+  d.gemm = GemmShape{batch * oh * ow,
+                     static_cast<std::int64_t>(out_c),
+                     static_cast<std::int64_t>(in_c) * kh * kw};
+  d.kh = kh;
+  d.kw = kw;
+  d.stride = stride;
+  d.input_elems = batch * in_c * in_h * in_w;
+  return d;
+}
+
+LayerDesc make_linear_layer(std::string name, std::int64_t batch,
+                            std::int64_t in_features,
+                            std::int64_t out_features) {
+  LayerDesc d;
+  d.name = std::move(name);
+  d.kind = LayerKind::linear;
+  d.gemm = GemmShape{batch, out_features, in_features};
+  d.input_elems = batch * in_features;
+  return d;
+}
+
+}  // namespace aift

@@ -1,0 +1,67 @@
+#pragma once
+// Linear-layer descriptors and their mapping to GEMMs.
+//
+// The paper treats convolutional and fully-connected layers uniformly as
+// matrix multiplications (§2.1): a convolution over a batch of
+// H x W feature maps with C_in input channels, C_out filters of size
+// KH x KW becomes the GEMM
+//     M = batch * OH * OW,   K = C_in * KH * KW,   N = C_out
+// (im2col / implicit-GEMM formulation), and a fully-connected layer is
+//     M = batch,             K = in_features,      N = out_features.
+// Nonlinear operations (activations, pooling) are fused or negligible
+// (§3.2) and only affect feature-map geometry here.
+
+#include <cstdint>
+#include <string>
+
+#include "gemm/gemm_shape.hpp"
+
+namespace aift {
+
+enum class LayerKind { conv2d, linear };
+
+struct LayerDesc {
+  std::string name;
+  LayerKind kind = LayerKind::linear;
+  GemmShape gemm;
+
+  // Convolution metadata (1x1 for linear layers).
+  int kh = 1;
+  int kw = 1;
+  int stride = 1;
+
+  /// Elements of the layer's *source* activation tensor (batch*C*H*W for a
+  /// conv, batch*features for FC) — what a standalone activation-checksum
+  /// kernel must read when fusion is unavailable.
+  std::int64_t input_elems = 0;
+  /// True when the previous linear layer feeds this one directly, so
+  /// global ABFT can fuse this layer's activation-checksum generation into
+  /// that layer's epilogue (paper §2.5). Pooling (or being the first
+  /// layer) breaks the fusion and forces a separate checksum kernel.
+  bool input_checksum_fusable = false;
+
+  /// FLOPs / bytes / intensity on the padded GEMM (the paper's metric).
+  [[nodiscard]] std::int64_t flops() const { return gemm.padded().flops(); }
+  [[nodiscard]] std::int64_t bytes(DType t) const {
+    return gemm.padded().operand_bytes(t);
+  }
+  [[nodiscard]] double intensity(DType t) const {
+    return paper_intensity(gemm, t);
+  }
+};
+
+/// Output spatial dim of a convolution/pool: floor or ceil mode.
+[[nodiscard]] int conv_out_dim(int in, int kernel, int stride, int pad,
+                               bool ceil_mode = false);
+
+/// Builds the GEMM descriptor of a convolution.
+[[nodiscard]] LayerDesc make_conv_layer(std::string name, std::int64_t batch,
+                                        int in_c, int in_h, int in_w, int out_c,
+                                        int kh, int kw, int stride, int pad);
+
+/// Builds the GEMM descriptor of a fully-connected layer.
+[[nodiscard]] LayerDesc make_linear_layer(std::string name, std::int64_t batch,
+                                          std::int64_t in_features,
+                                          std::int64_t out_features);
+
+}  // namespace aift

@@ -1,0 +1,132 @@
+#include "nn/model.hpp"
+
+#include "common/check.hpp"
+
+namespace aift {
+
+Model::Model(std::string name, std::vector<LayerDesc> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {}
+
+double Model::aggregate_intensity(DType t) const {
+  const auto bytes = total_bytes(t);
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(total_flops()) / static_cast<double>(bytes);
+}
+
+std::int64_t Model::total_flops() const {
+  std::int64_t sum = 0;
+  for (const auto& l : layers_) sum += l.flops();
+  return sum;
+}
+
+std::int64_t Model::total_bytes(DType t) const {
+  std::int64_t sum = 0;
+  for (const auto& l : layers_) sum += l.bytes(t);
+  return sum;
+}
+
+ModelBuilder::ModelBuilder(std::string model_name, ImageInput input)
+    : name_(std::move(model_name)),
+      batch_(input.batch),
+      c_(input.channels),
+      h_(input.h),
+      w_(input.w) {
+  AIFT_CHECK(batch_ > 0 && c_ > 0 && h_ > 0 && w_ > 0);
+}
+
+ModelBuilder::ModelBuilder(std::string model_name, std::int64_t batch,
+                           std::int64_t in_features)
+    : name_(std::move(model_name)),
+      batch_(batch),
+      features_(in_features),
+      flattened_(true) {
+  AIFT_CHECK(batch_ > 0 && features_ > 0);
+}
+
+ModelBuilder& ModelBuilder::conv(const std::string& name, int out_c, int k,
+                                 int stride, int pad) {
+  AIFT_CHECK_MSG(!flattened_, "conv after flatten in " << name_);
+  if (pad < 0) pad = (k - 1) / 2;
+  layers_.push_back(
+      make_conv_layer(name, batch_, c_, h_, w_, out_c, k, k, stride, pad));
+  layers_.back().input_checksum_fusable = fusable_;
+  fusable_ = true;  // this layer's epilogue can feed the next one
+  c_ = out_c;
+  h_ = conv_out_dim(h_, k, stride, pad);
+  w_ = conv_out_dim(w_, k, stride, pad);
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::maxpool(int k, int stride, int pad,
+                                    bool ceil_mode) {
+  AIFT_CHECK(!flattened_);
+  h_ = conv_out_dim(h_, k, stride, pad, ceil_mode);
+  w_ = conv_out_dim(w_, k, stride, pad, ceil_mode);
+  fusable_ = false;  // pooling breaks checksum fusion (§2.5)
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::avgpool(int k, int stride, int pad) {
+  AIFT_CHECK(!flattened_);
+  h_ = conv_out_dim(h_, k, stride, pad);
+  w_ = conv_out_dim(w_, k, stride, pad);
+  fusable_ = false;
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::adaptive_avgpool(int oh, int ow) {
+  AIFT_CHECK(!flattened_);
+  h_ = oh;
+  w_ = ow;
+  fusable_ = false;
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::flatten() {
+  AIFT_CHECK(!flattened_);
+  features_ = static_cast<std::int64_t>(c_) * h_ * w_;
+  flattened_ = true;
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::linear(const std::string& name,
+                                   std::int64_t out_features) {
+  AIFT_CHECK_MSG(flattened_, "linear before flatten in " << name_);
+  layers_.push_back(make_linear_layer(name, batch_, features_, out_features));
+  layers_.back().input_checksum_fusable = fusable_;
+  fusable_ = true;
+  features_ = out_features;
+  return *this;
+}
+
+ModelBuilder::FmState ModelBuilder::state() const {
+  return FmState{c_, h_, w_, features_, flattened_, fusable_};
+}
+
+ModelBuilder& ModelBuilder::restore(const FmState& s) {
+  c_ = s.c;
+  h_ = s.h;
+  w_ = s.w;
+  features_ = s.features;
+  flattened_ = s.flattened;
+  fusable_ = s.fusable;
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::set_channels(int c) {
+  AIFT_CHECK(c > 0);
+  c_ = c;
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::set_fusable(bool fusable) {
+  fusable_ = fusable;
+  return *this;
+}
+
+Model ModelBuilder::build() && {
+  AIFT_CHECK_MSG(!layers_.empty(), "model " << name_ << " has no layers");
+  return Model(std::move(name_), std::move(layers_));
+}
+
+}  // namespace aift

@@ -1,0 +1,91 @@
+#pragma once
+// Model descriptors and a builder that tracks feature-map geometry while
+// architectures are declared layer by layer (conv / pool / linear),
+// mirroring how the torchvision models the paper evaluates are defined.
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace aift {
+
+/// Input of an image model.
+struct ImageInput {
+  std::int64_t batch = 1;
+  int channels = 3;
+  int h = 224;
+  int w = 224;
+};
+
+class Model {
+ public:
+  Model() = default;
+  Model(std::string name, std::vector<LayerDesc> layers);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<LayerDesc>& layers() const { return layers_; }
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+
+  /// Aggregate arithmetic intensity (§3.2): total FLOPs over total bytes
+  /// across all linear layers, on padded GEMMs.
+  [[nodiscard]] double aggregate_intensity(DType t) const;
+  [[nodiscard]] std::int64_t total_flops() const;
+  [[nodiscard]] std::int64_t total_bytes(DType t) const;
+
+ private:
+  std::string name_;
+  std::vector<LayerDesc> layers_;
+};
+
+class ModelBuilder {
+ public:
+  /// Image-model mode: geometry tracked through convs and pools.
+  ModelBuilder(std::string model_name, ImageInput input);
+  /// MLP mode: feature-vector input (DLRM-style).
+  ModelBuilder(std::string model_name, std::int64_t batch,
+               std::int64_t in_features);
+
+  /// Square convolution; pad < 0 means "same"-style (k-1)/2 padding.
+  ModelBuilder& conv(const std::string& name, int out_c, int k, int stride = 1,
+                     int pad = -1);
+  ModelBuilder& maxpool(int k, int stride, int pad = 0, bool ceil_mode = false);
+  ModelBuilder& avgpool(int k, int stride, int pad = 0);
+  ModelBuilder& adaptive_avgpool(int oh, int ow);
+  ModelBuilder& flatten();
+  ModelBuilder& linear(const std::string& name, std::int64_t out_features);
+
+  /// Feature-map state save/restore for branching blocks (residual paths,
+  /// fire modules, dense concatenations).
+  struct FmState {
+    int c = 0, h = 0, w = 0;
+    std::int64_t features = 0;
+    bool flattened = false;
+    bool fusable = false;
+  };
+  [[nodiscard]] FmState state() const;
+  ModelBuilder& restore(const FmState& s);
+  /// Overrides the channel count (after a concatenation).
+  ModelBuilder& set_channels(int c);
+  /// Overrides checksum fusability for the next layer (used by blocks
+  /// whose concatenated input is dominated by fresh conv outputs).
+  ModelBuilder& set_fusable(bool fusable);
+
+  [[nodiscard]] int channels() const { return c_; }
+  [[nodiscard]] int height() const { return h_; }
+  [[nodiscard]] int width() const { return w_; }
+  [[nodiscard]] std::int64_t features() const { return features_; }
+
+  [[nodiscard]] Model build() &&;
+
+ private:
+  std::string name_;
+  std::int64_t batch_ = 1;
+  int c_ = 0, h_ = 0, w_ = 0;
+  std::int64_t features_ = 0;
+  bool flattened_ = false;
+  bool fusable_ = false;  ///< previous linear layer feeds the next directly
+  std::vector<LayerDesc> layers_;
+};
+
+}  // namespace aift

@@ -1,0 +1,23 @@
+// AlexNet (torchvision): five convolutions and three FC layers behind a
+// 6x6 adaptive average pool.
+
+#include "nn/zoo/zoo.hpp"
+
+namespace aift::zoo {
+
+Model alexnet(const ImageInput& in) {
+  ModelBuilder b("AlexNet", in);
+  b.conv("conv1", 64, 11, 4, 2);
+  b.maxpool(3, 2);
+  b.conv("conv2", 192, 5, 1, 2);
+  b.maxpool(3, 2);
+  b.conv("conv3", 384, 3, 1, 1);
+  b.conv("conv4", 256, 3, 1, 1);
+  b.conv("conv5", 256, 3, 1, 1);
+  b.maxpool(3, 2);
+  b.adaptive_avgpool(6, 6).flatten();
+  b.linear("fc1", 4096).linear("fc2", 4096).linear("fc3", 1000);
+  return std::move(b).build();
+}
+
+}  // namespace aift::zoo

@@ -1,0 +1,46 @@
+// DenseNet-161 (torchvision): growth rate 48, stem width 96, dense blocks
+// of [6, 12, 36, 24] layers. Each dense layer is a 1x1 bottleneck conv to
+// 4*growth channels followed by a 3x3 conv to growth channels, whose
+// output concatenates onto the running feature map; transitions halve the
+// channel count with a 1x1 conv and 2x2 average pool.
+
+#include "nn/zoo/zoo.hpp"
+
+namespace aift::zoo {
+
+Model densenet161(const ImageInput& in) {
+  constexpr int growth = 48;
+  constexpr int bn_size = 4;
+  ModelBuilder b("DenseNet-161", in);
+  b.conv("conv0", 96, 7, 2, 3);
+  b.maxpool(3, 2, 1);
+
+  int channels = 96;
+  const int block_layers[4] = {6, 12, 36, 24};
+  for (int blk = 0; blk < 4; ++blk) {
+    const std::string bp = "denseblock" + std::to_string(blk + 1);
+    for (int l = 0; l < block_layers[blk]; ++l) {
+      const std::string lp = bp + ".denselayer" + std::to_string(l + 1);
+      const auto entry = b.state();
+      b.conv(lp + ".conv1", bn_size * growth, 1, 1, 0);
+      b.conv(lp + ".conv2", growth, 3, 1, 1);
+      channels += growth;
+      b.restore(entry).set_channels(channels);  // concatenation
+      // After the first dense layer, the concatenated input is dominated
+      // by conv outputs whose epilogues generate checksums; the pooled
+      // slice's checksum is produced once per block (at the first layer).
+      b.set_fusable(true);
+    }
+    if (blk < 3) {
+      channels /= 2;
+      b.conv("transition" + std::to_string(blk + 1) + ".conv", channels, 1, 1,
+             0);
+      b.avgpool(2, 2);
+    }
+  }
+
+  b.adaptive_avgpool(1, 1).flatten().linear("classifier", 1000);
+  return std::move(b).build();
+}
+
+}  // namespace aift::zoo

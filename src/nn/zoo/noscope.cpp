@@ -1,0 +1,75 @@
+// Specialized NoScope CNNs (paper §6.2 / Figure 11): lightweight binary
+// classifiers that filter 50x50-pixel video-frame regions in front of a
+// large general-purpose CNN.
+//
+// The paper specifies the architecture envelope — 2-4 convolutional layers
+// of 16-64 channels, at most two fully-connected layers, 50x50 inputs, and
+// batch size 64 for offline analytics — plus each model's FP16 aggregate
+// arithmetic intensity (Coral 15.1, Roundabout 37.9, Taipei 51.9,
+// Amsterdam 52.7). The concrete channel/layer choices below are tuned so
+// each instantiation lands on the paper's reported intensity (validated by
+// tests/nn/test_models.cpp).
+
+#include "nn/zoo/zoo.hpp"
+
+namespace aift::zoo {
+namespace {
+
+constexpr int kFrame = 50;
+
+ImageInput frame_input(std::int64_t batch) {
+  return ImageInput{batch, 3, kFrame, kFrame};
+}
+
+}  // namespace
+
+Model noscope_coral(std::int64_t batch) {
+  ModelBuilder b("Coral", frame_input(batch));
+  b.conv("conv1", 24, 3, 1, 1);
+  b.maxpool(2, 2);
+  b.conv("conv2", 16, 3, 1, 1);
+  b.maxpool(2, 2);
+  b.flatten();
+  b.linear("fc1", 128).linear("fc2", 2);
+  return std::move(b).build();
+}
+
+Model noscope_roundabout(std::int64_t batch) {
+  ModelBuilder b("Roundabout", frame_input(batch));
+  b.conv("conv1", 64, 3, 1, 1);
+  b.maxpool(2, 2);
+  b.conv("conv2", 48, 3, 1, 1);
+  b.conv("conv3", 48, 3, 1, 1);
+  b.maxpool(2, 2);
+  b.flatten();
+  b.linear("fc1", 64).linear("fc2", 2);
+  return std::move(b).build();
+}
+
+Model noscope_taipei(std::int64_t batch) {
+  ModelBuilder b("Taipei", frame_input(batch));
+  b.conv("conv1", 64, 3, 1, 1);
+  b.conv("conv2", 56, 3, 1, 1);
+  b.conv("conv3", 64, 3, 1, 1);
+  b.maxpool(2, 2);
+  b.conv("conv4", 64, 3, 1, 1);
+  b.maxpool(2, 2);
+  b.flatten();
+  b.linear("fc1", 16).linear("fc2", 2);
+  return std::move(b).build();
+}
+
+Model noscope_amsterdam(std::int64_t batch) {
+  ModelBuilder b("Amsterdam", frame_input(batch));
+  b.conv("conv1", 64, 3, 1, 1);
+  b.conv("conv2", 64, 3, 1, 1);
+  b.maxpool(2, 2);
+  b.conv("conv3", 64, 3, 1, 1);
+  b.maxpool(2, 2);
+  b.conv("conv4", 32, 3, 1, 1);
+  b.flatten();
+  b.linear("fc1", 16).linear("fc2", 2);
+  return std::move(b).build();
+}
+
+}  // namespace aift::zoo

@@ -1,0 +1,43 @@
+// Model collections matching the paper's evaluation settings.
+
+#include <algorithm>
+
+#include "nn/zoo/zoo.hpp"
+
+namespace aift::zoo {
+
+ImageInput hd_input(std::int64_t batch) { return ImageInput{batch, 3, 1080, 1920}; }
+
+ImageInput imagenet_input(std::int64_t batch) {
+  return ImageInput{batch, 3, 224, 224};
+}
+
+std::vector<Model> general_cnns(const ImageInput& in) {
+  // Figure 4 order (increasing aggregate intensity).
+  std::vector<Model> models;
+  models.push_back(squeezenet(in));
+  models.push_back(shufflenet_v2(in));
+  models.push_back(densenet161(in));
+  models.push_back(resnet50(in));
+  models.push_back(alexnet(in));
+  models.push_back(vgg16(in));
+  models.push_back(resnext50_ungrouped(in));
+  models.push_back(wide_resnet50_2(in));
+  return models;
+}
+
+std::vector<Model> figure8_models() {
+  std::vector<Model> models;
+  // DLRMs at batch 1 (low-latency serving), NoScope at batch 64 (offline
+  // analytics), CNNs at HD batch 1 — the paper's Figure 8 configuration.
+  models.push_back(dlrm_mlp_bottom(1));
+  models.push_back(dlrm_mlp_top(1));
+  models.push_back(noscope_coral(64));
+  models.push_back(noscope_roundabout(64));
+  models.push_back(noscope_taipei(64));
+  models.push_back(noscope_amsterdam(64));
+  for (auto& m : general_cnns(hd_input(1))) models.push_back(std::move(m));
+  return models;
+}
+
+}  // namespace aift::zoo

@@ -1,0 +1,71 @@
+// ResNet-50, ResNeXt-50 32x4d (ungrouped) and Wide-ResNet-50-2.
+//
+// All three share the torchvision bottleneck skeleton — stem conv + four
+// stages of [3,4,6,3] bottleneck blocks + FC — and differ only in the
+// width of the middle 3x3 convolution: `planes` for ResNet-50 and
+// `2*planes` for both ResNeXt-50 32x4d (once its 32-way group conv is made
+// dense, paper footnote 3) and Wide-ResNet-50-2. That makes their GEMM
+// inventories identical, matching the paper's identical 220.8 intensities.
+
+#include <array>
+
+#include "nn/zoo/zoo.hpp"
+
+namespace aift::zoo {
+namespace {
+
+Model build_resnet50_family(const std::string& name, const ImageInput& in,
+                            int mid_width_factor) {
+  ModelBuilder b(name, in);
+  b.conv("conv1", 64, 7, 2, 3);
+  b.maxpool(3, 2, 1);
+
+  const std::array<int, 4> planes = {64, 128, 256, 512};
+  const std::array<int, 4> blocks = {3, 4, 6, 3};
+  constexpr int expansion = 4;
+
+  int in_c = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int p = planes[static_cast<std::size_t>(stage)];
+    const int mid = p * mid_width_factor;
+    const int out_c = p * expansion;
+    for (int block = 0; block < blocks[static_cast<std::size_t>(stage)];
+         ++block) {
+      const int stride = (stage > 0 && block == 0) ? 2 : 1;
+      const std::string prefix =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(block);
+      const auto entry = b.state();
+
+      b.conv(prefix + ".conv1", mid, 1, 1, 0);
+      b.conv(prefix + ".conv2", mid, 3, stride, 1);
+      b.conv(prefix + ".conv3", out_c, 1, 1, 0);
+      const auto exit = b.state();
+
+      if (block == 0) {  // projection shortcut on the stage entry
+        b.restore(entry);
+        b.conv(prefix + ".downsample", out_c, 1, stride, 0);
+      }
+      b.restore(exit);
+      in_c = out_c;
+    }
+  }
+  (void)in_c;
+  b.adaptive_avgpool(1, 1).flatten().linear("fc", 1000);
+  return std::move(b).build();
+}
+
+}  // namespace
+
+Model resnet50(const ImageInput& in) {
+  return build_resnet50_family("ResNet-50", in, 1);
+}
+
+Model resnext50_ungrouped(const ImageInput& in) {
+  return build_resnet50_family("ResNext-50", in, 2);
+}
+
+Model wide_resnet50_2(const ImageInput& in) {
+  return build_resnet50_family("Wide-ResNet-50", in, 2);
+}
+
+}  // namespace aift::zoo

@@ -1,0 +1,69 @@
+// ShuffleNet-v2 1.0x (torchvision) with depthwise convolutions replaced by
+// dense convolutions, following the paper's footnote 3 ("we replace the
+// group convolutions ... with non-grouped convolutions to ease their
+// conversion to matrix multiplications"). The channel-shuffle and split
+// operations are data movement only and do not appear as GEMMs.
+
+#include "nn/zoo/zoo.hpp"
+
+namespace aift::zoo {
+namespace {
+
+// Basic unit: the input splits channel-wise; one half passes through
+// (identity), the other half runs 1x1 -> 3x3(dense) -> 1x1; concat.
+void unit(ModelBuilder& b, const std::string& p, int channels) {
+  const int half = channels / 2;
+  const auto entry = b.state();
+  b.set_channels(half);
+  b.conv(p + ".pw1", half, 1, 1, 0);
+  b.conv(p + ".dw", half, 3, 1, 1);
+  b.conv(p + ".pw2", half, 1, 1, 0);
+  const auto exit = b.state();
+  b.restore(entry).restore(exit);
+  b.set_channels(channels);
+}
+
+// Downsampling unit: both branches operate on the full input; each ends
+// with out_channels/2 channels at half resolution.
+void down_unit(ModelBuilder& b, const std::string& p, int out_channels) {
+  const int half = out_channels / 2;
+  const auto entry = b.state();
+
+  // Branch 1: 3x3(dense) stride 2 -> 1x1.
+  b.conv(p + ".b1.dw", entry.c, 3, 2, 1);
+  b.conv(p + ".b1.pw", half, 1, 1, 0);
+  const auto exit = b.state();
+
+  // Branch 2: 1x1 -> 3x3(dense) stride 2 -> 1x1.
+  b.restore(entry);
+  b.conv(p + ".b2.pw1", half, 1, 1, 0);
+  b.conv(p + ".b2.dw", half, 3, 2, 1);
+  b.conv(p + ".b2.pw2", half, 1, 1, 0);
+
+  b.restore(exit);
+  b.set_channels(out_channels);
+}
+
+}  // namespace
+
+Model shufflenet_v2(const ImageInput& in) {
+  ModelBuilder b("ShuffleNet", in);
+  b.conv("conv1", 24, 3, 2, 1);
+  b.maxpool(3, 2, 1);
+
+  const int stage_channels[3] = {116, 232, 464};
+  const int stage_repeats[3] = {4, 8, 4};
+  for (int s = 0; s < 3; ++s) {
+    const std::string stage = "stage" + std::to_string(s + 2);
+    down_unit(b, stage + ".0", stage_channels[s]);
+    for (int r = 1; r < stage_repeats[s]; ++r) {
+      unit(b, stage + "." + std::to_string(r), stage_channels[s]);
+    }
+  }
+
+  b.conv("conv5", 1024, 1, 1, 0);
+  b.adaptive_avgpool(1, 1).flatten().linear("fc", 1000);
+  return std::move(b).build();
+}
+
+}  // namespace aift::zoo

@@ -1,0 +1,41 @@
+// SqueezeNet 1.0 (torchvision): stem conv + eight fire modules + final
+// 1x1 classifier conv. A fire module squeezes to `s` channels with a 1x1
+// conv, then expands in parallel 1x1 and 3x3 branches whose outputs
+// concatenate.
+
+#include "nn/zoo/zoo.hpp"
+
+namespace aift::zoo {
+namespace {
+
+void fire(ModelBuilder& b, int idx, int squeeze, int expand1, int expand3) {
+  const std::string p = "fire" + std::to_string(idx);
+  b.conv(p + ".squeeze", squeeze, 1, 1, 0);
+  const auto squeezed = b.state();
+  b.conv(p + ".expand1x1", expand1, 1, 1, 0);
+  b.restore(squeezed);
+  b.conv(p + ".expand3x3", expand3, 3, 1, 1);
+  b.set_channels(expand1 + expand3);  // concatenation
+}
+
+}  // namespace
+
+Model squeezenet(const ImageInput& in) {
+  ModelBuilder b("SqueezeNet", in);
+  b.conv("conv1", 96, 7, 2, 0);
+  b.maxpool(3, 2, 0, /*ceil_mode=*/true);
+  fire(b, 2, 16, 64, 64);
+  fire(b, 3, 16, 64, 64);
+  fire(b, 4, 32, 128, 128);
+  b.maxpool(3, 2, 0, true);
+  fire(b, 5, 32, 128, 128);
+  fire(b, 6, 48, 192, 192);
+  fire(b, 7, 48, 192, 192);
+  fire(b, 8, 64, 256, 256);
+  b.maxpool(3, 2, 0, true);
+  fire(b, 9, 64, 256, 256);
+  b.conv("classifier", 1000, 1, 1, 0);
+  return std::move(b).build();
+}
+
+}  // namespace aift::zoo

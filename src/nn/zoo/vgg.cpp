@@ -1,0 +1,40 @@
+// VGG-16 (torchvision configuration "D"): thirteen 3x3 convolutions in
+// five stages plus three fully-connected layers behind a 7x7 adaptive
+// average pool.
+
+#include "nn/zoo/zoo.hpp"
+
+namespace aift::zoo {
+
+Model vgg16(const ImageInput& in) {
+  ModelBuilder b("VGG-16", in);
+  int idx = 0;
+  auto conv = [&](int out_c) {
+    b.conv("conv" + std::to_string(++idx), out_c, 3, 1, 1);
+  };
+
+  conv(64);
+  conv(64);
+  b.maxpool(2, 2);
+  conv(128);
+  conv(128);
+  b.maxpool(2, 2);
+  conv(256);
+  conv(256);
+  conv(256);
+  b.maxpool(2, 2);
+  conv(512);
+  conv(512);
+  conv(512);
+  b.maxpool(2, 2);
+  conv(512);
+  conv(512);
+  conv(512);
+  b.maxpool(2, 2);
+
+  b.adaptive_avgpool(7, 7).flatten();
+  b.linear("fc1", 4096).linear("fc2", 4096).linear("fc3", 1000);
+  return std::move(b).build();
+}
+
+}  // namespace aift::zoo

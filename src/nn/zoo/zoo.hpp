@@ -1,0 +1,60 @@
+#pragma once
+// The model zoo: all fourteen networks from the paper's evaluation (§6.2).
+//
+//  - Eight general-purpose torchvision CNNs (Figure 4/8/9): ResNet-50,
+//    VGG-16, AlexNet, SqueezeNet 1.0, ShuffleNet-v2 1.0, DenseNet-161,
+//    ResNeXt-50 32x4d and Wide-ResNet-50-2. Per the paper's footnote 3,
+//    group/depthwise convolutions in ShuffleNet and ResNeXt are replaced
+//    with dense convolutions; ungrouped ResNeXt-50 32x4d then has exactly
+//    the same GEMM dimensions as Wide-ResNet-50-2, which is why the paper
+//    reports identical aggregate intensities (220.8) for the two.
+//  - The two DLRM MLPs (Figure 10): MLP-Bottom (dense-feature input 13,
+//    hidden 512/256/64) and MLP-Top (input 512, hidden 512/256, 1 output).
+//  - Four specialized NoScope video-analytics CNNs (Figure 11): Coral,
+//    Roundabout, Taipei, Amsterdam — 2-4 small conv layers (16-64
+//    channels) plus up to two FC layers over 50x50 frames; the paper gives
+//    the architecture envelope, and the concrete instantiations here are
+//    tuned to match the paper's reported aggregate intensities.
+
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace aift::zoo {
+
+// -------- general-purpose CNNs (default: HD 1080x1920, batch 1) ----------
+Model resnet50(const ImageInput& in);
+Model vgg16(const ImageInput& in);
+Model alexnet(const ImageInput& in);
+Model squeezenet(const ImageInput& in);
+Model shufflenet_v2(const ImageInput& in);
+Model densenet161(const ImageInput& in);
+Model resnext50_ungrouped(const ImageInput& in);
+Model wide_resnet50_2(const ImageInput& in);
+
+// -------- DLRM MLPs -------------------------------------------------------
+Model dlrm_mlp_bottom(std::int64_t batch);
+Model dlrm_mlp_top(std::int64_t batch);
+
+// -------- NoScope specialized CNNs (50x50 inputs) --------------------------
+Model noscope_coral(std::int64_t batch = 64);
+Model noscope_roundabout(std::int64_t batch = 64);
+Model noscope_taipei(std::int64_t batch = 64);
+Model noscope_amsterdam(std::int64_t batch = 64);
+
+// -------- collections ------------------------------------------------------
+
+/// HD input used throughout the paper's CNN evaluation.
+ImageInput hd_input(std::int64_t batch = 1);
+/// ImageNet-standard 224x224 input (§6.4.1).
+ImageInput imagenet_input(std::int64_t batch = 1);
+
+/// The eight general-purpose CNNs, in Figure 4's order.
+std::vector<Model> general_cnns(const ImageInput& in);
+
+/// All fourteen evaluated models with the paper's settings (CNNs at HD
+/// batch 1, DLRMs at batch 1, NoScope at batch 64), in Figure 8's order of
+/// increasing aggregate arithmetic intensity.
+std::vector<Model> figure8_models();
+
+}  // namespace aift::zoo

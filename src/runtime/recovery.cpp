@@ -1,0 +1,25 @@
+#include "runtime/recovery.hpp"
+
+#include "common/check.hpp"
+
+namespace aift {
+
+RecoveryAnalysis analyze_recovery(const PipelinePlan& plan,
+                                  double fault_probability) {
+  AIFT_CHECK(fault_probability >= 0.0 && fault_probability < 1.0);
+  RecoveryAnalysis out;
+  out.fault_probability_per_layer = fault_probability;
+  out.protected_us = plan.total_protected_us;
+
+  // A layer retries until clean: expected executions = 1/(1-p), so the
+  // expected extra executions per layer are p/(1-p).
+  const double extra_per_layer = fault_probability / (1.0 - fault_probability);
+  for (const auto& e : plan.entries) {
+    out.expected_retry_us +=
+        extra_per_layer * e.profile.redundant.cost.total_us;
+    out.expected_retries += extra_per_layer;
+  }
+  return out;
+}
+
+}  // namespace aift

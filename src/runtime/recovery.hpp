@@ -1,0 +1,38 @@
+#pragma once
+// Detection-and-recovery analysis (paper §2.3: "detecting a catastrophic
+// event is often more important than quickly proceeding after it").
+//
+// The paper's schemes *detect*; what a deployment does next is a policy.
+// This module models the canonical one — discard-and-re-execute the faulty
+// layer (soft errors are transient, so a retry is clean with overwhelming
+// probability) — and quantifies its expected latency under a per-layer
+// fault probability, so users can reason about the full fault-tolerance
+// cost, not just the error-free overhead.
+
+#include "runtime/pipeline.hpp"
+
+namespace aift {
+
+struct RecoveryAnalysis {
+  double fault_probability_per_layer = 0.0;
+  /// Error-free protected latency (sum of per-layer T_r).
+  double protected_us = 0.0;
+  /// Expected extra latency from re-executing flagged layers (each retry
+  /// also runs protected, and may itself be retried).
+  double expected_retry_us = 0.0;
+  /// Expected end-to-end latency under the fault rate.
+  [[nodiscard]] double expected_total_us() const {
+    return protected_us + expected_retry_us;
+  }
+  /// Expected retries per inference request.
+  double expected_retries = 0.0;
+};
+
+/// Expected-latency analysis of detect-and-re-execute on `plan` when each
+/// layer execution independently suffers a detectable fault with
+/// probability p (p < 1). A flagged layer repeats until clean; retries of
+/// a layer cost its protected time T_r.
+[[nodiscard]] RecoveryAnalysis analyze_recovery(const PipelinePlan& plan,
+                                                double fault_probability);
+
+}  // namespace aift

@@ -1,0 +1,37 @@
+#include "runtime/report.hpp"
+
+#include <sstream>
+
+namespace aift {
+
+Table plan_table(const PipelinePlan& plan) {
+  Table t({"layer", "M", "N", "K", "intensity", "bound", "scheme", "T_o",
+           "T_r", "overhead"});
+  for (const auto& e : plan.entries) {
+    t.add_row({e.layer.name, std::to_string(e.layer.gemm.m),
+               std::to_string(e.layer.gemm.n), std::to_string(e.layer.gemm.k),
+               fmt_double(e.intensity, 1),
+               e.bandwidth_bound ? "bandwidth" : "compute",
+               scheme_name(e.profile.scheme),
+               fmt_time_us(e.profile.base.cost.total_us),
+               fmt_time_us(e.profile.redundant.cost.total_us),
+               fmt_pct(e.profile.overhead_pct)});
+  }
+  return t;
+}
+
+std::string plan_summary(const PipelinePlan& plan) {
+  std::ostringstream os;
+  os << plan.model_name << " on " << plan.device_name << " ["
+     << policy_name(plan.policy) << "]: base "
+     << fmt_time_us(plan.total_base_us) << ", protected "
+     << fmt_time_us(plan.total_protected_us) << ", overhead "
+     << fmt_pct(plan.overhead_pct());
+  if (plan.policy == ProtectionPolicy::intensity_guided) {
+    os << " (thread-level on " << plan.count_scheme(Scheme::thread_one_sided)
+       << "/" << plan.entries.size() << " layers)";
+  }
+  return os.str();
+}
+
+}  // namespace aift

@@ -1,0 +1,17 @@
+#pragma once
+// Human-readable reports for pipeline plans (per-layer tables and model
+// summaries), used by the examples and the benchmark harness.
+
+#include "common/table.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace aift {
+
+/// Per-layer table: name, GEMM dims, intensity, bound class, scheme,
+/// T_o, T_r, overhead.
+[[nodiscard]] Table plan_table(const PipelinePlan& plan);
+
+/// One-line summary: "<model> on <device>: <policy> overhead X% ...".
+[[nodiscard]] std::string plan_summary(const PipelinePlan& plan);
+
+}  // namespace aift

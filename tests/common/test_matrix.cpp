@@ -1,0 +1,71 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/half.hpp"
+
+namespace aift {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix<float> m(3, 4, 1.5f);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  EXPECT_FALSE(m.empty());
+  EXPECT_FLOAT_EQ(m(2, 3), 1.5f);
+  m(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), 7.0f);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix<float> m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, RowMajorLayout) {
+  Matrix<int> m(2, 3);
+  int v = 0;
+  for (std::int64_t r = 0; r < 2; ++r)
+    for (std::int64_t c = 0; c < 3; ++c) m(r, c) = v++;
+  EXPECT_EQ(m.data()[0], 0);
+  EXPECT_EQ(m.data()[3], 3);  // start of row 1
+  EXPECT_EQ(m.data()[5], 5);
+}
+
+TEST(Matrix, BoundsCheckedAt) {
+  Matrix<float> m(2, 2, 0.0f);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), std::logic_error);
+  EXPECT_THROW(m.at(0, 2), std::logic_error);
+  EXPECT_THROW(m.at(-1, 0), std::logic_error);
+}
+
+TEST(Matrix, Fill) {
+  Matrix<float> m(4, 4, 0.0f);
+  m.fill(2.5f);
+  for (std::int64_t r = 0; r < 4; ++r)
+    for (std::int64_t c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(m(r, c), 2.5f);
+}
+
+TEST(Matrix, Equality) {
+  Matrix<int> a(2, 2, 1), b(2, 2, 1), c(2, 2, 2), d(2, 3, 1);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(Matrix, HoldsHalf) {
+  Matrix<half_t> m(2, 2, half_t(1.0f));
+  EXPECT_FLOAT_EQ(m(0, 0).to_float(), 1.0f);
+  m(1, 1) = half_t(3.5f);
+  EXPECT_FLOAT_EQ(m(1, 1).to_float(), 3.5f);
+}
+
+TEST(Matrix, NegativeDimsRejected) {
+  EXPECT_THROW(Matrix<float>(-1, 2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace aift

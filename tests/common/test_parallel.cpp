@@ -1,0 +1,81 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace aift {
+namespace {
+
+TEST(Parallel, WorkerCountPositive) { EXPECT_GE(parallel_workers(), 1); }
+
+TEST(Parallel, CoversRangeExactlyOnce) {
+  const std::int64_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, MatchesSerialSum) {
+  const std::int64_t n = 5000;
+  std::atomic<std::int64_t> par_sum{0};
+  parallel_for(0, n, [&](std::int64_t i) { par_sum.fetch_add(i * i); });
+  std::int64_t ser_sum = 0;
+  serial_for(0, n, [&](std::int64_t i) { ser_sum += i * i; });
+  EXPECT_EQ(par_sum.load(), ser_sum);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&](std::int64_t) { calls.fetch_add(1); });
+  parallel_for(5, 3, [&](std::int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, SingleElement) {
+  std::atomic<int> calls{0};
+  parallel_for(3, 4, [&](std::int64_t i) {
+    EXPECT_EQ(i, 3);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Parallel, NonZeroBegin) {
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(100, 200, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(Parallel, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(0, 1000,
+                   [&](std::int64_t i) {
+                     if (i == 137) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, ReusableAfterException) {
+  try {
+    parallel_for(0, 100, [](std::int64_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> calls{0};
+  parallel_for(0, 100, [&](std::int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(Parallel, BackToBackJobs) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    parallel_for(0, 200, [&](std::int64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 199 * 200 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace aift

@@ -1,0 +1,90 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aift {
+namespace {
+
+TEST(Rng, DeterministicWithSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 9);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(1.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, FillUniformHalfInRange) {
+  Rng rng(3);
+  Matrix<half_t> m(16, 16);
+  rng.fill_uniform(m, -1.0, 1.0);
+  bool nonzero = false;
+  for (std::int64_t r = 0; r < 16; ++r) {
+    for (std::int64_t c = 0; c < 16; ++c) {
+      const float v = m(r, c).to_float();
+      EXPECT_GE(v, -1.0f);
+      EXPECT_LE(v, 1.0f);
+      nonzero |= (v != 0.0f);
+    }
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Rng, FillUniformFloat) {
+  Rng rng(5);
+  Matrix<float> m(8, 8);
+  rng.fill_uniform(m, 2.0, 4.0);
+  for (std::int64_t r = 0; r < 8; ++r)
+    for (std::int64_t c = 0; c < 8; ++c) {
+      EXPECT_GE(m(r, c), 2.0f);
+      EXPECT_LT(m(r, c), 4.0f);
+    }
+}
+
+}  // namespace
+}  // namespace aift

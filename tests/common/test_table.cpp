@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aift {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"model", "overhead"});
+  t.add_row({"ResNet-50", "2.9%"});
+  t.add_row({"VGG-16", "2.2%"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("model"), std::string::npos);
+  EXPECT_NE(s.find("ResNet-50"), std::string::npos);
+  EXPECT_NE(s.find("2.2%"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::logic_error);
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::logic_error);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "bbbb"});
+  t.add_row({"wide-cell-here", "y"});
+  const std::string s = t.to_string();
+  // Every rendered line between +...+ markers has the same width.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(Format, Percent) { EXPECT_EQ(fmt_pct(12.345, 1), "12.3%"); }
+
+TEST(Format, Factor) { EXPECT_EQ(fmt_factor(4.551, 2), "4.55x"); }
+
+TEST(Format, TimeUnits) {
+  EXPECT_EQ(fmt_time_us(12.3), "12.30 us");
+  EXPECT_EQ(fmt_time_us(1234.5), "1.234 ms");
+  EXPECT_EQ(fmt_time_us(2.5e6), "2.5000 s");
+}
+
+}  // namespace
+}  // namespace aift

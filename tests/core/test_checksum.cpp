@@ -1,0 +1,154 @@
+// Checksum-math tests: the Figure 1 invariant and its weighted
+// (multi-fault) generalizations.
+
+#include "core/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gemm/functional.hpp"
+
+namespace aift {
+namespace {
+
+Matrix<half_t> small_int_matrix(std::int64_t rows, std::int64_t cols,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<half_t> m(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c)
+      m(r, c) = half_t(static_cast<int>(rng.uniform_int(-4, 4)));
+  return m;
+}
+
+TEST(ChecksumWeights, PowersOfIndexPlusOne) {
+  const auto w0 = checksum_weights(4, 0);
+  EXPECT_EQ(w0, (std::vector<double>{1, 1, 1, 1}));
+  const auto w1 = checksum_weights(4, 1);
+  EXPECT_EQ(w1, (std::vector<double>{1, 2, 3, 4}));
+  const auto w2 = checksum_weights(3, 2);
+  EXPECT_EQ(w2, (std::vector<double>{1, 4, 9}));
+}
+
+TEST(Checksum, ColumnChecksumSumsRows) {
+  Matrix<half_t> a(2, 3);
+  a(0, 0) = half_t(1.0f);
+  a(0, 1) = half_t(2.0f);
+  a(0, 2) = half_t(3.0f);
+  a(1, 0) = half_t(10.0f);
+  a(1, 1) = half_t(20.0f);
+  a(1, 2) = half_t(30.0f);
+  const auto cs = column_checksum(a);
+  EXPECT_EQ(cs, (std::vector<double>{11, 22, 33}));
+}
+
+TEST(Checksum, WeightedColumnChecksum) {
+  Matrix<half_t> a(2, 2);
+  a(0, 0) = half_t(1.0f);
+  a(0, 1) = half_t(2.0f);
+  a(1, 0) = half_t(3.0f);
+  a(1, 1) = half_t(4.0f);
+  const auto w = checksum_weights(2, 1);  // {1, 2}
+  const auto cs = column_checksum(a, &w);
+  EXPECT_EQ(cs, (std::vector<double>{7, 10}));
+}
+
+TEST(Checksum, RowChecksumSumsColumns) {
+  Matrix<half_t> b(2, 3);
+  b(0, 0) = half_t(1.0f);
+  b(0, 1) = half_t(2.0f);
+  b(0, 2) = half_t(3.0f);
+  b(1, 0) = half_t(-1.0f);
+  b(1, 1) = half_t(-2.0f);
+  b(1, 2) = half_t(-3.0f);
+  const auto rs = row_checksum(b);
+  EXPECT_EQ(rs, (std::vector<double>{6, -6}));
+}
+
+TEST(Checksum, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_THROW((void)dot({1}, {1, 2}), std::logic_error);
+}
+
+TEST(Checksum, MatrixSumAndAbs) {
+  Matrix<half_t> c(2, 2);
+  c(0, 0) = half_t(1.0f);
+  c(0, 1) = half_t(-2.0f);
+  c(1, 0) = half_t(3.0f);
+  c(1, 1) = half_t(-4.0f);
+  const auto s = matrix_sum(c);
+  EXPECT_DOUBLE_EQ(s.sum, -2.0);
+  EXPECT_DOUBLE_EQ(s.abs_sum, 10.0);
+}
+
+TEST(Checksum, WeightedMatrixSum) {
+  Matrix<half_t> c(2, 2);
+  c(0, 0) = half_t(1.0f);
+  c(0, 1) = half_t(1.0f);
+  c(1, 0) = half_t(1.0f);
+  c(1, 1) = half_t(1.0f);
+  const auto s = weighted_matrix_sum(c, {1.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.sum, 22.0);
+  EXPECT_DOUBLE_EQ(s.abs_sum, 22.0);
+}
+
+// The Figure 1 invariant: colchk(A) . rowchk(B) == sum(A*B), exact for
+// small integers (all arithmetic exact in FP16/double).
+class ChecksumInvariant
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ChecksumInvariant,
+                         ::testing::Values(std::tuple{2, 2, 2},
+                                           std::tuple{8, 8, 8},
+                                           std::tuple{16, 4, 32},
+                                           std::tuple{5, 7, 3},
+                                           std::tuple{64, 64, 64},
+                                           std::tuple{1, 17, 9}));
+
+TEST_P(ChecksumInvariant, DotEqualsOutputSummation) {
+  const auto [m, n, k] = GetParam();
+  const auto a = small_int_matrix(m, k, 1);
+  const auto b = small_int_matrix(k, n, 2);
+  const auto ref = reference_gemm(a, b);
+  Matrix<half_t> c(m, n);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) c(i, j) = half_t(ref(i, j));
+
+  const double expected = dot(column_checksum(a), row_checksum(b));
+  EXPECT_DOUBLE_EQ(expected, matrix_sum(c).sum);
+}
+
+TEST_P(ChecksumInvariant, WeightedVariantHolds) {
+  const auto [m, n, k] = GetParam();
+  const auto a = small_int_matrix(m, k, 3);
+  const auto b = small_int_matrix(k, n, 4);
+  const auto ref = reference_gemm(a, b);
+  Matrix<half_t> c(m, n);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) c(i, j) = half_t(ref(i, j));
+
+  const auto w = checksum_weights(m, 1);
+  const double expected = dot(column_checksum(a, &w), row_checksum(b));
+  EXPECT_DOUBLE_EQ(expected, weighted_matrix_sum(c, w).sum);
+}
+
+TEST(Checksum, LinearityUnderScaling) {
+  auto a = small_int_matrix(4, 4, 5);
+  const auto cs1 = column_checksum(a);
+  for (std::int64_t r = 0; r < 4; ++r)
+    for (std::int64_t c = 0; c < 4; ++c)
+      a(r, c) = half_t(a(r, c).to_float() * 2.0f);
+  const auto cs2 = column_checksum(a);
+  for (std::size_t i = 0; i < cs1.size(); ++i)
+    EXPECT_DOUBLE_EQ(cs2[i], 2.0 * cs1[i]);
+}
+
+TEST(Checksum, SizeValidation) {
+  Matrix<half_t> a(3, 3, half_t(1.0f));
+  const std::vector<double> bad_w{1.0, 2.0};
+  EXPECT_THROW((void)column_checksum(a, &bad_w), std::logic_error);
+  EXPECT_THROW((void)weighted_matrix_sum(a, bad_w), std::logic_error);
+}
+
+}  // namespace
+}  // namespace aift

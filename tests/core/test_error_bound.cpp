@@ -1,0 +1,57 @@
+#include "core/error_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/half.hpp"
+
+namespace aift {
+namespace {
+
+TEST(ErrorBound, ScalesWithMagnitude) {
+  const double t1 = detection_threshold(100.0);
+  const double t2 = detection_threshold(200.0);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-12);
+}
+
+TEST(ErrorBound, UsesUnitRoundoff) {
+  ErrorBoundParams p;
+  p.safety_factor = 1.0;
+  p.absolute_floor = 0.0;
+  EXPECT_DOUBLE_EQ(detection_threshold(1.0, p),
+                   static_cast<double>(half_t::unit_roundoff()));
+}
+
+TEST(ErrorBound, FloorGuardsZeroMagnitude) {
+  EXPECT_DOUBLE_EQ(detection_threshold(0.0), ErrorBoundParams{}.absolute_floor);
+}
+
+TEST(ErrorBound, SafetyFactorApplied) {
+  ErrorBoundParams loose;
+  loose.safety_factor = 8.0;
+  ErrorBoundParams tight;
+  tight.safety_factor = 2.0;
+  EXPECT_NEAR(detection_threshold(1e4, loose),
+              4.0 * detection_threshold(1e4, tight), 1e-12);
+}
+
+TEST(ErrorBound, F32VariantMuchTighter) {
+  EXPECT_LT(detection_threshold_f32(1e4, 256), detection_threshold(1e4) / 100);
+}
+
+TEST(ErrorBound, F32VariantScalesWithSqrtLen) {
+  ErrorBoundParams p;
+  p.absolute_floor = 0.0;
+  const double t1 = detection_threshold_f32(1.0, 64, p);
+  const double t4 = detection_threshold_f32(1.0, 1024, p);
+  EXPECT_NEAR(t4 / t1, 4.0, 1e-9);
+}
+
+TEST(ErrorBound, ThresholdBelowMeaningfulFaults) {
+  // A detectable fault magnitude (say 1% of the magnitude sum) must sit
+  // far above the threshold, else ABFT would be useless.
+  const double abs_sum = 1e5;
+  EXPECT_LT(detection_threshold(abs_sum), 0.01 * abs_sum);
+}
+
+}  // namespace
+}  // namespace aift

@@ -1,0 +1,194 @@
+// Functional global-ABFT tests (paper §2.4–§2.5): no false positives on
+// clean outputs, detection of injected faults, offline weight-checksum
+// reuse, the fused-checksum path, and the multi-fault / localization
+// extensions.
+
+#include "core/global_abft.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gemm/functional.hpp"
+
+namespace aift {
+namespace {
+
+struct Scenario {
+  Matrix<half_t> a, b, c;
+  TileConfig tile{64, 64, 32, 32, 32, 2};
+
+  explicit Scenario(GemmShape s, std::uint64_t seed = 42,
+                 std::vector<FaultSpec> faults = {})
+      : a(s.m, s.k), b(s.k, s.n), c(s.m, s.n) {
+    Rng rng(seed);
+    rng.fill_uniform(a);
+    rng.fill_uniform(b);
+    FunctionalOptions opts;
+    opts.faults = std::move(faults);
+    functional_gemm(a, b, c, tile, opts);
+  }
+};
+
+class GlobalAbftShapes : public ::testing::TestWithParam<GemmShape> {};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GlobalAbftShapes,
+                         ::testing::Values(GemmShape{16, 16, 16},
+                                           GemmShape{64, 64, 64},
+                                           GemmShape{128, 96, 80},
+                                           GemmShape{7, 33, 19},
+                                           GemmShape{8, 256, 512},
+                                           GemmShape{200, 40, 120}));
+
+TEST_P(GlobalAbftShapes, NoFalsePositiveOnCleanOutput) {
+  Scenario s(GetParam());
+  GlobalAbft abft(s.b);
+  const auto det = abft.check(s.a, s.c);
+  EXPECT_FALSE(det.fault_detected)
+      << "residual " << det.residual << " threshold " << det.threshold;
+}
+
+TEST_P(GlobalAbftShapes, DetectsExponentBitFault) {
+  // Pick a target whose value is below 2.0 so that flipping the top
+  // exponent bit is guaranteed to blow the value up (a cleared-exponent
+  // flip on a small value merely *removes* it, which can legitimately
+  // fall below the whole-matrix rounding threshold).
+  const auto shape = GetParam();
+  Scenario clean(shape, 42);
+  std::int64_t fr = 0, fc = 0;
+  for (std::int64_t i = 0; i < shape.m; ++i) {
+    for (std::int64_t j = 0; j < shape.n; ++j) {
+      const float v = std::abs(clean.c(i, j).to_float());
+      if (v > 0.01f && v < 1.5f) {
+        fr = i;
+        fc = j;
+      }
+    }
+  }
+  Scenario s(shape, 42, {FaultSpec{fr, fc, -1, 0x40000000u}});
+  GlobalAbft abft(s.b);
+  EXPECT_TRUE(abft.check(s.a, s.c).fault_detected);
+}
+
+TEST_P(GlobalAbftShapes, DetectsMidKFault) {
+  const auto shape = GetParam();
+  Scenario s(shape, 43, {FaultSpec{0, 0, 0, 0x40000000u}});
+  GlobalAbft abft(s.b);
+  EXPECT_TRUE(abft.check(s.a, s.c).fault_detected);
+}
+
+TEST(GlobalAbft, WeightChecksumBuiltOnceReusedAcrossRequests) {
+  // §2.5: B is fixed across inference requests; the weight checksum is
+  // constructed offline once.
+  const GemmShape shape{32, 32, 32};
+  Rng rng(7);
+  Matrix<half_t> b(shape.k, shape.n);
+  rng.fill_uniform(b);
+  GlobalAbft abft(b);  // offline
+
+  const TileConfig tile{32, 32, 32, 16, 16, 2};
+  for (int request = 0; request < 5; ++request) {
+    Matrix<half_t> a(shape.m, shape.k);
+    rng.fill_uniform(a);
+    Matrix<half_t> c(shape.m, shape.n);
+    functional_gemm(a, b, c, tile);
+    EXPECT_FALSE(abft.check(a, c).fault_detected) << request;
+  }
+}
+
+TEST(GlobalAbft, FusedChecksumPathMatchesDirect) {
+  Scenario s({48, 48, 48});
+  GlobalAbft abft(s.b);
+  const auto direct = abft.check(s.a, s.c);
+  const auto fused = abft.check_with_checksums(abft.activation_checksums(s.a),
+                                               s.c);
+  EXPECT_EQ(direct.fault_detected, fused.fault_detected);
+  EXPECT_DOUBLE_EQ(direct.residual, fused.residual);
+}
+
+TEST(GlobalAbft, ResidualBelowThresholdWhenClean) {
+  Scenario s({96, 96, 96}, 11);
+  GlobalAbft abft(s.b);
+  const auto det = abft.check(s.a, s.c);
+  EXPECT_LE(det.residual, det.threshold);
+  EXPECT_GT(det.threshold, 0.0);
+}
+
+TEST(GlobalAbft, FaultBelowRoundingIsUndetectable) {
+  // Corrupt one output by a single FP16 ulp: mathematically
+  // indistinguishable from rounding for a whole-matrix checksum.
+  Scenario s({64, 64, 64}, 13);
+  GlobalAbft abft(s.b);
+  Matrix<half_t> c = s.c;
+  c(3, 3) = half_t::from_bits(static_cast<std::uint16_t>(c(3, 3).bits() ^ 1u));
+  EXPECT_FALSE(abft.check(s.a, c).fault_detected);
+}
+
+TEST(GlobalAbft, SingleChecksumCanMissTwoCancellingFaults) {
+  // Two faults of opposite sign can cancel in the single summation —
+  // exactly why multi-fault detection needs independent combinations.
+  Scenario s({32, 32, 32}, 17);
+  GlobalAbft one(s.b, 1);
+  GlobalAbft two(s.b, 2);
+  Matrix<half_t> c = s.c;
+  const float delta = 64.0f;
+  c(1, 5) = half_t(c(1, 5).to_float() + delta);
+  c(9, 5) = half_t(c(9, 5).to_float() - delta);
+  EXPECT_FALSE(one.check(s.a, c).fault_detected);
+  EXPECT_TRUE(two.check(s.a, c).fault_detected);
+}
+
+TEST(GlobalAbft, TwoChecksumsDetectTwoFaults) {
+  Scenario s({64, 48, 32}, 19);
+  GlobalAbft abft(s.b, 2);
+  Matrix<half_t> c = s.c;
+  c(2, 2) = half_t(c(2, 2).to_float() + 30.0f);
+  c(40, 10) = half_t(c(40, 10).to_float() + 50.0f);
+  EXPECT_TRUE(abft.check(s.a, c).fault_detected);
+}
+
+TEST(GlobalAbft, LocatesFaultyRowWithTwoChecksums) {
+  Scenario s({64, 64, 64}, 23);
+  GlobalAbft abft(s.b, 2);
+  for (const std::int64_t row : {0, 17, 63}) {
+    Matrix<half_t> c = s.c;
+    c(row, 30) = half_t(c(row, 30).to_float() + 100.0f);
+    const auto det = abft.check(s.a, c);
+    ASSERT_TRUE(det.fault_detected) << row;
+    ASSERT_TRUE(det.located_row.has_value()) << row;
+    EXPECT_EQ(*det.located_row, row);
+  }
+}
+
+TEST(GlobalAbft, NoLocationWhenClean) {
+  Scenario s({32, 32, 32}, 29);
+  GlobalAbft abft(s.b, 2);
+  const auto det = abft.check(s.a, s.c);
+  EXPECT_FALSE(det.fault_detected);
+  EXPECT_FALSE(det.located_row.has_value());
+}
+
+TEST(GlobalAbft, DetectsFaultAnywhere) {
+  // Sweep the fault across positions; a single global checksum must catch
+  // all of them (large corruption).
+  const GemmShape shape{40, 40, 40};
+  Scenario base(shape, 31);
+  GlobalAbft abft(base.b);
+  for (std::int64_t r = 0; r < shape.m; r += 13) {
+    for (std::int64_t cc = 0; cc < shape.n; cc += 11) {
+      Matrix<half_t> c = base.c;
+      c(r, cc) = half_t(c(r, cc).to_float() + 77.0f);
+      EXPECT_TRUE(abft.check(base.a, c).fault_detected)
+          << "(" << r << "," << cc << ")";
+    }
+  }
+}
+
+TEST(GlobalAbft, ValidatesDimensions) {
+  Matrix<half_t> b(8, 8, half_t(1.0f));
+  GlobalAbft abft(b);
+  Matrix<half_t> a_bad(4, 9, half_t(1.0f));
+  EXPECT_THROW((void)abft.activation_checksums(a_bad), std::logic_error);
+}
+
+}  // namespace
+}  // namespace aift

@@ -1,0 +1,129 @@
+// Intensity-guided selector tests (paper §5.3): per-layer profiling picks
+// the lower-overhead scheme, guided by intensity vs. device CMR.
+
+#include "core/intensity_guided.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aift {
+namespace {
+
+class SelectorTest : public ::testing::Test {
+ protected:
+  GemmCostModel model_{devices::t4()};
+  IntensityGuidedSelector selector_{model_};
+};
+
+TEST_F(SelectorTest, BandwidthBoundLayerPicksThreadLevel) {
+  // AI = 21 << CMR 203.
+  const auto choice = selector_.select({64, 64, 64}, DType::f16);
+  EXPECT_TRUE(choice.bandwidth_bound);
+  EXPECT_EQ(choice.chosen.scheme, Scheme::thread_one_sided);
+}
+
+TEST_F(SelectorTest, ComputeBoundLayerPicksGlobal) {
+  // AI = 683 >> CMR 203.
+  const auto choice = selector_.select({2048, 2048, 2048}, DType::f16);
+  EXPECT_FALSE(choice.bandwidth_bound);
+  EXPECT_EQ(choice.chosen.scheme, Scheme::global_abft);
+}
+
+TEST_F(SelectorTest, ChosenIsMinimumOfConsidered) {
+  for (int s : {32, 128, 512, 1024, 2048}) {
+    const auto choice = selector_.select({s, s, s}, DType::f16);
+    for (const auto& p : choice.considered) {
+      EXPECT_LE(choice.chosen.redundant.cost.total_us,
+                p.redundant.cost.total_us + 1e-9)
+          << s;
+    }
+  }
+}
+
+TEST_F(SelectorTest, GuidedNeverWorseThanEitherFixedScheme) {
+  // §6.2: "intensity-guided ABFT, by design, always performs at least as
+  // well as global ABFT" (and as thread-level ABFT).
+  for (int s : {32, 64, 256, 512, 1024, 2048}) {
+    const GemmShape g{s, s, s};
+    const auto guided = selector_.select(g, DType::f16).chosen;
+    const auto global = selector_.evaluate(Scheme::global_abft, g, DType::f16);
+    const auto thread =
+        selector_.evaluate(Scheme::thread_one_sided, g, DType::f16);
+    EXPECT_LE(guided.overhead_pct, global.overhead_pct + 1e-9) << s;
+    EXPECT_LE(guided.overhead_pct, thread.overhead_pct + 1e-9) << s;
+  }
+}
+
+TEST_F(SelectorTest, IntensityAndCmrReported) {
+  const auto choice = selector_.select({512, 512, 512}, DType::f16);
+  EXPECT_NEAR(choice.intensity, 170.7, 0.1);
+  EXPECT_NEAR(choice.device_cmr, 203.0, 0.5);
+  EXPECT_TRUE(choice.bandwidth_bound);
+}
+
+TEST_F(SelectorTest, SelectionCrossoverTracksCmr) {
+  // Scanning square sizes upward, once the selector switches to global it
+  // stays there — and the switch brackets the device CMR (Figure 12's
+  // dashed line lies between AI 170.7 and 341.3 on the T4).
+  bool seen_global = false;
+  double switch_ai = -1.0;
+  for (int s = 32; s <= 4096; s *= 2) {
+    const auto choice = selector_.select({s, s, s}, DType::f16);
+    if (choice.chosen.scheme == Scheme::global_abft && !seen_global) {
+      seen_global = true;
+      switch_ai = choice.intensity;
+    }
+    if (seen_global) {
+      EXPECT_EQ(choice.chosen.scheme, Scheme::global_abft) << s;
+    }
+  }
+  ASSERT_TRUE(seen_global);
+  EXPECT_GT(switch_ai, 100.0);
+  EXPECT_LT(switch_ai, 700.0);
+}
+
+TEST_F(SelectorTest, EvaluateNoneHasZeroOverhead) {
+  const auto p = selector_.evaluate(Scheme::none, {256, 256, 256}, DType::f16);
+  EXPECT_DOUBLE_EQ(p.overhead_pct, 0.0);
+  EXPECT_DOUBLE_EQ(p.base.cost.total_us, p.redundant.cost.total_us);
+}
+
+TEST_F(SelectorTest, OverheadsNonNegative) {
+  for (Scheme s : {Scheme::global_abft, Scheme::thread_one_sided,
+                   Scheme::thread_two_sided, Scheme::repl_single_acc}) {
+    const auto p = selector_.evaluate(s, {512, 512, 512}, DType::f16);
+    EXPECT_GE(p.overhead_pct, 0.0) << scheme_name(s);
+  }
+}
+
+TEST_F(SelectorTest, CustomCandidateSetRespected) {
+  IntensityGuidedSelector sel(model_, {},
+                              {Scheme::thread_two_sided, Scheme::repl_single_acc});
+  const auto choice = sel.select({64, 64, 64}, DType::f16);
+  EXPECT_TRUE(choice.chosen.scheme == Scheme::thread_two_sided ||
+              choice.chosen.scheme == Scheme::repl_single_acc);
+  EXPECT_EQ(choice.considered.size(), 2u);
+}
+
+TEST_F(SelectorTest, CrossoverShiftsWithDeviceCmr) {
+  // On the P4 (CMR 58), a 512-square GEMM (AI 171) is compute bound and
+  // global ABFT should win; on the T4 (CMR 203) thread-level wins.
+  GemmCostModel p4(devices::p4());
+  IntensityGuidedSelector sel_p4(p4);
+  const GemmShape g{512, 512, 512};
+  EXPECT_EQ(sel_p4.select(g, DType::f16).chosen.scheme, Scheme::global_abft);
+  EXPECT_EQ(selector_.select(g, DType::f16).chosen.scheme,
+            Scheme::thread_one_sided);
+}
+
+TEST_F(SelectorTest, Int8SelectionOnXavier) {
+  // §3.3's edge case: Xavier CMR 235 in INT8 — mid-size GEMMs stay
+  // bandwidth bound and pick thread-level ABFT.
+  GemmCostModel xavier(devices::xavier_agx());
+  IntensityGuidedSelector sel(xavier);
+  const auto choice = sel.select({256, 256, 256}, DType::i8);
+  EXPECT_TRUE(choice.bandwidth_bound);
+  EXPECT_EQ(choice.chosen.scheme, Scheme::thread_one_sided);
+}
+
+}  // namespace
+}  // namespace aift

@@ -1,0 +1,166 @@
+// Scheme-delta tests: the quantitative form of Table 1 and the §2.5
+// global-ABFT flow, as fed to the cost model.
+
+#include "core/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aift {
+namespace {
+
+const GemmShape kShape{1024, 1024, 1024};
+const TileConfig kTile{128, 128, 32, 64, 64, 2};
+const DeviceSpec kT4 = devices::t4();
+
+TEST(SchemeNames, RoundTrip) {
+  for (Scheme s : {Scheme::none, Scheme::global_abft, Scheme::thread_one_sided,
+                   Scheme::thread_two_sided, Scheme::repl_traditional,
+                   Scheme::repl_single_acc}) {
+    EXPECT_EQ(scheme_by_name(scheme_name(s)), s);
+  }
+  EXPECT_THROW((void)scheme_by_name("bogus"), std::logic_error);
+}
+
+TEST(SchemeDelta, NoneIsEmpty) {
+  const auto d = scheme_delta(Scheme::none, kShape, kTile, DType::f16, kT4);
+  EXPECT_DOUBLE_EQ(d.extra_tensor_frac, 0.0);
+  EXPECT_DOUBLE_EQ(d.extra_alu_ops_per_thread_k8, 0.0);
+  EXPECT_DOUBLE_EQ(d.second_kernel_fixed_us, 0.0);
+  EXPECT_FALSE(d.in_kernel_check);
+}
+
+TEST(SchemeDelta, OneSidedTensorFractionIs8OverNw) {
+  // Per warp per k8-step: Mw/16 extra MMAs over (Mw/16)(Nw/8) baseline.
+  const auto d =
+      scheme_delta(Scheme::thread_one_sided, kShape, kTile, DType::f16, kT4);
+  EXPECT_DOUBLE_EQ(d.extra_tensor_frac, 8.0 / 64.0);
+  EXPECT_TRUE(d.in_kernel_check);
+  EXPECT_DOUBLE_EQ(d.second_kernel_fixed_us, 0.0);  // no extra kernel
+  EXPECT_DOUBLE_EQ(d.epilogue_bytes, 0.0);          // no extra traffic
+}
+
+TEST(SchemeDelta, TwoSidedTensorFractionIsOneMmaPerWarpStep) {
+  const auto d =
+      scheme_delta(Scheme::thread_two_sided, kShape, kTile, DType::f16, kT4);
+  EXPECT_DOUBLE_EQ(d.extra_tensor_frac, 128.0 / (64.0 * 64.0));
+  // Two-sided adds checksum ops on both operands: more ALU than one-sided.
+  const auto one =
+      scheme_delta(Scheme::thread_one_sided, kShape, kTile, DType::f16, kT4);
+  EXPECT_GT(d.extra_alu_ops_per_thread_k8, one.extra_alu_ops_per_thread_k8);
+}
+
+TEST(SchemeDelta, ReplicationDoublesTensorWork) {
+  for (Scheme s : {Scheme::repl_traditional, Scheme::repl_single_acc}) {
+    const auto d = scheme_delta(s, kShape, kTile, DType::f16, kT4);
+    EXPECT_DOUBLE_EQ(d.extra_tensor_frac, 1.0);
+  }
+}
+
+TEST(SchemeDelta, TraditionalReplicationDoublesAccumulators) {
+  const auto d =
+      scheme_delta(Scheme::repl_traditional, kShape, kTile, DType::f16, kT4);
+  EXPECT_EQ(d.extra_regs_per_thread, kTile.accumulators_per_thread());
+  const auto s =
+      scheme_delta(Scheme::repl_single_acc, kShape, kTile, DType::f16, kT4);
+  EXPECT_EQ(s.extra_regs_per_thread, 4);
+}
+
+TEST(SchemeDelta, GlobalAbftAddsSecondKernelNotTensorWork) {
+  const auto d =
+      scheme_delta(Scheme::global_abft, kShape, kTile, DType::f16, kT4);
+  EXPECT_DOUBLE_EQ(d.extra_tensor_frac, 0.0);
+  EXPECT_GT(d.second_kernel_fixed_us, 0.0);
+  EXPECT_GT(d.second_kernel_bytes, 0.0);
+  EXPECT_GT(d.epilogue_alu_per_output, 0.0);
+  EXPECT_FALSE(d.in_kernel_check);
+  EXPECT_DOUBLE_EQ(d.pre_kernel_fixed_us, 0.0);  // fused by default
+}
+
+TEST(SchemeDelta, GlobalAbftUnfusedAddsPreKernel) {
+  AbftOptions opts;
+  opts.fused_input_checksum = false;
+  opts.input_feature_bytes = 1.0e6;
+  const auto d =
+      scheme_delta(Scheme::global_abft, kShape, kTile, DType::f16, kT4, opts);
+  EXPECT_GT(d.pre_kernel_fixed_us, 0.0);
+  EXPECT_GE(d.pre_kernel_bytes, 1.0e6);
+}
+
+TEST(SchemeDelta, OverlapFractionPropagates) {
+  AbftOptions opts;
+  opts.overlap_fraction = 0.6;
+  const auto d =
+      scheme_delta(Scheme::global_abft, kShape, kTile, DType::f16, kT4, opts);
+  EXPECT_DOUBLE_EQ(d.overlap_fraction, 0.6);
+}
+
+TEST(SchemeDelta, MultiChecksumScalesWork) {
+  AbftOptions one, two;
+  two.num_checksums = 2;
+  const auto d1 =
+      scheme_delta(Scheme::thread_one_sided, kShape, kTile, DType::f16, kT4, one);
+  const auto d2 =
+      scheme_delta(Scheme::thread_one_sided, kShape, kTile, DType::f16, kT4, two);
+  EXPECT_NEAR(d2.extra_tensor_frac, 2.0 * d1.extra_tensor_frac, 1e-12);
+  const auto g1 =
+      scheme_delta(Scheme::global_abft, kShape, kTile, DType::f16, kT4, one);
+  const auto g2 =
+      scheme_delta(Scheme::global_abft, kShape, kTile, DType::f16, kT4, two);
+  EXPECT_GT(g2.epilogue_bytes, g1.epilogue_bytes);
+}
+
+// ---- Table 1 ---------------------------------------------------------------
+
+TEST(Table1, ReplicationCounts) {
+  const auto c = table1_counts(Scheme::repl_single_acc, kTile);
+  const double mt = 64.0 / 8.0, nt = 64.0 / 8.0;
+  EXPECT_DOUBLE_EQ(c.extra_mmas_per_kstep, mt * nt / 2.0);  // MtNt/2
+  EXPECT_DOUBLE_EQ(c.checksum_ops_per_kstep, 0.0);
+}
+
+TEST(Table1, TwoSidedCounts) {
+  const auto c = table1_counts(Scheme::thread_two_sided, kTile);
+  EXPECT_DOUBLE_EQ(c.extra_mmas_per_kstep, 1.0);
+  EXPECT_DOUBLE_EQ(c.checksum_ops_per_kstep, 8.0 + 8.0);  // O(Mt + Nt)
+}
+
+TEST(Table1, OneSidedCounts) {
+  const auto c = table1_counts(Scheme::thread_one_sided, kTile);
+  EXPECT_DOUBLE_EQ(c.extra_mmas_per_kstep, 8.0 / 2.0);  // Mt/2
+  EXPECT_DOUBLE_EQ(c.checksum_ops_per_kstep, 8.0);      // O(Nt)
+}
+
+TEST(Table1, SweetSpotOrdering) {
+  // The §5.2.2 "sweet spot": one-sided sits between replication and
+  // two-sided on MMAs, and between two-sided and replication on checksum
+  // ops — for every candidate tile.
+  for (const auto& tile : candidate_tiles()) {
+    const auto rep = table1_counts(Scheme::repl_single_acc, tile);
+    const auto one = table1_counts(Scheme::thread_one_sided, tile);
+    const auto two = table1_counts(Scheme::thread_two_sided, tile);
+    EXPECT_LE(two.extra_mmas_per_kstep, one.extra_mmas_per_kstep) << tile.name();
+    EXPECT_LE(one.extra_mmas_per_kstep, rep.extra_mmas_per_kstep) << tile.name();
+    EXPECT_LE(rep.checksum_ops_per_kstep, one.checksum_ops_per_kstep)
+        << tile.name();
+    EXPECT_LE(one.checksum_ops_per_kstep, two.checksum_ops_per_kstep)
+        << tile.name();
+  }
+}
+
+TEST(Table1, RatiosMatchPaperFormulas) {
+  // one-sided/replication extra-MMA ratio = 1/Nt; two-sided/replication =
+  // 2/(Mt*Nt).
+  for (const auto& tile : candidate_tiles()) {
+    const double mt = tile.mw / 8.0, nt = tile.nw / 8.0;
+    const auto rep = table1_counts(Scheme::repl_single_acc, tile);
+    const auto one = table1_counts(Scheme::thread_one_sided, tile);
+    const auto two = table1_counts(Scheme::thread_two_sided, tile);
+    EXPECT_NEAR(one.extra_mmas_per_kstep / rep.extra_mmas_per_kstep, 1.0 / nt,
+                1e-12);
+    EXPECT_NEAR(two.extra_mmas_per_kstep / rep.extra_mmas_per_kstep,
+                2.0 / (mt * nt), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace aift

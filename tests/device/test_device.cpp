@@ -1,0 +1,101 @@
+// Device-model tests: the CMR values must match the paper's §3.3 figures
+// (T4: 203 FP16; P4: ~58 FP16; V100: 139; A100: 201; Xavier: 235 INT8).
+
+#include "device/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aift {
+namespace {
+
+TEST(Device, DtypeBytes) {
+  EXPECT_EQ(dtype_bytes(DType::f16), 2);
+  EXPECT_EQ(dtype_bytes(DType::f32), 4);
+  EXPECT_EQ(dtype_bytes(DType::i8), 1);
+}
+
+TEST(Device, DtypeNames) {
+  EXPECT_EQ(dtype_name(DType::f16), "FP16");
+  EXPECT_EQ(dtype_name(DType::f32), "FP32");
+  EXPECT_EQ(dtype_name(DType::i8), "INT8");
+}
+
+TEST(Device, T4PaperNumbers) {
+  const auto t4 = devices::t4();
+  EXPECT_DOUBLE_EQ(t4.tensor_tflops_f16, 65.0);  // §3.3: 65 FP16 TFLOPs/s
+  EXPECT_DOUBLE_EQ(t4.mem_bw_gbps, 320.0);       // §6.2: 320 GB/s
+  EXPECT_NEAR(t4.cmr(DType::f16), 203.0, 0.5);   // §3.3 / §6.2: CMR 203
+}
+
+TEST(Device, P4PaperNumbers) {
+  const auto p4 = devices::p4();
+  EXPECT_DOUBLE_EQ(p4.tensor_tflops_f16, 11.0);  // §3.3: 11 FP16 TFLOPs/s
+  EXPECT_FALSE(p4.has_tensor_cores);
+  EXPECT_NEAR(p4.cmr(DType::f16), 58.0, 1.0);  // §3.3: CMR 58
+}
+
+TEST(Device, T4OverP4RatiosFromPaper) {
+  // §3.3: T4 has 5.9x the FP16 FLOPs/s of P4 but only 1.7x the bandwidth.
+  const auto t4 = devices::t4();
+  const auto p4 = devices::p4();
+  EXPECT_NEAR(t4.tensor_tflops_f16 / p4.tensor_tflops_f16, 5.9, 0.05);
+  EXPECT_NEAR(t4.mem_bw_gbps / p4.mem_bw_gbps, 1.7, 0.05);
+}
+
+TEST(Device, V100PaperNumbers) {
+  EXPECT_NEAR(devices::v100().cmr(DType::f16), 139.0, 1.0);  // §3.3
+  EXPECT_DOUBLE_EQ(devices::v100().tensor_tflops_f16, 125.0);
+}
+
+TEST(Device, A100PaperNumbers) {
+  EXPECT_NEAR(devices::a100().cmr(DType::f16), 201.0, 1.0);  // §3.3
+  EXPECT_DOUBLE_EQ(devices::a100().tensor_tflops_f16, 312.0);
+}
+
+TEST(Device, XavierPaperNumbers) {
+  // §3.3: 32 INT8 TOPs/s, CMR 235 in INT8.
+  EXPECT_DOUBLE_EQ(devices::xavier_agx().tensor_tops_i8, 32.0);
+  EXPECT_NEAR(devices::xavier_agx().cmr(DType::i8), 235.0, 1.5);
+}
+
+TEST(Device, PeakMathSelection) {
+  const auto t4 = devices::t4();
+  EXPECT_DOUBLE_EQ(t4.peak_math_flops(DType::f16), 65.0e12);
+  EXPECT_DOUBLE_EQ(t4.peak_math_flops(DType::i8), 130.0e12);
+  EXPECT_DOUBLE_EQ(t4.peak_math_flops(DType::f32), 8.1e12);
+}
+
+TEST(Device, AluThroughputPositiveAndBelowTensor) {
+  for (const auto& d : devices::all()) {
+    EXPECT_GT(d.alu_ops_per_sec(), 0.0) << d.name;
+    if (d.has_tensor_cores) {
+      EXPECT_LT(d.alu_ops_per_sec(), d.peak_math_flops(DType::f16)) << d.name;
+    }
+  }
+}
+
+TEST(Device, AllContainsFiveWithT4First) {
+  const auto all = devices::all();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.front().name, "T4");
+}
+
+TEST(Device, ByNameCaseInsensitive) {
+  EXPECT_EQ(devices::by_name("t4").name, "T4");
+  EXPECT_EQ(devices::by_name("A100").name, "A100");
+  EXPECT_EQ(devices::by_name("xavier-agx").name, "Xavier-AGX");
+}
+
+TEST(Device, ByNameThrowsOnUnknown) {
+  EXPECT_THROW(devices::by_name("h100"), std::logic_error);
+}
+
+TEST(Device, LaunchCostsPositive) {
+  for (const auto& d : devices::all()) {
+    EXPECT_GT(d.kernel_launch_us, 0.0) << d.name;
+    EXPECT_GT(d.reduction_kernel_fixed_us, 0.0) << d.name;
+  }
+}
+
+}  // namespace
+}  // namespace aift

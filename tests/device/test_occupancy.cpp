@@ -1,0 +1,103 @@
+// Occupancy-calculator tests: the register/thread/smem limits that drive
+// the paper's §4 finding (traditional replication's 2x accumulator
+// registers throttle co-scheduled threadblocks).
+
+#include "device/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aift {
+namespace {
+
+KernelResources res(int threads, int regs, int smem) {
+  return KernelResources{threads, regs, smem};
+}
+
+TEST(Occupancy, ThreadLimited) {
+  const auto t4 = devices::t4();  // 1024 threads/SM
+  const auto occ = compute_occupancy(t4, res(512, 32, 1024));
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_STREQ(occ.limiter, "threads");
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const auto t4 = devices::t4();  // 65536 regs/SM
+  // 128 regs * 256 threads = 32768 per block -> 2 blocks by registers.
+  const auto occ = compute_occupancy(t4, res(256, 128, 1024));
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_STREQ(occ.limiter, "registers");
+}
+
+TEST(Occupancy, SmemLimited) {
+  const auto t4 = devices::t4();  // 64 KB smem/SM
+  const auto occ = compute_occupancy(t4, res(128, 32, 40000));
+  EXPECT_EQ(occ.blocks_per_sm, 1);
+  EXPECT_STREQ(occ.limiter, "smem");
+}
+
+TEST(Occupancy, BlockCapApplies) {
+  const auto t4 = devices::t4();  // max 16 blocks/SM
+  const auto occ = compute_occupancy(t4, res(32, 16, 0));
+  EXPECT_EQ(occ.blocks_per_sm, 16);
+}
+
+TEST(Occupancy, MoreRegistersNeverMoreBlocks) {
+  const auto t4 = devices::t4();
+  int prev = 1 << 30;
+  for (int regs = 32; regs <= 255; regs += 8) {
+    const auto occ = compute_occupancy(t4, res(256, regs, 8192));
+    EXPECT_LE(occ.blocks_per_sm, prev) << "regs=" << regs;
+    prev = occ.blocks_per_sm;
+  }
+}
+
+TEST(Occupancy, ReplicationRegisterDoublingHalvesBlocks) {
+  // The §4 effect: doubling accumulator registers from 128 to 256 per
+  // thread drops co-residency.
+  const auto t4 = devices::t4();
+  const auto base = compute_occupancy(t4, res(128, 160, 8192));
+  const auto repl = compute_occupancy(t4, res(128, 160 + 128, 8192));
+  EXPECT_GT(base.blocks_per_sm, repl.blocks_per_sm);
+  EXPECT_TRUE(repl.register_spill);  // 288 > 255 per-thread cap
+}
+
+TEST(Occupancy, SpillFlagAndCap) {
+  const auto t4 = devices::t4();
+  const auto occ = compute_occupancy(t4, res(128, 300, 1024));
+  EXPECT_TRUE(occ.register_spill);
+  EXPECT_GT(occ.blocks_per_sm, 0);  // capped at 255, still schedulable
+}
+
+TEST(Occupancy, FractionInUnitRange) {
+  const auto t4 = devices::t4();
+  for (int regs : {32, 64, 128, 255}) {
+    const auto occ = compute_occupancy(t4, res(256, regs, 16384));
+    EXPECT_GE(occ.occupancy, 0.0);
+    EXPECT_LE(occ.occupancy, 1.0);
+    EXPECT_EQ(occ.warps_per_sm, occ.blocks_per_sm * 8);
+  }
+}
+
+TEST(Occupancy, ZeroWhenNothingFits) {
+  const auto t4 = devices::t4();
+  const auto occ = compute_occupancy(t4, res(1024, 255, 100000));
+  EXPECT_EQ(occ.blocks_per_sm, 0);
+  EXPECT_STREQ(occ.limiter, "none");
+}
+
+TEST(Occupancy, RejectsInvalidResources) {
+  const auto t4 = devices::t4();
+  EXPECT_THROW((void)compute_occupancy(t4, res(0, 32, 0)), std::logic_error);
+  EXPECT_THROW((void)compute_occupancy(t4, res(128, 0, 0)), std::logic_error);
+}
+
+TEST(Occupancy, RegisterAllocationGranularity) {
+  // 33 regs rounds to 40: same occupancy as 40, different from 32.
+  const auto t4 = devices::t4();
+  const auto occ33 = compute_occupancy(t4, res(256, 33, 0));
+  const auto occ40 = compute_occupancy(t4, res(256, 40, 0));
+  EXPECT_EQ(occ33.blocks_per_sm, occ40.blocks_per_sm);
+}
+
+}  // namespace
+}  // namespace aift

@@ -1,0 +1,88 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aift {
+namespace {
+
+const GemmShape kShape{64, 48, 96};
+const TileConfig kTile{64, 64, 32, 32, 32, 2};
+
+TEST(Fault, SitesWithinProblem) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const auto f = random_fault(rng, kShape, kTile);
+    EXPECT_GE(f.row, 0);
+    EXPECT_LT(f.row, kShape.m);
+    EXPECT_GE(f.col, 0);
+    EXPECT_LT(f.col, kShape.n);
+    EXPECT_GE(f.k8_step, -1);
+    EXPECT_LT(f.k8_step, kTile.k8_steps(kShape));
+    EXPECT_NE(f.xor_bits, 0u);
+  }
+}
+
+TEST(Fault, DeterministicWithSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 50; ++i) {
+    const auto fa = random_fault(a, kShape, kTile);
+    const auto fb = random_fault(b, kShape, kTile);
+    EXPECT_EQ(fa.row, fb.row);
+    EXPECT_EQ(fa.col, fb.col);
+    EXPECT_EQ(fa.k8_step, fb.k8_step);
+    EXPECT_EQ(fa.xor_bits, fb.xor_bits);
+  }
+}
+
+TEST(Fault, BitRangeRespected) {
+  Rng rng(3);
+  FaultModelOptions opts;
+  opts.min_bit = 23;
+  opts.max_bit = 30;
+  for (int i = 0; i < 200; ++i) {
+    const auto f = random_fault(rng, kShape, kTile, opts);
+    const int bit = fault_bit(f);
+    EXPECT_GE(bit, 23);
+    EXPECT_LE(bit, 30);
+  }
+}
+
+TEST(Fault, AtOutputOnly) {
+  Rng rng(5);
+  FaultModelOptions opts;
+  opts.at_output_only = true;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(random_fault(rng, kShape, kTile, opts).k8_step, -1);
+  }
+}
+
+TEST(Fault, FaultBitExtraction) {
+  EXPECT_EQ(fault_bit(FaultSpec{0, 0, -1, 1u << 13}), 13);
+  EXPECT_EQ(fault_bit(FaultSpec{0, 0, -1, 1u}), 0);
+  EXPECT_EQ(fault_bit(FaultSpec{0, 0, -1, 0x80000000u}), 31);
+  EXPECT_EQ(fault_bit(FaultSpec{0, 0, -1, 0x3u}), -1);  // not single-bit
+  EXPECT_EQ(fault_bit(FaultSpec{0, 0, -1, 0u}), -1);
+}
+
+TEST(Fault, InvalidOptionsRejected) {
+  Rng rng(9);
+  FaultModelOptions opts;
+  opts.min_bit = 20;
+  opts.max_bit = 10;
+  EXPECT_THROW((void)random_fault(rng, kShape, kTile, opts), std::logic_error);
+}
+
+TEST(Fault, CoversManyDistinctSites) {
+  Rng rng(11);
+  std::set<std::pair<std::int64_t, std::int64_t>> sites;
+  for (int i = 0; i < 300; ++i) {
+    const auto f = random_fault(rng, kShape, kTile);
+    sites.insert({f.row, f.col});
+  }
+  EXPECT_GT(sites.size(), 250u);  // near-uniform coverage
+}
+
+}  // namespace
+}  // namespace aift

@@ -1,0 +1,207 @@
+// Cost-model tests: roofline behaviour, occupancy coupling, wave
+// quantization, launch floors, and the redundancy-delta knobs each ABFT
+// scheme turns.
+
+#include "gemm/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aift {
+namespace {
+
+const TileConfig kBig{128, 128, 32, 64, 64, 2};
+const TileConfig kSmall{32, 32, 32, 16, 16, 2};
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  GemmCostModel model_{devices::t4()};
+};
+
+TEST_F(CostModelTest, ComponentsAreConsistent) {
+  const auto c = model_.estimate({1024, 1024, 1024}, kBig, DType::f16);
+  EXPECT_GT(c.exec_us, 0.0);
+  EXPECT_GT(c.launch_us, 0.0);
+  EXPECT_NEAR(c.total_us, c.exec_us + c.launch_us + c.second_kernel_us +
+                              c.pre_kernel_us,
+              1e-9);
+  // Execution is at least the largest pipe and at least the latency floor.
+  EXPECT_GE(c.exec_us + 1e-9, c.latency_us);
+}
+
+TEST_F(CostModelTest, LargeSquareIsTensorBound) {
+  const auto c = model_.estimate({2048, 2048, 2048}, kBig, DType::f16);
+  EXPECT_EQ(c.bottleneck, Bottleneck::tensor);
+  EXPECT_GT(c.tensor_us, c.mem_us);
+}
+
+TEST_F(CostModelTest, SkinnyGemmIsMemoryBound) {
+  // HD conv1-like: M huge, K and N small -> far below CMR.
+  const auto c = model_.estimate({518400, 64, 152}, kBig, DType::f16);
+  EXPECT_EQ(c.bottleneck, Bottleneck::memory);
+  EXPECT_GT(c.mem_us, c.tensor_us);
+}
+
+TEST_F(CostModelTest, TinyGemmDominatedByLaunch) {
+  const auto c = model_.estimate({32, 32, 32}, kSmall, DType::f16);
+  EXPECT_GT(c.launch_us, c.exec_us);
+  EXPECT_LT(c.total_us, 20.0);  // microseconds, not milliseconds
+}
+
+TEST_F(CostModelTest, MonotoneInProblemSize) {
+  // Non-decreasing everywhere; strictly increasing once the kernel leaves
+  // the latency-bound region (where doubling the size also doubles the
+  // resident parallelism, keeping time flat — observed on real GPUs too).
+  double prev = 0.0;
+  for (int s = 64; s <= 2048; s *= 2) {
+    const double t = model_.estimate({s, s, s}, kBig, DType::f16).total_us;
+    EXPECT_GE(t, prev) << s;
+    if (s >= 512) { EXPECT_GT(t, prev) << s; }
+    prev = t;
+  }
+}
+
+TEST_F(CostModelTest, MonotoneInK) {
+  const double t1 = model_.estimate({256, 256, 256}, kBig, DType::f16).total_us;
+  const double t2 = model_.estimate({256, 256, 2048}, kBig, DType::f16).total_us;
+  EXPECT_GT(t2, t1);
+}
+
+TEST_F(CostModelTest, WaveQuantizationStepsUp) {
+  // One more block than fits in a wave costs a visible extra wave when
+  // compute-bound.
+  const auto occ = model_.estimate({2048, 2048, 2048}, kBig, DType::f16);
+  ASSERT_GT(occ.occupancy.blocks_per_sm, 0);
+  const int concurrent = occ.occupancy.blocks_per_sm * 40;
+  // Pick M so the grid has exactly `concurrent` blocks, then exceed by one
+  // block row.
+  const std::int64_t m_exact = static_cast<std::int64_t>(concurrent) * 128 / 16;
+  const auto full =
+      model_.estimate({m_exact, 16 * 128, 2048}, kBig, DType::f16);
+  const auto plus =
+      model_.estimate({m_exact + 128, 16 * 128, 2048}, kBig, DType::f16);
+  EXPECT_GT(plus.waves, full.waves);
+  EXPECT_GT(plus.exec_us, full.exec_us * 1.005);
+}
+
+TEST_F(CostModelTest, InfeasibleConfigCostsInfinity) {
+  // 16 warps with 64x64 warp tiles -> 256x256 block: register file blown.
+  const TileConfig huge{256, 256, 32, 64, 64, 2};
+  ASSERT_TRUE(huge.valid());
+  const auto c = model_.estimate({4096, 4096, 256}, huge, DType::f16);
+  EXPECT_TRUE(std::isinf(c.total_us));
+}
+
+TEST_F(CostModelTest, ExtraTensorFracRaisesTensorTime) {
+  RedundancyDelta delta;
+  delta.extra_tensor_frac = 0.125;
+  const auto base = model_.estimate({2048, 2048, 2048}, kBig, DType::f16);
+  const auto red =
+      model_.estimate({2048, 2048, 2048}, kBig, DType::f16, delta);
+  EXPECT_NEAR(red.tensor_us / base.tensor_us, 1.125, 0.01);
+  EXPECT_GT(red.total_us, base.total_us * 1.08);  // surfaces when bound
+}
+
+TEST_F(CostModelTest, ExtraTensorHiddenWhenBandwidthBound) {
+  RedundancyDelta delta;
+  delta.extra_tensor_frac = 0.25;
+  const GemmShape skinny{518400, 64, 152};
+  const auto base = model_.estimate(skinny, kBig, DType::f16);
+  const auto red = model_.estimate(skinny, kBig, DType::f16, delta);
+  // The paper's core claim: redundant MMAs ride in the idle tensor pipe.
+  EXPECT_LT((red.total_us - base.total_us) / base.total_us, 0.01);
+}
+
+TEST_F(CostModelTest, SecondKernelChargedAndOverlappable) {
+  RedundancyDelta delta;
+  delta.second_kernel_fixed_us = 2.0;
+  delta.second_kernel_bytes = 1e6;
+  const auto full = model_.estimate({256, 256, 256}, kSmall, DType::f16, delta);
+  EXPECT_GT(full.second_kernel_us, 2.0);
+
+  delta.overlap_fraction = 0.75;
+  const auto part = model_.estimate({256, 256, 256}, kSmall, DType::f16, delta);
+  EXPECT_NEAR(part.second_kernel_us, full.second_kernel_us * 0.25, 1e-9);
+
+  delta.overlap_fraction = 1.0;
+  const auto none = model_.estimate({256, 256, 256}, kSmall, DType::f16, delta);
+  EXPECT_DOUBLE_EQ(none.second_kernel_us, 0.0);
+}
+
+TEST_F(CostModelTest, PreKernelCharged) {
+  RedundancyDelta delta;
+  delta.pre_kernel_fixed_us = 1.5;
+  delta.pre_kernel_bytes = 24.9e6;  // a 24.9 MB feature map
+  const auto c = model_.estimate({1024, 1024, 1024}, kBig, DType::f16, delta);
+  EXPECT_GT(c.pre_kernel_us, 1.5 + 100.0);  // streaming read dominates
+}
+
+TEST_F(CostModelTest, ExtraRegistersCanLowerOccupancy) {
+  RedundancyDelta delta;
+  delta.extra_regs_per_thread = kBig.accumulators_per_thread();  // 2x acc
+  const auto base = model_.estimate({2048, 2048, 2048}, kBig, DType::f16);
+  const auto red =
+      model_.estimate({2048, 2048, 2048}, kBig, DType::f16, delta);
+  EXPECT_LE(red.occupancy.blocks_per_sm, base.occupancy.blocks_per_sm);
+  EXPECT_TRUE(red.occupancy.register_spill);
+  EXPECT_GT(red.total_us, base.total_us);
+}
+
+TEST_F(CostModelTest, InKernelCheckAddsSmallTail) {
+  RedundancyDelta delta;
+  delta.in_kernel_check = true;
+  const auto base = model_.estimate({64, 64, 64}, kSmall, DType::f16);
+  const auto red = model_.estimate({64, 64, 64}, kSmall, DType::f16, delta);
+  EXPECT_GT(red.exec_us, base.exec_us);
+  EXPECT_LT(red.total_us - base.total_us, 1.0);  // sub-microsecond tail
+}
+
+TEST_F(CostModelTest, AluOpsSurfaceWhenDominant) {
+  RedundancyDelta delta;
+  delta.extra_alu_ops_per_thread_k8 = 2000.0;  // absurd checksum load
+  const auto base = model_.estimate({512, 512, 512}, kBig, DType::f16);
+  const auto red = model_.estimate({512, 512, 512}, kBig, DType::f16, delta);
+  EXPECT_GT(red.total_us, base.total_us * 2.0);
+}
+
+TEST_F(CostModelTest, DramBytesAtLeastCompulsory) {
+  for (int s : {256, 512, 1024, 2048}) {
+    const GemmShape g{s, s, s};
+    const auto c = model_.estimate(g, kBig, DType::f16);
+    EXPECT_GE(c.dram_bytes, static_cast<double>(g.operand_bytes(DType::f16)) *
+                                0.99)
+        << s;
+  }
+}
+
+TEST_F(CostModelTest, HigherBandwidthDeviceFasterWhenMemBound) {
+  GemmCostModel a100(devices::a100());
+  const GemmShape skinny{518400, 64, 152};
+  EXPECT_LT(a100.estimate(skinny, kBig, DType::f16).exec_us,
+            model_.estimate(skinny, kBig, DType::f16).exec_us);
+}
+
+TEST_F(CostModelTest, Int8FasterThanF16WhenMemBound) {
+  const GemmShape skinny{100000, 64, 128};
+  const auto f16 = model_.estimate(skinny, kBig, DType::f16);
+  const auto i8 = model_.estimate(skinny, kBig, DType::i8);
+  EXPECT_LT(i8.exec_us, f16.exec_us);  // half the bytes
+}
+
+TEST_F(CostModelTest, RejectsInvalidInputs) {
+  EXPECT_THROW((void)model_.estimate({0, 1, 1}, kBig, DType::f16), std::logic_error);
+  const TileConfig bad{100, 128, 32, 64, 64, 2};
+  EXPECT_THROW((void)model_.estimate({64, 64, 64}, bad, DType::f16),
+               std::logic_error);
+}
+
+TEST(BottleneckNames, AllDistinct) {
+  EXPECT_STREQ(bottleneck_name(Bottleneck::memory), "memory");
+  EXPECT_STREQ(bottleneck_name(Bottleneck::tensor), "tensor");
+  EXPECT_STREQ(bottleneck_name(Bottleneck::alu), "alu");
+  EXPECT_STREQ(bottleneck_name(Bottleneck::latency), "latency");
+}
+
+}  // namespace
+}  // namespace aift

@@ -1,0 +1,149 @@
+// m16n8k8 MMA emulation tests: fragment ownership per the PTX layout, and
+// numerical semantics (exact FP16 products, FP32 accumulation).
+
+#include "gemm/mma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "gemm/tile_config.hpp"
+
+namespace aift {
+namespace {
+
+TEST(MmaFragments, CFragmentSpotChecks) {
+  // Lane 0: group 0, tig 0 -> rows {0,8}, cols {0,1}.
+  const auto f0 = mma_c_fragment(0);
+  EXPECT_EQ(f0[0], (FragCoord{0, 0}));
+  EXPECT_EQ(f0[1], (FragCoord{0, 1}));
+  EXPECT_EQ(f0[2], (FragCoord{8, 0}));
+  EXPECT_EQ(f0[3], (FragCoord{8, 1}));
+  // Lane 5: group 1, tig 1 -> rows {1,9}, cols {2,3}.
+  const auto f5 = mma_c_fragment(5);
+  EXPECT_EQ(f5[0], (FragCoord{1, 2}));
+  EXPECT_EQ(f5[3], (FragCoord{9, 3}));
+  // Lane 31: group 7, tig 3 -> rows {7,15}, cols {6,7}.
+  const auto f31 = mma_c_fragment(31);
+  EXPECT_EQ(f31[0], (FragCoord{7, 6}));
+  EXPECT_EQ(f31[3], (FragCoord{15, 7}));
+}
+
+TEST(MmaFragments, BFragmentSpotChecks) {
+  // Lane 0 holds b[0][0], b[1][0]; lane 5 holds b[2][1], b[3][1].
+  const auto b0 = mma_b_fragment(0);
+  EXPECT_EQ(b0[0], (FragCoord{0, 0}));
+  EXPECT_EQ(b0[1], (FragCoord{1, 0}));
+  const auto b5 = mma_b_fragment(5);
+  EXPECT_EQ(b5[0], (FragCoord{2, 1}));
+  EXPECT_EQ(b5[1], (FragCoord{3, 1}));
+}
+
+TEST(MmaFragments, CFragmentsPartitionTile) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (const auto& fc : mma_c_fragment(lane)) {
+      EXPECT_TRUE(seen.insert({fc.row, fc.col}).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u * 8u);
+}
+
+TEST(MmaFragments, AFragmentsPartitionTile) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (const auto& fc : mma_a_fragment(lane)) {
+      EXPECT_TRUE(seen.insert({fc.row, fc.col}).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u * 8u);
+}
+
+TEST(MmaFragments, BFragmentsPartitionTile) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (const auto& fc : mma_b_fragment(lane)) {
+      EXPECT_TRUE(seen.insert({fc.row, fc.col}).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 8u);
+}
+
+TEST(MmaFragments, OwnerLaneInverse) {
+  for (int r = 0; r < MmaShape::kM; ++r) {
+    for (int c = 0; c < MmaShape::kN; ++c) {
+      const int lane = mma_c_owner_lane(r, c);
+      bool found = false;
+      for (const auto& fc : mma_c_fragment(lane)) {
+        found |= (fc.row == r && fc.col == c);
+      }
+      EXPECT_TRUE(found) << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(MmaFragments, RejectsBadLane) {
+  EXPECT_THROW(mma_c_fragment(32), std::logic_error);
+  EXPECT_THROW(mma_a_fragment(-1), std::logic_error);
+  EXPECT_THROW(mma_c_owner_lane(16, 0), std::logic_error);
+}
+
+TEST(MmaMath, ExactForSmallIntegers) {
+  half_t a[16 * 8], b[8 * 8];
+  float c[16 * 8] = {};
+  for (int i = 0; i < 16 * 8; ++i) a[i] = half_t((i % 5) - 2);
+  for (int i = 0; i < 8 * 8; ++i) b[i] = half_t((i % 7) - 3);
+  mma_m16n8k8(a, b, c);
+  for (int r = 0; r < 16; ++r) {
+    for (int col = 0; col < 8; ++col) {
+      int expect = 0;
+      for (int k = 0; k < 8; ++k) {
+        expect += ((r * 8 + k) % 5 - 2) * ((k * 8 + col) % 7 - 3);
+      }
+      EXPECT_FLOAT_EQ(c[r * 8 + col], static_cast<float>(expect));
+    }
+  }
+}
+
+TEST(MmaMath, AccumulatesIntoC) {
+  half_t a[16 * 8], b[8 * 8];
+  float c[16 * 8];
+  for (int i = 0; i < 16 * 8; ++i) a[i] = half_t(1.0f);
+  for (int i = 0; i < 8 * 8; ++i) b[i] = half_t(1.0f);
+  for (int i = 0; i < 16 * 8; ++i) c[i] = 100.0f;
+  mma_m16n8k8(a, b, c);
+  for (int i = 0; i < 16 * 8; ++i) EXPECT_FLOAT_EQ(c[i], 108.0f);
+}
+
+TEST(MmaMath, F32OpsPathIdentical) {
+  Rng rng(17);
+  half_t a[16 * 8], b[8 * 8];
+  float af[16 * 8], bf[8 * 8];
+  for (int i = 0; i < 16 * 8; ++i) {
+    a[i] = rng.uniform_half(-1, 1);
+    af[i] = a[i].to_float();
+  }
+  for (int i = 0; i < 8 * 8; ++i) {
+    b[i] = rng.uniform_half(-1, 1);
+    bf[i] = b[i].to_float();
+  }
+  float c1[16 * 8] = {}, c2[16 * 8] = {};
+  mma_m16n8k8(a, b, c1);
+  mma_m16n8k8_f32ops(af, bf, c2);
+  for (int i = 0; i < 16 * 8; ++i) EXPECT_EQ(c1[i], c2[i]);
+}
+
+TEST(MmaMath, Fp16ProductsExactInFp32) {
+  // Products of two FP16 values are exactly representable in FP32, so a
+  // single product accumulated into zero has no rounding at all.
+  half_t a[16 * 8] = {}, b[8 * 8] = {};
+  float c[16 * 8] = {};
+  a[0] = half_t(0.333251953125f);  // an exact FP16 value
+  b[0] = half_t(0.10009765625f);
+  mma_m16n8k8(a, b, c);
+  EXPECT_EQ(c[0], a[0].to_float() * b[0].to_float());
+}
+
+}  // namespace
+}  // namespace aift

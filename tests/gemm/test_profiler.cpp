@@ -1,0 +1,95 @@
+// Pre-deployment profiler tests: mirrors the CUTLASS profiler workflow the
+// paper integrates intensity-guided ABFT into (§5.3, §6.1).
+
+#include "gemm/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aift {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  GemmCostModel model_{devices::t4()};
+};
+
+TEST_F(ProfilerTest, BestIsMinimumOverAll) {
+  const GemmShape shape{512, 512, 512};
+  const auto best = profile_best(model_, shape, DType::f16);
+  for (const auto& pk : profile_all(model_, shape, DType::f16)) {
+    EXPECT_LE(best.cost.total_us, pk.cost.total_us + 1e-9);
+  }
+}
+
+TEST_F(ProfilerTest, BestIsFiniteAndValid) {
+  for (int s : {8, 32, 256, 2048}) {
+    const auto best = profile_best(model_, {s, s, s}, DType::f16);
+    EXPECT_TRUE(std::isfinite(best.cost.total_us)) << s;
+    EXPECT_TRUE(best.tile.valid());
+  }
+}
+
+TEST_F(ProfilerTest, LargeProblemsPreferLargeTiles) {
+  const auto best = profile_best(model_, {4096, 4096, 1024}, DType::f16);
+  EXPECT_GE(best.tile.mb, 64);
+  EXPECT_GE(best.tile.nb, 64);
+}
+
+TEST_F(ProfilerTest, TinyMAvoidsLargeSquareTiles) {
+  // DLRM batch-1 layers have M = 8; a 256x128 tile wastes >96% of its MMAs
+  // and leaves most of the GPU idle. The profiler must strictly beat the
+  // big-tile configurations here.
+  const GemmShape shape{8, 256, 512};
+  const auto best = profile_best(model_, shape, DType::f16);
+  EXPECT_LE(best.tile.mb, 64);
+  const auto big =
+      model_.estimate(shape, TileConfig{256, 128, 32, 64, 64, 2}, DType::f16);
+  EXPECT_LT(best.cost.total_us, big.total_us);
+}
+
+TEST_F(ProfilerTest, ProfileAllCoversCandidateSet) {
+  const auto all = profile_all(model_, {128, 128, 128}, DType::f16);
+  EXPECT_EQ(all.size(), candidate_tiles().size());
+}
+
+TEST_F(ProfilerTest, DeltaFnReceivesTileAndRaisesCost) {
+  const GemmShape shape{2048, 2048, 2048};
+  int calls = 0;
+  const auto red = profile_best(model_, shape, DType::f16,
+                                [&](const TileConfig& tile) {
+                                  ++calls;
+                                  RedundancyDelta d;
+                                  d.extra_tensor_frac = 8.0 / tile.nw;
+                                  return d;
+                                });
+  EXPECT_EQ(calls, static_cast<int>(candidate_tiles().size()));
+  const auto base = profile_best(model_, shape, DType::f16);
+  EXPECT_GE(red.cost.total_us, base.cost.total_us);
+}
+
+TEST_F(ProfilerTest, RedundantSelectionMayDifferFromBase) {
+  // With a scheme whose cost depends on Nw, the profiler may pick a
+  // different tile for the protected kernel than for the baseline — that
+  // freedom is the point of enumerating per scheme.
+  const GemmShape shape{2048, 2048, 2048};
+  const auto red = profile_best(model_, shape, DType::f16,
+                                [](const TileConfig& tile) {
+                                  RedundancyDelta d;
+                                  d.extra_tensor_frac = 8.0 / tile.nw;
+                                  return d;
+                                });
+  EXPECT_GE(red.tile.nw, 32);  // prefers wide warp tiles (lower 8/Nw)
+}
+
+TEST_F(ProfilerTest, WorksForAllDevices) {
+  for (const auto& dev : devices::all()) {
+    GemmCostModel m(dev);
+    const auto best = profile_best(m, {256, 256, 256}, DType::f16);
+    EXPECT_TRUE(std::isfinite(best.cost.total_us)) << dev.name;
+  }
+}
+
+}  // namespace
+}  // namespace aift

@@ -1,0 +1,100 @@
+// GEMM shape / intensity metric tests, including the Figure 12 size->AI
+// labels (the paper annotates M=N=K=s with intensity s/3 in FP16).
+
+#include "gemm/gemm_shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aift {
+namespace {
+
+TEST(GemmShape, PaddingToMultiplesOfEight) {
+  const GemmShape s{1, 13, 512};
+  const auto p = s.padded();
+  EXPECT_EQ(p.m, 8);
+  EXPECT_EQ(p.n, 16);
+  EXPECT_EQ(p.k, 512);
+}
+
+TEST(GemmShape, PaddingIdempotent) {
+  const GemmShape s{64, 64, 64};
+  EXPECT_EQ(s.padded(), s);
+  EXPECT_EQ(s.padded().padded(), s.padded());
+}
+
+TEST(GemmShape, CustomAlignment) {
+  const GemmShape s{10, 10, 10};
+  const auto p = s.padded(16);
+  EXPECT_EQ(p.m, 16);
+  EXPECT_EQ(p.n, 16);
+  EXPECT_EQ(p.k, 16);
+}
+
+TEST(GemmShape, Flops) {
+  EXPECT_EQ((GemmShape{2, 3, 4}).flops(), 2 * 2 * 3 * 4);
+  EXPECT_EQ((GemmShape{2048, 2048, 2048}).flops(), 17179869184LL);
+}
+
+TEST(GemmShape, OperandBytes) {
+  const GemmShape s{4, 5, 6};
+  EXPECT_EQ(s.operand_elems(), 4 * 6 + 6 * 5 + 4 * 5);
+  EXPECT_EQ(s.operand_bytes(DType::f16), s.operand_elems() * 2);
+  EXPECT_EQ(s.operand_bytes(DType::f32), s.operand_elems() * 4);
+  EXPECT_EQ(s.operand_bytes(DType::i8), s.operand_elems());
+}
+
+TEST(GemmShape, SquareIntensityIsSideOverThree) {
+  // For M=N=K=s (multiple of 8) in FP16: 2s^3 / (2*3s^2) = s/3 — these are
+  // exactly the intensity labels on the paper's Figure 12 x-axis.
+  EXPECT_NEAR(paper_intensity({32, 32, 32}, DType::f16), 10.7, 0.05);
+  EXPECT_NEAR(paper_intensity({64, 64, 64}, DType::f16), 21.3, 0.05);
+  EXPECT_NEAR(paper_intensity({128, 128, 128}, DType::f16), 42.7, 0.05);
+  EXPECT_NEAR(paper_intensity({256, 256, 256}, DType::f16), 85.3, 0.05);
+  EXPECT_NEAR(paper_intensity({512, 512, 512}, DType::f16), 170.7, 0.05);
+  EXPECT_NEAR(paper_intensity({1024, 1024, 1024}, DType::f16), 341.3, 0.05);
+  EXPECT_NEAR(paper_intensity({2048, 2048, 2048}, DType::f16), 682.7, 0.05);
+}
+
+TEST(GemmShape, IntensityUsesPaddedDims) {
+  // M=1 pads to 8, which dominates the intensity of a weight-bound GEMM.
+  const GemmShape s{1, 512, 512};
+  EXPECT_GT(paper_intensity(s, DType::f16), s.intensity(DType::f16));
+}
+
+TEST(GemmShape, IntensityDoublesFromF16ToI8) {
+  const GemmShape s{256, 256, 256};
+  EXPECT_NEAR(paper_intensity(s, DType::i8),
+              2.0 * paper_intensity(s, DType::f16), 1e-9);
+}
+
+TEST(GemmShape, IntensityMonotoneInSquareSize) {
+  double prev = 0.0;
+  for (int s = 8; s <= 4096; s *= 2) {
+    const double ai = paper_intensity({s, s, s}, DType::f16);
+    EXPECT_GT(ai, prev);
+    prev = ai;
+  }
+}
+
+TEST(GemmShape, BandwidthBoundClassificationOnT4) {
+  const auto t4 = devices::t4();  // FP16 CMR 203
+  // Figure 12: sizes left of the dashed line (<= 512) are bandwidth bound.
+  EXPECT_TRUE(is_bandwidth_bound({512, 512, 512}, DType::f16, t4));
+  EXPECT_FALSE(is_bandwidth_bound({1024, 1024, 1024}, DType::f16, t4));
+}
+
+TEST(GemmShape, BoundClassDependsOnDevice) {
+  // AI = 170.7 is bandwidth-bound on the T4 (CMR 203) but compute-bound on
+  // the P4 (CMR 58) — the §3.3 trend that motivates the paper.
+  const GemmShape s{512, 512, 512};
+  EXPECT_TRUE(is_bandwidth_bound(s, DType::f16, devices::t4()));
+  EXPECT_FALSE(is_bandwidth_bound(s, DType::f16, devices::p4()));
+}
+
+TEST(GemmShape, ZeroBytesGuard) {
+  const GemmShape s{0, 0, 0};
+  EXPECT_DOUBLE_EQ(s.intensity(DType::f16), 0.0);
+}
+
+}  // namespace
+}  // namespace aift

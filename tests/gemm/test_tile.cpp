@@ -1,0 +1,146 @@
+// Tile-configuration tests: the hierarchical decomposition (Figure 2) and
+// the PTX thread-tile ownership maps that thread-level ABFT relies on.
+
+#include "gemm/tile_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aift {
+namespace {
+
+class TileParamTest : public ::testing::TestWithParam<TileConfig> {};
+
+INSTANTIATE_TEST_SUITE_P(AllCandidates, TileParamTest,
+                         ::testing::ValuesIn(candidate_tiles()),
+                         [](const auto& info) {
+                           std::string n = info.param.name();
+                           for (auto& c : n)
+                             if (c == 'x') c = '_';
+                           return n;
+                         });
+
+TEST_P(TileParamTest, IsValid) { EXPECT_TRUE(GetParam().valid()); }
+
+TEST_P(TileParamTest, WarpAndThreadCounts) {
+  const auto& t = GetParam();
+  EXPECT_EQ(t.warps(), (t.mb / t.mw) * (t.nb / t.nw));
+  EXPECT_EQ(t.threads(), t.warps() * 32);
+  EXPECT_LE(t.threads(), 1024);
+}
+
+TEST_P(TileParamTest, ThreadTileCoversWarpTile) {
+  // Union over all 32 lanes of (rows x cols) must cover the Mw x Nw warp
+  // tile exactly once — every output element has exactly one owner.
+  const auto& t = GetParam();
+  std::set<std::pair<int, int>> covered;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int r : t.lane_rows(lane)) {
+      for (int c : t.lane_cols(lane)) {
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, t.mw);
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, t.nw);
+        const bool inserted = covered.insert({r, c}).second;
+        EXPECT_TRUE(inserted) << "duplicate owner for (" << r << "," << c
+                              << ") in " << t.name();
+      }
+    }
+  }
+  EXPECT_EQ(covered.size(), static_cast<std::size_t>(t.mw) * t.nw);
+}
+
+TEST_P(TileParamTest, OwnerLaneConsistentWithLaneMaps) {
+  const auto& t = GetParam();
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int r : t.lane_rows(lane)) {
+      for (int c : t.lane_cols(lane)) {
+        EXPECT_EQ(t.owner_lane(r, c), lane);
+      }
+    }
+  }
+}
+
+TEST_P(TileParamTest, ThreadTileDims) {
+  const auto& t = GetParam();
+  EXPECT_EQ(static_cast<int>(t.lane_rows(0).size()), t.mt());
+  EXPECT_EQ(static_cast<int>(t.lane_cols(0).size()), t.nt());
+  EXPECT_EQ(t.accumulators_per_thread(), t.mt() * t.nt());
+  // 32 threads x per-thread accumulators == warp tile size.
+  EXPECT_EQ(32 * t.accumulators_per_thread(), t.mw * t.nw);
+}
+
+TEST_P(TileParamTest, RegistersWithinHardwareReach) {
+  const auto& t = GetParam();
+  EXPECT_GT(t.regs_per_thread(), t.accumulators_per_thread());
+  EXPECT_LE(t.regs_per_thread(), 255);
+}
+
+TEST_P(TileParamTest, SmemFitsT4) {
+  EXPECT_LE(GetParam().smem_bytes(DType::f16), devices::t4().smem_per_sm_bytes);
+}
+
+TEST(TileConfig, GridBlocksCeil) {
+  const TileConfig t{128, 128, 32, 64, 64, 2};
+  EXPECT_EQ(t.grid_blocks({128, 128, 64}), 1);
+  EXPECT_EQ(t.grid_blocks({129, 128, 64}), 2);
+  EXPECT_EQ(t.grid_blocks({129, 129, 64}), 4);
+  EXPECT_EQ(t.grid_blocks_m({1000, 1, 1}), 8);
+  EXPECT_EQ(t.grid_blocks_n({1, 1000, 1}), 8);
+}
+
+TEST(TileConfig, K8Steps) {
+  const TileConfig t{128, 128, 32, 64, 64, 2};
+  EXPECT_EQ(t.k8_steps({1, 1, 32}), 4);   // one kb slab
+  EXPECT_EQ(t.k8_steps({1, 1, 33}), 8);   // padded to two slabs
+  EXPECT_EQ(t.k8_steps({1, 1, 256}), 32);
+}
+
+TEST(TileConfig, MmasPerWarpStep) {
+  EXPECT_EQ((TileConfig{128, 128, 32, 64, 64, 2}).mmas_per_warp_step(), 32);
+  EXPECT_EQ((TileConfig{64, 64, 32, 32, 32, 2}).mmas_per_warp_step(), 8);
+  EXPECT_EQ((TileConfig{32, 32, 32, 16, 16, 2}).mmas_per_warp_step(), 2);
+}
+
+TEST(TileConfig, InvalidConfigsRejected) {
+  EXPECT_FALSE((TileConfig{100, 128, 32, 64, 64, 2}).valid());  // mb % mw
+  EXPECT_FALSE((TileConfig{128, 128, 30, 64, 64, 2}).valid());  // kb % 8
+  EXPECT_FALSE((TileConfig{128, 128, 32, 20, 64, 2}).valid());  // mw % 16
+  EXPECT_FALSE((TileConfig{128, 128, 32, 64, 12, 2}).valid());  // nw % 8
+  EXPECT_FALSE((TileConfig{512, 512, 32, 64, 64, 2}).valid());  // 16 warps ok? 64 warps
+  EXPECT_FALSE((TileConfig{128, 128, 32, 64, 64, 1}).valid());  // stages
+}
+
+TEST(TileConfig, PtxAccumulatorLayoutSpotChecks) {
+  // PTX m16n8k8: lane l owns rows {l/4, l/4+8} and cols {2(l%4), 2(l%4)+1}
+  // of each MMA tile.
+  const TileConfig t{64, 64, 32, 16, 8, 2};  // single-MMA warp tile
+  EXPECT_FALSE(t.valid());  // warps() = 4*8 = 32 > 16 — not a real config
+  const TileConfig t2{32, 32, 32, 16, 16, 2};
+  const auto rows0 = t2.lane_rows(0);
+  EXPECT_EQ(rows0[0], 0);
+  EXPECT_EQ(rows0[1], 8);
+  const auto cols5 = t2.lane_cols(5);  // lane 5: tig = 1 -> cols 2,3 (+8 band)
+  EXPECT_EQ(cols5[0], 2);
+  EXPECT_EQ(cols5[1], 3);
+  EXPECT_EQ(cols5[2], 10);
+  EXPECT_EQ(cols5[3], 11);
+}
+
+TEST(TileConfig, NameFormat) {
+  EXPECT_EQ((TileConfig{128, 64, 32, 64, 32, 2}).name(), "128x64x32_64x32");
+}
+
+TEST(TileConfig, CandidateSetSpansSmallAndLarge) {
+  int small = 0, large = 0;
+  for (const auto& t : candidate_tiles()) {
+    if (t.mb <= 32) ++small;
+    if (t.mb >= 128) ++large;
+  }
+  EXPECT_GE(small, 2);  // needed for DLRM-style tiny-M layers
+  EXPECT_GE(large, 3);  // needed for HD conv layers
+}
+
+}  // namespace
+}  // namespace aift

@@ -1,0 +1,74 @@
+// Intensity-analysis tests (paper §3: the case for mixed resource
+// bottlenecks within single networks).
+
+#include "nn/intensity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.hpp"
+
+namespace aift {
+namespace {
+
+TEST(Intensity, ReportFieldsConsistent) {
+  const auto m = zoo::resnet50(zoo::hd_input(1));
+  const auto rep = analyze_intensity(m, DType::f16, devices::t4());
+  EXPECT_EQ(rep.per_layer.size(), m.num_layers());
+  EXPECT_EQ(rep.bandwidth_bound_layers + rep.compute_bound_layers,
+            static_cast<int>(m.num_layers()));
+  EXPECT_NEAR(rep.aggregate, m.aggregate_intensity(DType::f16), 1e-9);
+  EXPECT_LE(rep.min_intensity, rep.max_intensity);
+  EXPECT_GT(rep.total_flops, 0);
+  EXPECT_GT(rep.total_bytes, 0);
+}
+
+TEST(Intensity, PerLayerPointersValid) {
+  const auto m = zoo::dlrm_mlp_bottom(1);
+  const auto rep = analyze_intensity(m, DType::f16, devices::t4());
+  for (std::size_t i = 0; i < rep.per_layer.size(); ++i) {
+    EXPECT_EQ(rep.per_layer[i].layer, &m.layers()[i]);
+  }
+}
+
+TEST(Intensity, ResNetHasBothBoundClassesOnT4) {
+  const auto rep = analyze_intensity(zoo::resnet50(zoo::hd_input(1)),
+                                     DType::f16, devices::t4());
+  EXPECT_GT(rep.bandwidth_bound_layers, 0);
+  EXPECT_GT(rep.compute_bound_layers, 0);
+}
+
+TEST(Intensity, DlrmFullyBandwidthBoundAtBatch1) {
+  const auto rep = analyze_intensity(zoo::dlrm_mlp_bottom(1), DType::f16,
+                                     devices::t4());
+  EXPECT_EQ(rep.compute_bound_layers, 0);
+  EXPECT_EQ(rep.bandwidth_bound_layers, 3);
+}
+
+TEST(Intensity, LowerCmrDeviceShiftsLayersToComputeBound) {
+  // The same model has fewer bandwidth-bound layers on the P4 (CMR 58)
+  // than on the T4 (CMR 203) — §3.3's CMR growth is what opened the
+  // opportunity the paper exploits.
+  const auto m = zoo::resnet50(zoo::hd_input(1));
+  const auto t4 = analyze_intensity(m, DType::f16, devices::t4());
+  const auto p4 = analyze_intensity(m, DType::f16, devices::p4());
+  EXPECT_GT(t4.bandwidth_bound_layers, p4.bandwidth_bound_layers);
+}
+
+TEST(Intensity, VggSpansNarrowerRangeThanResNet) {
+  const auto vgg = analyze_intensity(zoo::vgg16(zoo::hd_input(1)), DType::f16,
+                                     devices::t4());
+  const auto rn = analyze_intensity(zoo::resnet50(zoo::hd_input(1)),
+                                    DType::f16, devices::t4());
+  EXPECT_GT(vgg.min_intensity, rn.min_intensity);
+}
+
+TEST(Intensity, AggregateBetweenMinAndMax) {
+  for (const auto& m : zoo::figure8_models()) {
+    const auto rep = analyze_intensity(m, DType::f16, devices::t4());
+    EXPECT_GE(rep.aggregate, rep.min_intensity) << m.name();
+    EXPECT_LE(rep.aggregate, rep.max_intensity) << m.name();
+  }
+}
+
+}  // namespace
+}  // namespace aift

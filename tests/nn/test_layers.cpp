@@ -1,0 +1,91 @@
+// Layer-descriptor tests: conv/pool geometry and the conv->GEMM (im2col)
+// mapping of §2.1.
+
+#include "nn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aift {
+namespace {
+
+TEST(ConvOutDim, FloorMode) {
+  EXPECT_EQ(conv_out_dim(224, 7, 2, 3), 112);   // ResNet stem
+  EXPECT_EQ(conv_out_dim(112, 3, 2, 1), 56);    // ResNet maxpool
+  EXPECT_EQ(conv_out_dim(224, 3, 1, 1), 224);   // same conv
+  EXPECT_EQ(conv_out_dim(50, 2, 2, 0), 25);     // NoScope pool
+  EXPECT_EQ(conv_out_dim(25, 2, 2, 0), 12);     // floor
+  EXPECT_EQ(conv_out_dim(1080, 7, 2, 3), 540);  // HD stem
+  EXPECT_EQ(conv_out_dim(224, 11, 4, 2), 55);   // AlexNet conv1
+}
+
+TEST(ConvOutDim, CeilMode) {
+  EXPECT_EQ(conv_out_dim(109, 3, 2, 0, true), 54);
+  EXPECT_EQ(conv_out_dim(25, 3, 2, 0, true), 12);
+  EXPECT_EQ(conv_out_dim(26, 3, 2, 0, true), 13);  // ceil kicks in
+}
+
+TEST(ConvOutDim, Validation) {
+  EXPECT_THROW((void)conv_out_dim(2, 7, 1, 0), std::logic_error);  // kernel > input
+  EXPECT_THROW((void)conv_out_dim(0, 1, 1, 0), std::logic_error);
+}
+
+TEST(ConvLayer, Im2colGemmDims) {
+  // ResNet-50 conv1 on HD input: M = 540*960, K = 3*7*7, N = 64.
+  const auto l = make_conv_layer("conv1", 1, 3, 1080, 1920, 64, 7, 7, 2, 3);
+  EXPECT_EQ(l.gemm.m, 540 * 960);
+  EXPECT_EQ(l.gemm.k, 3 * 7 * 7);
+  EXPECT_EQ(l.gemm.n, 64);
+  EXPECT_EQ(l.kind, LayerKind::conv2d);
+  EXPECT_EQ(l.kh, 7);
+  EXPECT_EQ(l.stride, 2);
+  EXPECT_EQ(l.input_elems, 3LL * 1080 * 1920);
+}
+
+TEST(ConvLayer, BatchScalesM) {
+  const auto b1 = make_conv_layer("c", 1, 16, 32, 32, 32, 3, 3, 1, 1);
+  const auto b8 = make_conv_layer("c", 8, 16, 32, 32, 32, 3, 3, 1, 1);
+  EXPECT_EQ(b8.gemm.m, 8 * b1.gemm.m);
+  EXPECT_EQ(b8.gemm.k, b1.gemm.k);
+  EXPECT_EQ(b8.gemm.n, b1.gemm.n);
+}
+
+TEST(LinearLayer, GemmDims) {
+  const auto l = make_linear_layer("fc", 4, 2048, 1000);
+  EXPECT_EQ(l.gemm.m, 4);
+  EXPECT_EQ(l.gemm.k, 2048);
+  EXPECT_EQ(l.gemm.n, 1000);
+  EXPECT_EQ(l.kind, LayerKind::linear);
+  EXPECT_EQ(l.input_elems, 4 * 2048);
+}
+
+TEST(LayerDesc, PaddedMetrics) {
+  // M=1 pads to 8 for FLOPs/bytes/intensity (the paper's §6.2 rule).
+  const auto l = make_linear_layer("fc", 1, 13, 512);
+  EXPECT_EQ(l.flops(), 2LL * 8 * 16 * 512);
+  EXPECT_EQ(l.bytes(DType::f16), 2LL * (8 * 16 + 16 * 512 + 8 * 512));
+  EXPECT_GT(l.intensity(DType::f16), 0.0);
+}
+
+TEST(LayerDesc, IntensityIncreasesWithBatchForWeightBoundLayer) {
+  // Batch 1 pads to the same GEMM as batch 8 (§6.2 padding), so intensity
+  // is flat below the alignment and strictly increasing above it.
+  EXPECT_DOUBLE_EQ(
+      make_linear_layer("fc", 1, 512, 512).intensity(DType::f16),
+      make_linear_layer("fc", 8, 512, 512).intensity(DType::f16));
+  double prev = 0.0;
+  for (std::int64_t batch : {8, 64, 256, 2048}) {
+    const auto l = make_linear_layer("fc", batch, 512, 512);
+    const double ai = l.intensity(DType::f16);
+    EXPECT_GT(ai, prev);
+    prev = ai;
+  }
+}
+
+TEST(LayerDesc, ConvIntensityGrowsWithChannels) {
+  const auto small = make_conv_layer("c", 1, 16, 50, 50, 16, 3, 3, 1, 1);
+  const auto large = make_conv_layer("c", 1, 64, 50, 50, 64, 3, 3, 1, 1);
+  EXPECT_GT(large.intensity(DType::f16), small.intensity(DType::f16));
+}
+
+}  // namespace
+}  // namespace aift

@@ -1,0 +1,167 @@
+// Pipeline-planning tests: per-layer profiling, aggregation (§6.2's
+// methodology) and the per-layer scheme mixing of intensity-guided ABFT.
+
+#include "runtime/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.hpp"
+#include "runtime/report.hpp"
+
+namespace aift {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  GemmCostModel model_{devices::t4()};
+  ProtectedPipeline pipe_{model_};
+};
+
+TEST_F(PipelineTest, TotalsAreEntrySums) {
+  const auto plan =
+      pipe_.plan(zoo::dlrm_mlp_bottom(1), ProtectionPolicy::global_abft);
+  double base = 0.0, prot = 0.0;
+  for (const auto& e : plan.entries) {
+    base += e.profile.base.cost.total_us;
+    prot += e.profile.redundant.cost.total_us;
+  }
+  EXPECT_NEAR(plan.total_base_us, base, 1e-9);
+  EXPECT_NEAR(plan.total_protected_us, prot, 1e-9);
+  EXPECT_NEAR(plan.overhead_pct(), (prot - base) / base * 100.0, 1e-9);
+}
+
+TEST_F(PipelineTest, EntryPerLayer) {
+  const auto m = zoo::noscope_coral(64);
+  const auto plan = pipe_.plan(m, ProtectionPolicy::thread_level);
+  EXPECT_EQ(plan.entries.size(), m.num_layers());
+  EXPECT_EQ(plan.model_name, "Coral");
+  EXPECT_EQ(plan.device_name, "T4");
+}
+
+TEST_F(PipelineTest, NonePolicyZeroOverhead) {
+  const auto plan = pipe_.plan(zoo::dlrm_mlp_top(1), ProtectionPolicy::none);
+  EXPECT_DOUBLE_EQ(plan.overhead_pct(), 0.0);
+}
+
+TEST_F(PipelineTest, FixedPoliciesUseOneScheme) {
+  const auto m = zoo::dlrm_mlp_bottom(1);
+  const auto plan = pipe_.plan(m, ProtectionPolicy::global_abft);
+  EXPECT_EQ(plan.count_scheme(Scheme::global_abft),
+            static_cast<int>(m.num_layers()));
+  const auto plan2 = pipe_.plan(m, ProtectionPolicy::thread_two_sided);
+  EXPECT_EQ(plan2.count_scheme(Scheme::thread_two_sided),
+            static_cast<int>(m.num_layers()));
+}
+
+TEST_F(PipelineTest, GuidedNeverWorseThanFixedSchemes) {
+  for (const auto& m : {zoo::dlrm_mlp_bottom(1), zoo::noscope_coral(64),
+                        zoo::resnet50(zoo::imagenet_input(1))}) {
+    const auto guided = pipe_.plan(m, ProtectionPolicy::intensity_guided);
+    const auto global = pipe_.plan(m, ProtectionPolicy::global_abft);
+    const auto thread = pipe_.plan(m, ProtectionPolicy::thread_level);
+    EXPECT_LE(guided.total_protected_us, global.total_protected_us + 1e-6)
+        << m.name();
+    EXPECT_LE(guided.total_protected_us, thread.total_protected_us + 1e-6)
+        << m.name();
+  }
+}
+
+TEST_F(PipelineTest, GuidedMixesSchemesOnMixedModel) {
+  // ResNet-50 on HD has both bound classes (§3.5), so intensity-guided
+  // protection should use both ABFT schemes.
+  const auto plan = pipe_.plan(zoo::resnet50(zoo::hd_input(1)),
+                               ProtectionPolicy::intensity_guided);
+  EXPECT_GT(plan.count_scheme(Scheme::thread_one_sided), 0);
+  EXPECT_GT(plan.count_scheme(Scheme::global_abft), 0);
+}
+
+TEST_F(PipelineTest, GuidedSelectionCorrelatesWithIntensity) {
+  // Layers picking thread-level should on average have lower intensity
+  // than layers picking global (the paper's §6 observation).
+  const auto plan = pipe_.plan(zoo::resnet50(zoo::hd_input(1)),
+                               ProtectionPolicy::intensity_guided);
+  double thread_ai = 0.0, global_ai = 0.0;
+  int nt = 0, ng = 0;
+  for (const auto& e : plan.entries) {
+    if (e.profile.scheme == Scheme::thread_one_sided) {
+      thread_ai += e.intensity;
+      ++nt;
+    } else if (e.profile.scheme == Scheme::global_abft) {
+      global_ai += e.intensity;
+      ++ng;
+    }
+  }
+  ASSERT_GT(nt, 0);
+  ASSERT_GT(ng, 0);
+  EXPECT_LT(thread_ai / nt, global_ai / ng);
+}
+
+TEST_F(PipelineTest, UnfusedLayersPayPreKernelUnderGlobal) {
+  const auto plan =
+      pipe_.plan(zoo::noscope_coral(64), ProtectionPolicy::global_abft);
+  // First layer and post-pool layers are unfused.
+  EXPECT_GT(plan.entries.front().profile.redundant.cost.pre_kernel_us, 0.0);
+  bool any_fused = false;
+  for (const auto& e : plan.entries) {
+    if (e.layer.input_checksum_fusable) {
+      EXPECT_DOUBLE_EQ(e.profile.redundant.cost.pre_kernel_us, 0.0);
+      any_fused = true;
+    }
+  }
+  EXPECT_TRUE(any_fused);
+}
+
+TEST_F(PipelineTest, OverlapOptionReducesGlobalOverhead) {
+  AbftOptions overlap;
+  overlap.overlap_fraction = 1.0;
+  ProtectedPipeline pipe_overlap(model_, overlap);
+  const auto m = zoo::dlrm_mlp_bottom(1);
+  const auto charged = pipe_.plan(m, ProtectionPolicy::global_abft);
+  const auto hidden = pipe_overlap.plan(m, ProtectionPolicy::global_abft);
+  EXPECT_LT(hidden.overhead_pct(), charged.overhead_pct());
+}
+
+TEST_F(PipelineTest, IdenticalLayersShareProfile) {
+  // VGG-16 has repeated identical conv shapes; their entries must carry
+  // identical profiling results (the cache did its job).
+  const auto plan = pipe_.plan(zoo::vgg16(zoo::imagenet_input(1)),
+                               ProtectionPolicy::global_abft);
+  const auto& l = plan.entries;
+  for (std::size_t i = 1; i < l.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (l[i].layer.gemm == l[j].layer.gemm &&
+          l[i].layer.input_checksum_fusable ==
+              l[j].layer.input_checksum_fusable &&
+          l[i].layer.input_elems == l[j].layer.input_elems) {
+        EXPECT_DOUBLE_EQ(l[i].profile.redundant.cost.total_us,
+                         l[j].profile.redundant.cost.total_us);
+      }
+    }
+  }
+}
+
+TEST_F(PipelineTest, PolicyNames) {
+  EXPECT_STREQ(policy_name(ProtectionPolicy::intensity_guided),
+               "Intensity-guided ABFT");
+  EXPECT_STREQ(policy_name(ProtectionPolicy::global_abft), "Global ABFT");
+}
+
+TEST_F(PipelineTest, ReportTableHasRowPerLayer) {
+  const auto m = zoo::dlrm_mlp_bottom(1);
+  const auto plan = pipe_.plan(m, ProtectionPolicy::intensity_guided);
+  const auto table = plan_table(plan);
+  EXPECT_EQ(table.num_rows(), m.num_layers());
+  const auto summary = plan_summary(plan);
+  EXPECT_NE(summary.find("MLP-Bottom"), std::string::npos);
+  EXPECT_NE(summary.find("T4"), std::string::npos);
+}
+
+TEST_F(PipelineTest, ReplicationPoliciesCostMoreThanOneSidedOnComputeBound) {
+  const auto m = zoo::wide_resnet50_2(zoo::imagenet_input(1));
+  const auto repl = pipe_.plan(m, ProtectionPolicy::repl_single_acc);
+  const auto one = pipe_.plan(m, ProtectionPolicy::thread_level);
+  EXPECT_GT(repl.overhead_pct(), one.overhead_pct());
+}
+
+}  // namespace
+}  // namespace aift
