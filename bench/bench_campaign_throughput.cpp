@@ -1,0 +1,145 @@
+// Throughput of the fault-injection campaign engine: trials/sec of the
+// serial reference vs. the parallel engine, and a multi-shape sweep —
+// the baseline that gates future campaign-scaling work.
+//
+// Emits JSON (the schema of BENCH_campaign.json at the repo root) to
+// stdout, or to a file when a path is given:
+//   bench_campaign_throughput [output.json]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/global_abft.hpp"
+#include "fault/campaign.hpp"
+
+namespace aift {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+FaultChecker global_checker() {
+  return [](const Matrix<half_t>& a, const Matrix<half_t>& b,
+            const Matrix<half_t>& c) {
+    return GlobalAbft(b).check(a, c).fault_detected;
+  };
+}
+
+struct Measurement {
+  std::string name;
+  int trials = 0;
+  double serial_s = 0.0;
+  double parallel_s = 0.0;
+
+  [[nodiscard]] double serial_tps() const { return trials / serial_s; }
+  [[nodiscard]] double parallel_tps() const { return trials / parallel_s; }
+  [[nodiscard]] double speedup() const { return serial_s / parallel_s; }
+};
+
+Measurement measure(const std::string& name, const CampaignConfig& cfg) {
+  const auto checker = global_checker();
+  Measurement m;
+  m.name = name;
+  m.trials = cfg.trials;
+
+  auto t0 = Clock::now();
+  const auto serial = run_campaign_serial(cfg, checker);
+  m.serial_s = seconds_since(t0);
+
+  t0 = Clock::now();
+  const auto parallel = run_campaign(cfg, checker);
+  m.parallel_s = seconds_since(t0);
+
+  if (!(serial == parallel)) {
+    std::fprintf(stderr, "FATAL: %s: parallel != serial stats\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  return m;
+}
+
+int run(int argc, char** argv) {
+  CampaignConfig cfg;
+  cfg.shape = GemmShape{64, 64, 64};
+  cfg.tile = TileConfig{32, 32, 32, 16, 16, 2};
+  cfg.trials = 200;
+  cfg.seed = 42;
+
+  std::vector<Measurement> rows;
+  rows.push_back(measure("gemm64_trials200", cfg));
+
+  auto big = cfg;
+  big.shape = GemmShape{128, 128, 128};
+  big.trials = 100;
+  rows.push_back(measure("gemm128_trials100", big));
+
+  // The sweep API exercised end-to-end (parallel engine only).
+  const std::vector<CampaignSweepCase> cases = {
+      {GemmShape{48, 48, 48}, TileConfig{32, 32, 32, 16, 16, 2}},
+      {GemmShape{64, 32, 96}, TileConfig{32, 32, 32, 16, 16, 2}},
+      {GemmShape{96, 96, 48}, TileConfig{32, 32, 32, 16, 16, 2}},
+  };
+  auto sweep_cfg = cfg;
+  sweep_cfg.trials = 60;
+  const auto t0 = Clock::now();
+  const auto sweep = run_campaign_sweep(sweep_cfg, cases, global_checker());
+  const double sweep_s = seconds_since(t0);
+  const int sweep_trials =
+      static_cast<int>(sweep.size()) * sweep_cfg.trials;
+
+  // Record the host so a baseline captured on a small machine (speedup
+  // ~1 on one core) is never misread as an engine regression elsewhere.
+  std::string json = "{\n  \"bench\": \"campaign_throughput\",\n";
+  json += "  \"workers\": " + std::to_string(parallel_workers()) + ",\n";
+  json += "  \"host_hw_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json +=
+      "  \"note\": \"speedup is bounded by host_hw_concurrency; "
+      "regenerate on the target host before comparing\",\n";
+  json += "  \"campaigns\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"trials\": %d, "
+                  "\"serial_s\": %.4f, \"parallel_s\": %.4f, "
+                  "\"serial_trials_per_s\": %.1f, "
+                  "\"parallel_trials_per_s\": %.1f, \"speedup\": %.2f}%s\n",
+                  r.name.c_str(), r.trials, r.serial_s, r.parallel_s,
+                  r.serial_tps(), r.parallel_tps(), r.speedup(),
+                  i + 1 < rows.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"sweep\": {\"cases\": %d, \"trials_total\": %d, "
+                "\"elapsed_s\": %.4f, \"trials_per_s\": %.1f}\n}\n",
+                static_cast<int>(sweep.size()), sweep_trials, sweep_s,
+                sweep_trials / sweep_s);
+  json += buf;
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  std::fputs(json.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace aift
+
+int main(int argc, char** argv) { return aift::run(argc, argv); }

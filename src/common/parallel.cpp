@@ -1,5 +1,6 @@
 #include "common/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -22,9 +23,11 @@ int detect_workers() {
 }
 
 // A minimal long-lived worker pool. Each parallel_for posts one "job"
-// (a chunked index range); workers pull chunks via an atomic cursor. Jobs
-// are shared_ptr-owned so a worker that observes a job late (after the
-// caller returned) only ever touches a drained, still-alive Job object.
+// (a chunked index range) onto a stack of active jobs; workers pull
+// chunks via an atomic cursor, preferring the newest undrained job so
+// nested parallel_for calls complete promptly. Jobs are shared_ptr-owned
+// so a worker that observes a job late (after the caller returned) only
+// ever touches a drained, still-alive Job object.
 class Pool {
  public:
   Pool() : workers_(static_cast<std::size_t>(detect_workers())) {
@@ -57,7 +60,7 @@ class Pool {
     job->cursor.store(begin, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lk(mu_);
-      job_ = job;
+      jobs_.push_back(job);
     }
     cv_.notify_all();
 
@@ -66,7 +69,10 @@ class Pool {
     {
       std::unique_lock<std::mutex> lk(mu_);
       done_cv_.wait(lk, [&] { return job->active.load() == 0; });
-      if (job_ == job) job_.reset();
+      jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
+      // An outer job displaced by this (nested) one may still have work;
+      // wake idle workers so they rejoin it.
+      if (next_job_locked() != nullptr) cv_.notify_all();
     }
     if (job->error) std::rethrow_exception(job->error);
   }
@@ -106,14 +112,27 @@ class Pool {
     }
   }
 
+  // Newest undrained job, or null. Workers prefer the most recently
+  // posted job: under nesting that is the inner job, whose completion the
+  // outer job's trials are blocked on. Caller must hold mu_.
+  std::shared_ptr<Job> next_job_locked() const {
+    for (auto it = jobs_.rbegin(); it != jobs_.rend(); ++it) {
+      if (!(*it)->drained()) return *it;
+    }
+    return nullptr;
+  }
+
   void worker_loop() {
     for (;;) {
       std::shared_ptr<Job> job;
       {
         std::unique_lock<std::mutex> lk(mu_);
-        cv_.wait(lk, [&] { return stop_ || (job_ && !job_->drained()); });
+        cv_.wait(lk, [&] {
+          if (stop_) return true;
+          job = next_job_locked();
+          return job != nullptr;
+        });
         if (stop_) return;
-        job = job_;
       }
       work_on(*job);
     }
@@ -123,7 +142,10 @@ class Pool {
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  std::shared_ptr<Job> job_;
+  /// Active (posted, not yet completed) jobs, oldest first. Nested
+  /// parallel_for pushes inner jobs on top; removal is by identity when
+  /// the posting run() returns.
+  std::vector<std::shared_ptr<Job>> jobs_;
   bool stop_ = false;
 };
 

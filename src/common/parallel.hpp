@@ -15,7 +15,10 @@ int parallel_workers();
 /// Runs fn(i) for each i in [begin, end). Blocks until all iterations are
 /// complete. Iterations are distributed in contiguous chunks; fn must be
 /// safe to call concurrently for distinct i. Exceptions thrown by fn are
-/// rethrown (first one wins) on the calling thread.
+/// rethrown (first one wins) on the calling thread. Nesting is safe: a
+/// parallel_for issued from inside another one completes on the calling
+/// worker (plus any idle workers) and never deadlocks, though the inner
+/// loop runs mostly serially while the pool is busy.
 void parallel_for(std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& fn);
 

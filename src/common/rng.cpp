@@ -2,6 +2,13 @@
 
 namespace aift {
 
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Asymmetric composition (seed hashed before stream is folded in), so
+  // (a, b) and (b, a) derive unrelated states; bijective per argument, so
+  // neither nearby seeds nor nearby streams collide.
+  return detail::splitmix64(detail::splitmix64(seed) ^ stream);
+}
+
 double Rng::uniform(double lo, double hi) {
   std::uniform_real_distribution<double> dist(lo, hi);
   return dist(engine_);

@@ -10,10 +10,23 @@
 #include "common/matrix.hpp"
 
 namespace aift {
+namespace detail {
+
+/// The splitmix64 finalizer: bijective, used to spread user seeds into
+/// engine states and to derive independent substreams (derive_seed).
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x5EED5EEDULL) : engine_(splitmix(seed)) {}
+  explicit Rng(std::uint64_t seed = 0x5EED5EEDULL)
+      : engine_(detail::splitmix64(seed)) {}
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
@@ -31,14 +44,14 @@ class Rng {
   std::mt19937_64& engine() noexcept { return engine_; }
 
  private:
-  static std::uint64_t splitmix(std::uint64_t x) noexcept {
-    x += 0x9E3779B97F4A7C15ULL;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-    return x ^ (x >> 31);
-  }
-
   std::mt19937_64 engine_;
 };
+
+/// Mixes (seed, stream) into the seed of an independent substream
+/// (splitmix64 over both words). Stable across platforms and worker
+/// counts; used to give each fault-injection trial its own RNG stream so
+/// parallel campaigns reproduce serial ones bit-for-bit.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed,
+                                        std::uint64_t stream) noexcept;
 
 }  // namespace aift

@@ -12,8 +12,15 @@
 //   missed   — the output changed but the checker stayed silent (possible
 //              for corruptions at or below FP16 rounding magnitude).
 
+// Trials are independent: each draws its fault site from a private RNG
+// stream seeded by derive_seed(CampaignConfig::seed, trial index), so the
+// engine fans trials out across the worker pool (common/parallel.hpp) and
+// still produces CampaignStats that are bit-identical at any worker count
+// — AIFT_NUM_THREADS=1 and =8 agree byte for byte.
+
 #include <array>
 #include <functional>
+#include <vector>
 
 #include "common/half.hpp"
 #include "common/matrix.hpp"
@@ -21,7 +28,10 @@
 
 namespace aift {
 
-/// Detection predicate over (A, B, possibly-faulty C).
+/// Detection predicate over (A, B, possibly-faulty C). run_campaign calls
+/// it concurrently from pool workers: it must be safe to invoke from
+/// multiple threads at once (stateless lambdas and the library's checkers
+/// are; a checker mutating captured state without synchronization is not).
 using FaultChecker = std::function<bool(
     const Matrix<half_t>&, const Matrix<half_t>&, const Matrix<half_t>&)>;
 
@@ -37,6 +47,8 @@ struct BitOutcome {
   std::int64_t injected = 0;
   std::int64_t detected = 0;
   std::int64_t masked = 0;
+
+  friend bool operator==(const BitOutcome&, const BitOutcome&) = default;
 };
 
 struct CampaignStats {
@@ -52,9 +64,50 @@ struct CampaignStats {
 
   /// Detected / (trials - masked): coverage over faults that mattered.
   [[nodiscard]] double effective_coverage() const;
+
+  /// Accumulates another (disjoint) set of trials into this one. Every
+  /// field is a sum or a max, so merging is associative and commutative:
+  /// per-worker partials combine to the same value in any order.
+  CampaignStats& merge(const CampaignStats& other);
+
+  friend bool operator==(const CampaignStats&, const CampaignStats&) = default;
 };
 
+/// Seed of the private RNG stream that trial `trial` of a campaign with
+/// seed `campaign_seed` draws its fault site from. Exposed so tests and
+/// tools can reproduce any trial's injection site in isolation.
+[[nodiscard]] std::uint64_t campaign_trial_seed(std::uint64_t campaign_seed,
+                                                std::int64_t trial);
+
+/// Runs the campaign with trials fanned out across the worker pool; the
+/// checker is invoked concurrently (see FaultChecker). Deterministic: the
+/// result depends only on `config` (never on AIFT_NUM_THREADS or
+/// scheduling).
 [[nodiscard]] CampaignStats run_campaign(const CampaignConfig& config,
                                          const FaultChecker& checker);
+
+/// Single-threaded reference engine. Produces bit-identical CampaignStats
+/// to run_campaign; kept for determinism tests and throughput baselines.
+[[nodiscard]] CampaignStats run_campaign_serial(const CampaignConfig& config,
+                                                const FaultChecker& checker);
+
+/// One (shape, tile) point of a campaign sweep.
+struct CampaignSweepCase {
+  GemmShape shape;
+  TileConfig tile;
+};
+
+struct CampaignSweepResult {
+  CampaignConfig config;  ///< the resolved per-case configuration
+  CampaignStats stats;
+};
+
+/// Fans one campaign out across several GEMM shapes / tile configs: case i
+/// runs `base` with shape and tile replaced, so each sweep entry equals a
+/// standalone run_campaign of its resolved config. Results are returned in
+/// case order and are deterministic at any worker count.
+[[nodiscard]] std::vector<CampaignSweepResult> run_campaign_sweep(
+    const CampaignConfig& base, const std::vector<CampaignSweepCase>& cases,
+    const FaultChecker& checker);
 
 }  // namespace aift

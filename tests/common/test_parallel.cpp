@@ -77,5 +77,64 @@ TEST(Parallel, BackToBackJobs) {
   }
 }
 
+// parallel.hpp guarantees nesting is safe: a parallel_for issued from
+// inside another one must complete without deadlock and cover its range
+// exactly once. This is the pattern the campaign engine relies on when a
+// checker (thread-level ABFT, replication) fans out per trial.
+
+TEST(Parallel, NestedCoversBothRangesExactlyOnce) {
+  const std::int64_t outer = 16, inner = 64;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  parallel_for(0, outer, [&](std::int64_t i) {
+    parallel_for(0, inner, [&](std::int64_t j) {
+      hits[static_cast<std::size_t>(i * inner + j)].fetch_add(1);
+    });
+  });
+  for (std::int64_t x = 0; x < outer * inner; ++x) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(x)].load(), 1) << x;
+  }
+}
+
+TEST(Parallel, NestedThreeLevelsDeep) {
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(0, 4, [&](std::int64_t) {
+    parallel_for(0, 4, [&](std::int64_t) {
+      parallel_for(0, 8, [&](std::int64_t k) { sum.fetch_add(k); });
+    });
+  });
+  EXPECT_EQ(sum.load(), 4 * 4 * (7 * 8 / 2));
+}
+
+TEST(Parallel, NestedInnerExceptionPropagatesToOuterCaller) {
+  EXPECT_THROW(
+      parallel_for(0, 8,
+                   [&](std::int64_t i) {
+                     parallel_for(0, 32, [&](std::int64_t j) {
+                       if (i == 3 && j == 17)
+                         throw std::runtime_error("inner boom");
+                     });
+                   }),
+      std::runtime_error);
+  // The pool must remain usable for flat and nested work afterwards.
+  std::atomic<int> calls{0};
+  parallel_for(0, 4, [&](std::int64_t) {
+    parallel_for(0, 25, [&](std::int64_t) { calls.fetch_add(1); });
+  });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(Parallel, ConcurrentNestedJobsAllComplete) {
+  // Many outer iterations each posting inner jobs stresses the pool's
+  // active-job stack: displaced outer jobs must keep draining after
+  // their inner jobs retire.
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    parallel_for(0, 32, [&](std::int64_t i) {
+      parallel_for(0, 50, [&](std::int64_t j) { sum.fetch_add(i + j); });
+    });
+    EXPECT_EQ(sum.load(), 50 * (31 * 32 / 2) + 32 * (49 * 50 / 2));
+  }
+}
+
 }  // namespace
 }  // namespace aift

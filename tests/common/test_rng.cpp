@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace aift {
 namespace {
 
@@ -73,6 +75,35 @@ TEST(Rng, FillUniformHalfInRange) {
     }
   }
   EXPECT_TRUE(nonzero);
+}
+
+TEST(DeriveSeed, PureFunctionOfSeedAndStream) {
+  EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+  EXPECT_EQ(derive_seed(0, 17), derive_seed(0, 17));
+}
+
+TEST(DeriveSeed, StreamsOfOneSeedAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 4096; ++s) seen.insert(derive_seed(42, s));
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(DeriveSeed, NearbySeedsGiveUnrelatedStreams) {
+  // Substream 0 of adjacent seeds must not collide or correlate — parallel
+  // campaigns with seeds s and s+1 would otherwise share trial faults.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 4096; ++s) seen.insert(derive_seed(s, 0));
+  EXPECT_EQ(seen.size(), 4096u);
+  EXPECT_NE(derive_seed(1, 0), derive_seed(0, 1));
+}
+
+TEST(DeriveSeed, EnginesFromDerivedSeedsDisagree) {
+  Rng a(derive_seed(7, 0)), b(derive_seed(7, 1));
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
 }
 
 TEST(Rng, FillUniformFloat) {

@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
+#include "core/error_bound.hpp"
 #include "gemm/functional.hpp"
+#include "gemm/tile_config.hpp"
 
 namespace aift {
 namespace {
@@ -141,6 +145,79 @@ TEST(Checksum, LinearityUnderScaling) {
   const auto cs2 = column_checksum(a);
   for (std::size_t i = 0; i < cs1.size(); ++i)
     EXPECT_DOUBLE_EQ(cs2[i], 2.0 * cs1[i]);
+}
+
+// ------------------------------------------------------------------------
+// Property-style coverage: on the *actual* FP16 functional-GEMM output the
+// invariant holds only up to rounding, and error_bound.hpp's threshold is
+// exactly the tolerance the runtime checks use. Any shape violating this
+// would make the fault-free pipeline raise false alarms.
+
+void expect_invariant_within_bound(std::int64_t m, std::int64_t n,
+                                   std::int64_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<half_t> a(m, k), b(k, n);
+  rng.fill_uniform(a);
+  rng.fill_uniform(b);
+  Matrix<half_t> c(m, n);
+  functional_gemm(a, b, c, TileConfig{64, 64, 32, 32, 32, 2});
+
+  const auto sum = matrix_sum(c);
+  const double checksum = dot(column_checksum(a), row_checksum(b));
+  const double residual = std::abs(checksum - sum.sum);
+  const double tau = detection_threshold(sum.abs_sum);
+  EXPECT_LE(residual, tau) << "shape " << m << "x" << n << "x" << k;
+
+  // The weighted (multi-fault) variant obeys the same bound with the
+  // weighted magnitude sum.
+  const auto w = checksum_weights(m, 1);
+  const auto wsum = weighted_matrix_sum(c, w);
+  const double wchecksum = dot(column_checksum(a, &w), row_checksum(b));
+  EXPECT_LE(std::abs(wchecksum - wsum.sum), detection_threshold(wsum.abs_sum))
+      << "weighted, shape " << m << "x" << n << "x" << k;
+}
+
+TEST(ChecksumProperty, RandomShapesUpTo256Cubed) {
+  Rng shapes(20260730);
+  for (int i = 0; i < 6; ++i) {
+    const auto m = shapes.uniform_int(1, 256);
+    const auto n = shapes.uniform_int(1, 256);
+    const auto k = shapes.uniform_int(1, 256);
+    expect_invariant_within_bound(m, n, k, 1000 + static_cast<unsigned>(i));
+  }
+}
+
+TEST(ChecksumProperty, FullSize256Cubed) {
+  expect_invariant_within_bound(256, 256, 256, 7);
+}
+
+TEST(ChecksumProperty, EdgeShapeSingleRow) {
+  expect_invariant_within_bound(1, 256, 64, 11);
+  expect_invariant_within_bound(1, 1, 256, 12);
+}
+
+TEST(ChecksumProperty, EdgeShapeSingleColumn) {
+  expect_invariant_within_bound(256, 1, 64, 13);
+  expect_invariant_within_bound(3, 1, 1, 14);
+}
+
+TEST(ChecksumProperty, EmptyOperandsYieldZeroChecksums) {
+  // Degenerate M or N: no outputs exist, and every summation is exactly
+  // zero — agreement is exact, inside the absolute floor of the bound.
+  const Matrix<half_t> a(0, 5), b(5, 0);
+  EXPECT_EQ(column_checksum(a), std::vector<double>(5, 0.0));
+  EXPECT_EQ(row_checksum(b), std::vector<double>(5, 0.0));
+
+  const Matrix<half_t> empty(0, 0);
+  const auto s = matrix_sum(empty);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.abs_sum, 0.0);
+  EXPECT_LE(std::abs(s.sum), detection_threshold(s.abs_sum));
+
+  // Empty K: C = A*B over zero inner terms is the zero matrix, and both
+  // sides of the invariant are exactly zero.
+  const Matrix<half_t> ak(2, 0), bk(0, 3);
+  EXPECT_DOUBLE_EQ(dot(column_checksum(ak), row_checksum(bk)), 0.0);
 }
 
 TEST(Checksum, SizeValidation) {

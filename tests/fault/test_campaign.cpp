@@ -179,6 +179,33 @@ TEST(Campaign, MidKCoverageOrderingAcrossSchemes) {
   EXPECT_GT(global.effective_coverage(), 0.2);
 }
 
+TEST(Campaign, SweepCoversShapeAndTileGrid) {
+  // One call fans the campaign across shapes/tiles; each entry must carry
+  // its resolved config and obey the same accounting invariants.
+  auto base = base_config();
+  base.trials = 30;
+  const std::vector<CampaignSweepCase> cases = {
+      {GemmShape{48, 48, 48}, TileConfig{32, 32, 32, 16, 16, 2}},
+      {GemmShape{32, 64, 48}, TileConfig{32, 32, 32, 16, 16, 2}},
+      {GemmShape{64, 64, 64}, TileConfig{64, 64, 32, 32, 32, 2}},
+  };
+  const auto results = run_campaign_sweep(base, cases, global_checker());
+  ASSERT_EQ(results.size(), cases.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].config.shape == cases[i].shape);
+    EXPECT_TRUE(results[i].config.tile == cases[i].tile);
+    EXPECT_EQ(results[i].stats.trials, base.trials);
+    EXPECT_EQ(results[i].stats.detected + results[i].stats.masked +
+                  results[i].stats.missed,
+              results[i].stats.trials);
+  }
+}
+
+TEST(Campaign, SweepRejectsEmptyCaseList) {
+  EXPECT_THROW((void)run_campaign_sweep(base_config(), {}, global_checker()),
+               std::logic_error);
+}
+
 TEST(Campaign, RejectsBadConfig) {
   auto cfg = base_config();
   cfg.trials = 0;

@@ -1,0 +1,173 @@
+// Determinism of the parallel fault-injection campaign engine.
+//
+// The parallel engine must produce CampaignStats that are bit-identical to
+// the serial reference no matter how many workers execute it. CMake
+// registers this binary under AIFT_NUM_THREADS=1, 2 and 8 (on top of the
+// default discovery run): parallel == serial at every pinned worker count,
+// and the serial reference is trivially worker-count independent, so the
+// three runs transitively prove 1 == 2 == 8.
+
+#include "fault/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/parallel.hpp"
+#include "core/global_abft.hpp"
+
+namespace aift {
+namespace {
+
+CampaignConfig base_config() {
+  CampaignConfig cfg;
+  cfg.shape = GemmShape{40, 40, 40};
+  cfg.tile = TileConfig{32, 32, 32, 16, 16, 2};
+  cfg.trials = 50;
+  cfg.seed = 99;
+  return cfg;
+}
+
+FaultChecker global_checker() {
+  return [](const Matrix<half_t>& a, const Matrix<half_t>& b,
+            const Matrix<half_t>& c) {
+    return GlobalAbft(b).check(a, c).fault_detected;
+  };
+}
+
+void expect_identical(const CampaignStats& x, const CampaignStats& y) {
+  EXPECT_EQ(x.trials, y.trials);
+  EXPECT_EQ(x.detected, y.detected);
+  EXPECT_EQ(x.masked, y.masked);
+  EXPECT_EQ(x.missed, y.missed);
+  for (std::size_t i = 0; i < x.by_bit.size(); ++i) {
+    EXPECT_EQ(x.by_bit[i].injected, y.by_bit[i].injected) << "bit " << i;
+    EXPECT_EQ(x.by_bit[i].detected, y.by_bit[i].detected) << "bit " << i;
+    EXPECT_EQ(x.by_bit[i].masked, y.by_bit[i].masked) << "bit " << i;
+  }
+  // Bit-identical, not approximately equal: both engines take the max over
+  // the same per-trial doubles.
+  EXPECT_EQ(x.largest_missed_delta, y.largest_missed_delta);
+  EXPECT_TRUE(x == y);
+}
+
+TEST(CampaignDeterminism, ParallelMatchesSerialReferenceBitForBit) {
+  const auto cfg = base_config();
+  const auto parallel = run_campaign(cfg, global_checker());
+  const auto serial = run_campaign_serial(cfg, global_checker());
+  expect_identical(parallel, serial);
+}
+
+TEST(CampaignDeterminism, SmallCampaignsMatchSerial) {
+  // trials == 1 takes the single-block path (the lone GEMM parallelizes
+  // instead of the trial loop); a handful of trials takes per-trial
+  // blocks. Both must equal the serial reference bit for bit.
+  for (const int trials : {1, 5}) {
+    auto cfg = base_config();
+    cfg.trials = trials;
+    const auto parallel = run_campaign(cfg, global_checker());
+    const auto serial = run_campaign_serial(cfg, global_checker());
+    expect_identical(parallel, serial);
+  }
+}
+
+TEST(CampaignDeterminism, RepeatedParallelRunsAgree) {
+  const auto cfg = base_config();
+  const auto s1 = run_campaign(cfg, global_checker());
+  const auto s2 = run_campaign(cfg, global_checker());
+  expect_identical(s1, s2);
+}
+
+TEST(CampaignDeterminism, TrialSeedsAreStableAndPerTrial) {
+  // The per-trial stream seeds are a pure function of (campaign seed,
+  // trial index) — they cannot depend on worker count or scheduling.
+  const auto cfg = base_config();
+  std::set<std::uint64_t> seeds;
+  for (std::int64_t t = 0; t < cfg.trials; ++t) {
+    const auto s = campaign_trial_seed(cfg.seed, t);
+    EXPECT_EQ(s, campaign_trial_seed(cfg.seed, t));
+    seeds.insert(s);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seeds.size()), cfg.trials);
+}
+
+TEST(CampaignDeterminism, DifferentSeedsPickDifferentInjectionSites) {
+  const auto cfg = base_config();
+  using Site = std::tuple<std::int64_t, std::int64_t, std::int64_t,
+                          std::uint32_t>;
+  const auto sites_for = [&](std::uint64_t seed) {
+    std::set<Site> sites;
+    for (std::int64_t t = 0; t < cfg.trials; ++t) {
+      Rng rng(campaign_trial_seed(seed, t));
+      const FaultSpec f =
+          random_fault(rng, cfg.shape, cfg.tile, cfg.fault_opts);
+      sites.insert(Site{f.row, f.col, f.k8_step, f.xor_bits});
+    }
+    return sites;
+  };
+  // 50 draws from a space of 40*40*(steps+1)*31 sites: two seeds agreeing
+  // on the whole set would mean the streams are not independent.
+  EXPECT_NE(sites_for(7), sites_for(8));
+  EXPECT_NE(sites_for(cfg.seed), sites_for(cfg.seed + 1));
+}
+
+TEST(CampaignDeterminism, DifferentSeedsProduceDifferentStats) {
+  auto cfg = base_config();
+  // Mid-bit faults give a mix of outcomes, so distinct fault sequences are
+  // overwhelmingly likely to classify differently somewhere.
+  cfg.fault_opts.min_bit = 10;
+  cfg.fault_opts.max_bit = 26;
+  cfg.trials = 80;
+  const auto s1 = run_campaign(cfg, global_checker());
+  auto cfg2 = cfg;
+  cfg2.seed = cfg.seed + 1;
+  const auto s2 = run_campaign(cfg2, global_checker());
+  EXPECT_FALSE(s1 == s2);
+}
+
+TEST(CampaignDeterminism, MergeIsOrderIndependent) {
+  // Stats fields are sums and maxes: per-worker partials combine to the
+  // same totals in any merge order.
+  const auto cfg = base_config();
+  auto cfg2 = cfg;
+  cfg2.seed = cfg.seed + 17;
+  const auto p1 = run_campaign_serial(cfg, global_checker());
+  const auto p2 = run_campaign_serial(cfg2, global_checker());
+  CampaignStats a_then_b = p1;
+  a_then_b.merge(p2);
+  CampaignStats b_then_a = p2;
+  b_then_a.merge(p1);
+  expect_identical(a_then_b, b_then_a);
+  EXPECT_EQ(a_then_b.trials, p1.trials + p2.trials);
+  EXPECT_EQ(a_then_b.detected + a_then_b.masked + a_then_b.missed,
+            a_then_b.trials);
+}
+
+TEST(CampaignDeterminism, SweepEntriesEqualStandaloneCampaigns) {
+  const auto base = base_config();
+  std::vector<CampaignSweepCase> cases = {
+      {GemmShape{40, 40, 40}, TileConfig{32, 32, 32, 16, 16, 2}},
+      {GemmShape{24, 56, 32}, TileConfig{32, 32, 32, 16, 16, 2}},
+  };
+  const auto sweep = run_campaign_sweep(base, cases, global_checker());
+  ASSERT_EQ(sweep.size(), cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_TRUE(sweep[i].config.shape == cases[i].shape);
+    EXPECT_TRUE(sweep[i].config.tile == cases[i].tile);
+    auto cfg = base;
+    cfg.shape = cases[i].shape;
+    cfg.tile = cases[i].tile;
+    const auto standalone = run_campaign(cfg, global_checker());
+    expect_identical(sweep[i].stats, standalone);
+  }
+}
+
+TEST(CampaignDeterminism, ReportsWorkerPoolSize) {
+  // Sanity: the pinned AIFT_NUM_THREADS values used by the CTest variants
+  // actually reach the pool.
+  EXPECT_GE(parallel_workers(), 1);
+}
+
+}  // namespace
+}  // namespace aift
