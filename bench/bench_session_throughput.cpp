@@ -1,0 +1,175 @@
+// End-to-end protected-inference throughput of the plan -> compile ->
+// execute stack: plan compilation cache-cold vs cache-warm (the
+// ProfileCache's payoff), clean serving throughput per policy, and
+// model-level campaign trial throughput.
+//
+// Emits JSON (the schema of BENCH_session.json at the repo root) to
+// stdout, or to a file when a path is given:
+//   bench_session_throughput [output.json]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "fault/model_campaign.hpp"
+#include "nn/zoo/zoo.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/session.hpp"
+
+namespace aift {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PlanTiming {
+  std::string model;
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  std::int64_t profiles = 0;  // cache misses after the cold compile
+  std::int64_t reuses = 0;    // cache hits during the warm compile alone
+};
+
+PlanTiming time_plan(const GemmCostModel& cost, const Model& m) {
+  PlanTiming t;
+  t.model = m.name();
+  ProtectedPipeline pipe(cost);
+
+  auto t0 = Clock::now();
+  (void)pipe.plan(m, ProtectionPolicy::intensity_guided);
+  t.cold_s = seconds_since(t0);
+  const auto cold = pipe.cache_stats();
+  t.profiles = cold.misses;
+
+  t0 = Clock::now();
+  (void)pipe.plan(m, ProtectionPolicy::intensity_guided);
+  t.warm_s = seconds_since(t0);
+  // Warm-phase reuse only: the cold compile already hits on the shared
+  // baseline profiles, which would overstate the warm payoff.
+  t.reuses = pipe.cache_stats().hits - cold.hits;
+  return t;
+}
+
+struct ServeTiming {
+  std::string policy;
+  int requests = 0;
+  double elapsed_s = 0.0;
+
+  [[nodiscard]] double per_s() const { return requests / elapsed_s; }
+};
+
+ServeTiming time_serving(const ProtectedPipeline& pipe, const Model& m,
+                         ProtectionPolicy policy, int requests) {
+  ServeTiming t;
+  t.policy = policy_name(policy);
+  t.requests = requests;
+  const InferenceSession session(pipe.plan(m, policy));
+  const auto input = session.make_input(7);
+  const auto t0 = Clock::now();
+  for (int r = 0; r < requests; ++r) (void)session.run(input);
+  t.elapsed_s = seconds_since(t0);
+  return t;
+}
+
+int run(int argc, char** argv) {
+  const GemmCostModel cost(devices::t4());
+
+  // Plan compilation: ResNet-50 has many repeated shapes (deep cache
+  // payoff), DLRM is the small serving case.
+  std::vector<PlanTiming> plans;
+  plans.push_back(time_plan(cost, zoo::resnet50(zoo::imagenet_input(1))));
+  plans.push_back(time_plan(cost, zoo::dlrm_mlp_bottom(1)));
+
+  // Serving throughput on the functional executor.
+  const auto mlp = zoo::dlrm_mlp_bottom(1);
+  ProtectedPipeline pipe(cost);
+  constexpr int kRequests = 40;
+  std::vector<ServeTiming> serving;
+  serving.push_back(
+      time_serving(pipe, mlp, ProtectionPolicy::none, kRequests));
+  serving.push_back(
+      time_serving(pipe, mlp, ProtectionPolicy::intensity_guided, kRequests));
+
+  // Model-level campaign throughput.
+  const InferenceSession session(
+      pipe.plan(mlp, ProtectionPolicy::intensity_guided));
+  ModelCampaignConfig cfg;
+  cfg.trials = 64;
+  cfg.fault_opts.min_bit = 20;
+  cfg.fault_opts.max_bit = 29;
+  const auto t0 = Clock::now();
+  const auto stats = run_model_campaign(session, cfg);
+  const double campaign_s = seconds_since(t0);
+  if (stats.trials != cfg.trials) {
+    std::fprintf(stderr, "FATAL: campaign dropped trials\n");
+    return 1;
+  }
+
+  std::string json = "{\n  \"bench\": \"session_throughput\",\n";
+  json += "  \"workers\": " + std::to_string(parallel_workers()) + ",\n";
+  json += "  \"host_hw_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json +=
+      "  \"note\": \"functional-simulator throughput; regenerate on the "
+      "target host before comparing\",\n";
+  json += "  \"plan_compile\": [\n";
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const auto& p = plans[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"model\": \"%s\", \"cold_s\": %.4f, "
+                  "\"warm_s\": %.4f, \"warm_speedup\": %.1f, "
+                  "\"profiles\": %lld, \"cache_reuses\": %lld}%s\n",
+                  p.model.c_str(), p.cold_s, p.warm_s,
+                  p.warm_s > 0.0 ? p.cold_s / p.warm_s : 0.0,
+                  static_cast<long long>(p.profiles),
+                  static_cast<long long>(p.reuses),
+                  i + 1 < plans.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n  \"serving\": [\n";
+  for (std::size_t i = 0; i < serving.size(); ++i) {
+    const auto& s = serving[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"policy\": \"%s\", \"requests\": %d, "
+                  "\"elapsed_s\": %.4f, \"inferences_per_s\": %.1f}%s\n",
+                  s.policy.c_str(), s.requests, s.elapsed_s, s.per_s(),
+                  i + 1 < serving.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"model_campaign\": {\"trials\": %lld, \"elapsed_s\": "
+                "%.4f, \"trials_per_s\": %.1f, \"detected\": %lld, "
+                "\"recovered\": %lld}\n}\n",
+                static_cast<long long>(stats.trials), campaign_s,
+                stats.trials / campaign_s,
+                static_cast<long long>(stats.detected),
+                static_cast<long long>(stats.recovered));
+  json += buf;
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  std::fputs(json.c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace aift
+
+int main(int argc, char** argv) { return aift::run(argc, argv); }

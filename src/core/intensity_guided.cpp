@@ -11,21 +11,58 @@ IntensityGuidedSelector::IntensityGuidedSelector(const GemmCostModel& model,
   AIFT_CHECK(!candidates_.empty());
 }
 
+ProfileKey IntensityGuidedSelector::profile_key(Scheme scheme,
+                                                const GemmShape& shape,
+                                                DType dtype) const {
+  ProfileKey key;
+  key.m = shape.m;
+  key.n = shape.n;
+  key.k = shape.k;
+  key.dtype = dtype;
+  key.device = model_.device().name;
+  if (scheme == Scheme::none) {
+    // Unprotected baseline: no delta, so no AbftOptions field matters.
+    key.scheme_tag = -1;
+  } else if (scheme == Scheme::global_abft) {
+    key.scheme_tag = static_cast<int>(scheme);
+    key.opts = {opts_.overlap_fraction, opts_.activation_checksum_multiplicity,
+                static_cast<double>(opts_.num_checksums),
+                opts_.fused_input_checksum ? 1.0 : 0.0,
+                opts_.input_feature_bytes};
+  } else {
+    // Thread-level and replication deltas read only num_checksums; keying
+    // on the global-ABFT-only fields would needlessly re-profile layers
+    // that differ only in fusion context.
+    key.scheme_tag = static_cast<int>(scheme);
+    key.opts = {0.0, 0.0, static_cast<double>(opts_.num_checksums), 0.0, 0.0};
+  }
+  return key;
+}
+
 SchemeProfile IntensityGuidedSelector::evaluate(Scheme scheme,
                                                 const GemmShape& shape,
                                                 DType dtype) const {
+  const auto profiled = [&](Scheme s) {
+    const auto compute = [&]() {
+      if (s == Scheme::none) return profile_best(model_, shape, dtype);
+      return profile_best(model_, shape, dtype, [&](const TileConfig& tile) {
+        return scheme_delta(s, shape, tile, dtype, model_.device(), opts_);
+      });
+    };
+    return cache_ ? cache_->get_or_compute(profile_key(s, shape, dtype),
+                                           compute)
+                  : compute();
+  };
+
   SchemeProfile p;
   p.scheme = scheme;
-  p.base = profile_best(model_, shape, dtype);
+  p.base = profiled(Scheme::none);
   if (scheme == Scheme::none) {
     p.redundant = p.base;
     p.overhead_pct = 0.0;
     return p;
   }
-  p.redundant = profile_best(
-      model_, shape, dtype, [&](const TileConfig& tile) {
-        return scheme_delta(scheme, shape, tile, dtype, model_.device(), opts_);
-      });
+  p.redundant = profiled(scheme);
   p.overhead_pct =
       (p.redundant.cost.total_us - p.base.cost.total_us) /
       p.base.cost.total_us * 100.0;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/scheme.hpp"
+#include "gemm/profile_cache.hpp"
 #include "gemm/profiler.hpp"
 
 namespace aift {
@@ -63,10 +64,22 @@ class IntensityGuidedSelector {
   [[nodiscard]] const GemmCostModel& model() const { return model_; }
   [[nodiscard]] const AbftOptions& options() const { return opts_; }
 
+  /// Memoizes every profile_best call in `cache` (shared, thread-safe; see
+  /// gemm/profile_cache.hpp). The cache must outlive the selector and
+  /// belong to the same cost model. nullptr disables memoization.
+  void set_cache(ProfileCache* cache) { cache_ = cache; }
+  [[nodiscard]] ProfileCache* cache() const { return cache_; }
+
+  /// Cache identity of one (scheme, shape) profile under this selector's
+  /// options. Exposed so planners and tests can probe cache contents.
+  [[nodiscard]] ProfileKey profile_key(Scheme scheme, const GemmShape& shape,
+                                       DType dtype) const;
+
  private:
   const GemmCostModel& model_;
   AbftOptions opts_;
   std::vector<Scheme> candidates_;
+  ProfileCache* cache_ = nullptr;
 };
 
 }  // namespace aift

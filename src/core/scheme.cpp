@@ -4,6 +4,14 @@
 
 namespace aift {
 
+const std::vector<Scheme>& all_schemes() {
+  static const std::vector<Scheme> schemes = {
+      Scheme::none,             Scheme::global_abft,
+      Scheme::thread_one_sided, Scheme::thread_two_sided,
+      Scheme::repl_traditional, Scheme::repl_single_acc};
+  return schemes;
+}
+
 const char* scheme_name(Scheme s) {
   switch (s) {
     case Scheme::none: return "none";
@@ -16,14 +24,11 @@ const char* scheme_name(Scheme s) {
   return "?";
 }
 
-Scheme scheme_by_name(const std::string& name) {
-  for (Scheme s : {Scheme::none, Scheme::global_abft, Scheme::thread_one_sided,
-                   Scheme::thread_two_sided, Scheme::repl_traditional,
-                   Scheme::repl_single_acc}) {
+std::optional<Scheme> scheme_by_name(const std::string& name) {
+  for (Scheme s : all_schemes()) {
     if (name == scheme_name(s)) return s;
   }
-  AIFT_CHECK_MSG(false, "unknown scheme: " << name);
-  return Scheme::none;
+  return std::nullopt;
 }
 
 RedundancyDelta scheme_delta(Scheme scheme, const GemmShape& shape,

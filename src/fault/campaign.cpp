@@ -9,17 +9,10 @@
 namespace aift {
 namespace {
 
-// Trials per parallel work item. Derived from the trial count alone
-// (never from the worker count) so the block decomposition — and
-// therefore the merge sequence — is identical no matter how many workers
-// execute it. Small campaigns get one trial per block (full fan-out);
-// the block-count cap keeps the per-block partials array a few MB even
-// for paper-scale campaigns (millions of trials).
+// Small campaigns get one trial per block (full fan-out); the block-count
+// cap keeps the per-block partials array a few MB even for paper-scale
+// campaigns (millions of trials).
 constexpr std::int64_t kMaxBlocks = 4096;
-
-std::int64_t trials_per_block(std::int64_t trials) {
-  return std::max<std::int64_t>(1, (trials + kMaxBlocks - 1) / kMaxBlocks);
-}
 
 // Inputs shared by every trial of one campaign. A, B and the clean output
 // are generated once from Rng(config.seed), exactly as the serial engine
@@ -129,12 +122,16 @@ std::uint64_t campaign_trial_seed(std::uint64_t campaign_seed,
   return derive_seed(campaign_seed, static_cast<std::uint64_t>(trial));
 }
 
+std::int64_t campaign_trials_per_block(std::int64_t trials) {
+  return std::max<std::int64_t>(1, (trials + kMaxBlocks - 1) / kMaxBlocks);
+}
+
 CampaignStats run_campaign(const CampaignConfig& config,
                            const FaultChecker& checker) {
   const CampaignContext ctx(config, checker);
 
   const std::int64_t trials = config.trials;
-  const std::int64_t block = trials_per_block(trials);
+  const std::int64_t block = campaign_trials_per_block(trials);
   const std::int64_t blocks = (trials + block - 1) / block;
   std::vector<CampaignStats> partial(static_cast<std::size_t>(blocks));
 

@@ -79,6 +79,13 @@ struct CampaignStats {
 [[nodiscard]] std::uint64_t campaign_trial_seed(std::uint64_t campaign_seed,
                                                 std::int64_t trial);
 
+/// Trials per parallel work item for a campaign of `trials` trials.
+/// Derived from the trial count alone (never the worker count) so the
+/// block decomposition — and therefore the merge sequence — is identical
+/// no matter how many workers execute it. Shared by the GEMM-level and
+/// model-level campaign engines.
+[[nodiscard]] std::int64_t campaign_trials_per_block(std::int64_t trials);
+
 /// Runs the campaign with trials fanned out across the worker pool; the
 /// checker is invoked concurrently (see FaultChecker). Deterministic: the
 /// result depends only on `config` (never on AIFT_NUM_THREADS or

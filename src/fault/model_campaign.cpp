@@ -1,0 +1,149 @@
+#include "fault/model_campaign.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace aift {
+namespace {
+
+// Inputs shared by every trial: the fault-free per-layer activations and
+// reference output, computed once per campaign. Trials re-execute only
+// from their faulted layer — the clean prefix is bit-identical to these
+// cached activations, so skipping it halves the average trial cost on
+// deep models without changing any outcome.
+struct ModelCampaignContext {
+  const InferenceSession& session;
+  const ModelCampaignConfig& config;
+  std::vector<Matrix<half_t>> layer_inputs;
+  Matrix<half_t> clean_output;
+
+  static const ModelCampaignConfig& validated(const ModelCampaignConfig& cfg) {
+    AIFT_CHECK(cfg.trials > 0);
+    return cfg;
+  }
+
+  ModelCampaignContext(const InferenceSession& s,
+                       const ModelCampaignConfig& cfg)
+      : session(s),
+        config(validated(cfg)),
+        layer_inputs(s.layer_inputs(s.make_input(cfg.input_seed))) {
+    // Parallel and serial GEMMs are bit-identical, so the reference run
+    // may use the pool even though trials later run layers serially.
+    clean_output =
+        s.run_from(s.num_layers() - 1, layer_inputs.back()).output;
+  }
+};
+
+void run_trial(const ModelCampaignContext& ctx, std::int64_t t,
+               ModelCampaignStats& stats, bool parallel_gemm) {
+  const InferenceSession& session = ctx.session;
+  Rng rng(campaign_trial_seed(ctx.config.seed, t));
+  const auto layer = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(session.num_layers()) - 1));
+  const auto& entry = session.plan().entries[layer];
+  const FaultSpec fault = random_fault(rng, entry.layer.gemm,
+                                       entry.exec_tile(),
+                                       ctx.config.fault_opts);
+
+  SessionRunOptions run_opts;
+  run_opts.parallel = parallel_gemm;
+  run_opts.faults = {SessionFault{layer, fault, /*execution=*/0}};
+  // Start at the faulted layer: everything before it is fault-free and
+  // bit-identical to the cached clean activations.
+  const SessionResult result =
+      session.run_from(layer, ctx.layer_inputs[layer], run_opts);
+
+  ++stats.trials;
+  ++stats.faults_per_layer[layer];
+  const LayerTrace& faulted_trace = result.layers.front();
+  const bool flagged = faulted_trace.detections > 0;
+  const bool output_clean = result.output == ctx.clean_output;
+  if (flagged) {
+    ++stats.detected;
+    ++stats.detections_per_layer[layer];
+    if (faulted_trace.unrecovered) {
+      ++stats.unrecovered;
+    } else if (output_clean) {
+      ++stats.recovered;
+    }
+    // flagged && recovered-but-corrupted-output cannot happen: a passing
+    // retry reproduces the clean layer output bit-for-bit, and downstream
+    // layers are deterministic. Nothing is counted for it.
+  } else if (output_clean) {
+    ++stats.masked;
+  } else {
+    ++stats.sdc;
+  }
+}
+
+ModelCampaignStats zeroed_stats(const InferenceSession& session) {
+  ModelCampaignStats stats;
+  stats.faults_per_layer.assign(session.num_layers(), 0);
+  stats.detections_per_layer.assign(session.num_layers(), 0);
+  return stats;
+}
+
+}  // namespace
+
+double ModelCampaignStats::effective_coverage() const {
+  const std::int64_t effective = trials - masked;
+  if (effective <= 0) return 1.0;
+  return static_cast<double>(detected) / static_cast<double>(effective);
+}
+
+ModelCampaignStats& ModelCampaignStats::merge(const ModelCampaignStats& other) {
+  trials += other.trials;
+  detected += other.detected;
+  recovered += other.recovered;
+  unrecovered += other.unrecovered;
+  masked += other.masked;
+  sdc += other.sdc;
+  if (faults_per_layer.size() < other.faults_per_layer.size()) {
+    faults_per_layer.resize(other.faults_per_layer.size(), 0);
+    detections_per_layer.resize(other.detections_per_layer.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.faults_per_layer.size(); ++i) {
+    faults_per_layer[i] += other.faults_per_layer[i];
+    detections_per_layer[i] += other.detections_per_layer[i];
+  }
+  return *this;
+}
+
+ModelCampaignStats run_model_campaign(const InferenceSession& session,
+                                      const ModelCampaignConfig& config) {
+  const ModelCampaignContext ctx(session, config);
+
+  const std::int64_t trials = config.trials;
+  const std::int64_t block = campaign_trials_per_block(trials);
+  const std::int64_t blocks = (trials + block - 1) / block;
+  std::vector<ModelCampaignStats> partial(static_cast<std::size_t>(blocks),
+                                          zeroed_stats(session));
+
+  // Trial-level fan-out with serial per-trial GEMMs, exactly like the
+  // GEMM-level engine; a lone trial parallelizes its GEMMs instead.
+  const bool parallel_gemm = blocks == 1;
+  parallel_for(0, blocks, [&](std::int64_t blk) {
+    ModelCampaignStats& local = partial[static_cast<std::size_t>(blk)];
+    const std::int64_t lo = blk * block;
+    const std::int64_t hi = std::min(trials, lo + block);
+    for (std::int64_t t = lo; t < hi; ++t)
+      run_trial(ctx, t, local, parallel_gemm);
+  });
+
+  ModelCampaignStats stats = zeroed_stats(session);
+  for (const auto& p : partial) stats.merge(p);
+  return stats;
+}
+
+ModelCampaignStats run_model_campaign_serial(const InferenceSession& session,
+                                             const ModelCampaignConfig& config) {
+  const ModelCampaignContext ctx(session, config);
+  ModelCampaignStats stats = zeroed_stats(session);
+  for (std::int64_t t = 0; t < config.trials; ++t)
+    run_trial(ctx, t, stats, /*parallel_gemm=*/false);
+  return stats;
+}
+
+}  // namespace aift

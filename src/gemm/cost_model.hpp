@@ -57,6 +57,9 @@ struct RedundancyDelta {
   /// (first layer, or pooling in between). Never overlappable.
   double pre_kernel_fixed_us = 0.0;
   double pre_kernel_bytes = 0.0;
+
+  friend bool operator==(const RedundancyDelta&,
+                         const RedundancyDelta&) = default;
 };
 
 struct KernelCost {

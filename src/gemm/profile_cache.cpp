@@ -1,0 +1,68 @@
+#include "gemm/profile_cache.hpp"
+
+#include <bit>
+
+namespace aift {
+namespace {
+
+// splitmix64-style mixing; plain XOR of std::hash values would cancel the
+// symmetric (m, n, k) permutations of square-ish GEMMs.
+constexpr std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  return h ^ (h >> 27);
+}
+
+}  // namespace
+
+std::size_t ProfileKeyHash::operator()(const ProfileKey& key) const noexcept {
+  std::uint64_t h = 0x243F6A8885A308D3ULL;
+  h = mix(h, static_cast<std::uint64_t>(key.m));
+  h = mix(h, static_cast<std::uint64_t>(key.n));
+  h = mix(h, static_cast<std::uint64_t>(key.k));
+  h = mix(h, static_cast<std::uint64_t>(key.dtype));
+  h = mix(h, static_cast<std::uint64_t>(key.scheme_tag + 1));
+  for (const double o : key.opts) h = mix(h, std::bit_cast<std::uint64_t>(o));
+  h = mix(h, std::hash<std::string>{}(key.device));
+  return static_cast<std::size_t>(h);
+}
+
+ProfiledKernel ProfileCache::get_or_compute(const ProfileKey& key,
+                                            const ComputeFn& compute) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  // Compute outside the lock so concurrent misses on distinct keys profile
+  // in parallel. A racing duplicate computes the same value; the first
+  // insert wins and later racers return their (identical) local result.
+  ProfiledKernel result = compute();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    entries_.emplace(key, result);
+  }
+  return result;
+}
+
+ProfileCacheStats ProfileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ProfileCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ProfileCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_ = ProfileCacheStats{};
+}
+
+}  // namespace aift

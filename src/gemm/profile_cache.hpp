@@ -1,0 +1,98 @@
+#pragma once
+// Memoized pre-deployment profiling results (paper §5.3: "profile once
+// before deployment, then serve").
+//
+// Profiling a (shape, scheme, tile sweep) point through the cost model is
+// pure — the result depends only on the problem, the datatype, the scheme,
+// the ABFT options, and the device — so identical queries issued by the
+// intensity-guided selector, the pipeline planner, figure benches and
+// campaign sweeps can share one result. The cache is keyed by exactly that
+// tuple and is safe to use concurrently from the worker pool: lookups take
+// a short critical section, computations run outside the lock, and the
+// first completed insert wins (recomputing a key is harmless because the
+// profiler is deterministic).
+//
+// One cache serves one cost model: the key carries the device name, but
+// two GemmCostModels with the same device and different CostParams must
+// not share a cache.
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "gemm/profiler.hpp"
+
+namespace aift {
+
+/// Identity of one profiling query. `scheme_tag` is -1 for the unprotected
+/// baseline profile and static_cast<int>(Scheme) for a redundant profile;
+/// `opts` is the caller's fingerprint of every AbftOptions field that can
+/// change the result (all zeros when no scheme is applied).
+struct ProfileKey {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+  DType dtype = DType::f16;
+  int scheme_tag = -1;
+  std::array<double, 5> opts{};
+  std::string device;
+
+  /// Equality compares `opts` by bit pattern, matching ProfileKeyHash —
+  /// numeric double comparison would break the unordered_map invariant
+  /// that equal keys hash equally (0.0 == -0.0 yet hashes differ, and a
+  /// NaN field would make a key unequal to itself).
+  [[nodiscard]] friend bool operator==(const ProfileKey& a,
+                                       const ProfileKey& b) {
+    if (!(a.m == b.m && a.n == b.n && a.k == b.k && a.dtype == b.dtype &&
+          a.scheme_tag == b.scheme_tag && a.device == b.device)) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.opts.size(); ++i) {
+      if (std::bit_cast<std::uint64_t>(a.opts[i]) !=
+          std::bit_cast<std::uint64_t>(b.opts[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+struct ProfileKeyHash {
+  [[nodiscard]] std::size_t operator()(const ProfileKey& key) const noexcept;
+};
+
+/// Hit/miss counters; a miss is counted per computation, so under
+/// concurrent first lookups of one key the miss count can briefly exceed
+/// the number of distinct keys (each racer computes once).
+struct ProfileCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+
+  [[nodiscard]] std::int64_t lookups() const { return hits + misses; }
+};
+
+class ProfileCache {
+ public:
+  using ComputeFn = std::function<ProfiledKernel()>;
+
+  /// Returns the cached kernel for `key`, computing (and inserting) it via
+  /// `compute` on a miss. `compute` runs outside the lock and may execute
+  /// concurrently for the same key; it must be a pure function of the key.
+  [[nodiscard]] ProfiledKernel get_or_compute(const ProfileKey& key,
+                                              const ComputeFn& compute);
+
+  [[nodiscard]] ProfileCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<ProfileKey, ProfiledKernel, ProfileKeyHash> entries_;
+  ProfileCacheStats stats_;
+};
+
+}  // namespace aift

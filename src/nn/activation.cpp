@@ -1,0 +1,51 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace aift {
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::identity: return "identity";
+    case Activation::relu: return "relu";
+    case Activation::squash: return "squash";
+  }
+  return "?";
+}
+
+void apply_activation(Matrix<half_t>& m, Activation a) {
+  if (a == Activation::identity) return;
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    for (std::int64_t c = 0; c < m.cols(); ++c) {
+      const float x = m(r, c).to_float();
+      float y;
+      if (a == Activation::relu) {
+        y = x > 0.0f ? x : 0.0f;
+      } else if (std::isinf(x)) {
+        // A fault-overflowed activation saturates (inf/inf would be NaN);
+        // keeps unprotected corruption propagation deterministic.
+        y = x > 0.0f ? 1.0f : -1.0f;
+      } else {
+        y = x / (1.0f + std::fabs(x));
+      }
+      m(r, c) = half_t(y);
+    }
+  }
+}
+
+Matrix<half_t> repack_activations(const Matrix<half_t>& prev,
+                                  std::int64_t rows, std::int64_t cols) {
+  AIFT_CHECK(prev.rows() > 0 && prev.cols() > 0);
+  AIFT_CHECK(rows > 0 && cols > 0);
+  Matrix<half_t> out(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out(r, c) = prev(r % prev.rows(), c % prev.cols());
+    }
+  }
+  return out;
+}
+
+}  // namespace aift

@@ -1,99 +1,18 @@
 #include "runtime/pipeline.hpp"
 
-#include <map>
-#include <tuple>
-
-#include "common/check.hpp"
-
 namespace aift {
-
-const char* policy_name(ProtectionPolicy p) {
-  switch (p) {
-    case ProtectionPolicy::none: return "none";
-    case ProtectionPolicy::global_abft: return "Global ABFT";
-    case ProtectionPolicy::thread_level: return "Thread-level ABFT";
-    case ProtectionPolicy::thread_two_sided: return "Thread-level ABFT (two-sided)";
-    case ProtectionPolicy::repl_traditional: return "Replication (traditional)";
-    case ProtectionPolicy::repl_single_acc: return "Replication (single-acc)";
-    case ProtectionPolicy::intensity_guided: return "Intensity-guided ABFT";
-  }
-  return "?";
-}
-
-int PipelinePlan::count_scheme(Scheme s) const {
-  int n = 0;
-  for (const auto& e : entries) {
-    if (e.profile.scheme == s) ++n;
-  }
-  return n;
-}
-
-namespace {
-
-Scheme fixed_scheme(ProtectionPolicy p) {
-  switch (p) {
-    case ProtectionPolicy::none: return Scheme::none;
-    case ProtectionPolicy::global_abft: return Scheme::global_abft;
-    case ProtectionPolicy::thread_level: return Scheme::thread_one_sided;
-    case ProtectionPolicy::thread_two_sided: return Scheme::thread_two_sided;
-    case ProtectionPolicy::repl_traditional: return Scheme::repl_traditional;
-    case ProtectionPolicy::repl_single_acc: return Scheme::repl_single_acc;
-    case ProtectionPolicy::intensity_guided:
-      AIFT_CHECK_MSG(false, "intensity_guided is not a fixed scheme");
-  }
-  return Scheme::none;
-}
-
-}  // namespace
 
 ProtectedPipeline::ProtectedPipeline(const GemmCostModel& model,
                                      AbftOptions opts)
-    : model_(model), opts_(opts) {}
+    : model_(model), opts_(opts), cache_(std::make_unique<ProfileCache>()) {}
 
-PipelinePlan ProtectedPipeline::plan(const Model& m, ProtectionPolicy policy,
-                                     DType dtype) const {
-  PipelinePlan plan;
-  plan.model_name = m.name();
-  plan.device_name = model_.device().name;
-  plan.policy = policy;
-  plan.dtype = dtype;
+InferencePlan ProtectedPipeline::plan(const Model& m, ProtectionPolicy policy,
+                                      DType dtype) const {
+  return compile_plan(model_, m, policy, dtype, opts_, cache_.get());
+}
 
-  // Layers with identical GEMM shapes and fusion context profile
-  // identically; cache by both.
-  using Key = std::tuple<std::int64_t, std::int64_t, std::int64_t, bool,
-                         std::int64_t>;
-  std::map<Key, SchemeProfile> cache;
-
-  for (const auto& layer : m.layers()) {
-    const Key key{layer.gemm.m, layer.gemm.n, layer.gemm.k,
-                  layer.input_checksum_fusable, layer.input_elems};
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-      AbftOptions layer_opts = opts_;
-      layer_opts.fused_input_checksum = layer.input_checksum_fusable;
-      layer_opts.input_feature_bytes =
-          static_cast<double>(layer.input_elems) * dtype_bytes(dtype);
-      IntensityGuidedSelector selector(model_, layer_opts);
-
-      SchemeProfile prof;
-      if (policy == ProtectionPolicy::intensity_guided) {
-        prof = selector.select(layer.gemm, dtype).chosen;
-      } else {
-        prof = selector.evaluate(fixed_scheme(policy), layer.gemm, dtype);
-      }
-      it = cache.emplace(key, std::move(prof)).first;
-    }
-
-    LayerPlanEntry entry;
-    entry.layer = layer;
-    entry.intensity = paper_intensity(layer.gemm, dtype);
-    entry.bandwidth_bound = entry.intensity < model_.device().cmr(dtype);
-    entry.profile = it->second;
-    plan.total_base_us += entry.profile.base.cost.total_us;
-    plan.total_protected_us += entry.profile.redundant.cost.total_us;
-    plan.entries.push_back(std::move(entry));
-  }
-  return plan;
+ProfileCacheStats ProtectedPipeline::cache_stats() const {
+  return cache_->stats();
 }
 
 }  // namespace aift

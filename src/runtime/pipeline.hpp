@@ -1,70 +1,37 @@
 #pragma once
-// Protected-inference planning: applies an ABFT policy to every linear
-// layer of a model on a device and aggregates execution-time overhead the
-// way the paper's evaluation does (§6.2: per-layer T_o and T_r, summed
-// across layers — valid because each layer must finish before the next
-// starts).
+// Stable planning façade over the plan -> compile -> execute split.
+//
+// ProtectedPipeline owns a ProfileCache shared across every plan() call,
+// so planning several policies (or re-planning the same model) never
+// re-profiles an already-seen (shape, scheme, options) point — the
+// "profile once before deployment" workflow of §5.3. The plan types and
+// the compiler itself live in runtime/plan.hpp; execution lives in
+// runtime/session.hpp.
 
-#include <string>
-#include <vector>
+#include <memory>
 
-#include "core/intensity_guided.hpp"
-#include "nn/model.hpp"
+#include "runtime/plan.hpp"
 
 namespace aift {
-
-/// Deployment-wide protection policy. Fixed policies apply one scheme to
-/// every layer (the paper's baselines); intensity_guided selects per layer.
-enum class ProtectionPolicy {
-  none,
-  global_abft,
-  thread_level,       ///< one-sided thread-level ABFT everywhere
-  thread_two_sided,
-  repl_traditional,
-  repl_single_acc,
-  intensity_guided,
-};
-
-[[nodiscard]] const char* policy_name(ProtectionPolicy p);
-
-struct LayerPlanEntry {
-  LayerDesc layer;
-  double intensity = 0.0;
-  bool bandwidth_bound = false;
-  SchemeProfile profile;  ///< chosen scheme with T_o / T_r / overhead
-};
-
-struct PipelinePlan {
-  std::string model_name;
-  std::string device_name;
-  ProtectionPolicy policy = ProtectionPolicy::none;
-  DType dtype = DType::f16;
-  std::vector<LayerPlanEntry> entries;
-
-  double total_base_us = 0.0;       ///< sum of per-layer T_o
-  double total_protected_us = 0.0;  ///< sum of per-layer T_r
-
-  [[nodiscard]] double overhead_pct() const {
-    return total_base_us > 0.0
-               ? (total_protected_us - total_base_us) / total_base_us * 100.0
-               : 0.0;
-  }
-  /// Layers protected by each scheme (reporting).
-  [[nodiscard]] int count_scheme(Scheme s) const;
-};
 
 class ProtectedPipeline {
  public:
   explicit ProtectedPipeline(const GemmCostModel& model, AbftOptions opts = {});
 
-  /// Profiles every layer under `policy` and returns the aggregate plan.
-  /// Layers with identical GEMM shapes share one profiling result.
-  [[nodiscard]] PipelinePlan plan(const Model& m, ProtectionPolicy policy,
-                                  DType dtype = DType::f16) const;
+  /// Profiles every layer under `policy` and returns the compiled plan.
+  /// Layers with identical GEMM shapes share one profiling result, and
+  /// repeated plan() calls reuse the pipeline-lifetime ProfileCache.
+  [[nodiscard]] InferencePlan plan(const Model& m, ProtectionPolicy policy,
+                                   DType dtype = DType::f16) const;
+
+  /// Hit/miss counters of the shared cache (probe for tests and benches).
+  [[nodiscard]] ProfileCacheStats cache_stats() const;
+  [[nodiscard]] ProfileCache& cache() const { return *cache_; }
 
  private:
   const GemmCostModel& model_;
   AbftOptions opts_;
+  std::unique_ptr<ProfileCache> cache_;  ///< shared across plan() calls
 };
 
 }  // namespace aift

@@ -1,0 +1,153 @@
+#include "runtime/plan.hpp"
+
+#include <cstddef>
+#include <map>
+#include <tuple>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace aift {
+
+const std::vector<ProtectionPolicy>& all_policies() {
+  static const std::vector<ProtectionPolicy> policies = {
+      ProtectionPolicy::none,           ProtectionPolicy::global_abft,
+      ProtectionPolicy::thread_level,   ProtectionPolicy::thread_two_sided,
+      ProtectionPolicy::repl_traditional, ProtectionPolicy::repl_single_acc,
+      ProtectionPolicy::intensity_guided};
+  return policies;
+}
+
+const char* policy_name(ProtectionPolicy p) {
+  switch (p) {
+    case ProtectionPolicy::none: return "none";
+    case ProtectionPolicy::global_abft: return "Global ABFT";
+    case ProtectionPolicy::thread_level: return "Thread-level ABFT";
+    case ProtectionPolicy::thread_two_sided: return "Thread-level ABFT (two-sided)";
+    case ProtectionPolicy::repl_traditional: return "Replication (traditional)";
+    case ProtectionPolicy::repl_single_acc: return "Replication (single-acc)";
+    case ProtectionPolicy::intensity_guided: return "Intensity-guided ABFT";
+  }
+  return "?";
+}
+
+std::optional<ProtectionPolicy> policy_by_name(const std::string& name) {
+  for (const ProtectionPolicy p : all_policies()) {
+    if (name == policy_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+int InferencePlan::count_scheme(Scheme s) const {
+  int n = 0;
+  for (const auto& e : entries) {
+    if (e.profile.scheme == s) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+Scheme fixed_scheme(ProtectionPolicy p) {
+  switch (p) {
+    case ProtectionPolicy::none: return Scheme::none;
+    case ProtectionPolicy::global_abft: return Scheme::global_abft;
+    case ProtectionPolicy::thread_level: return Scheme::thread_one_sided;
+    case ProtectionPolicy::thread_two_sided: return Scheme::thread_two_sided;
+    case ProtectionPolicy::repl_traditional: return Scheme::repl_traditional;
+    case ProtectionPolicy::repl_single_acc: return Scheme::repl_single_acc;
+    case ProtectionPolicy::intensity_guided:
+      AIFT_CHECK_MSG(false, "intensity_guided is not a fixed scheme");
+  }
+  return Scheme::none;
+}
+
+// Layers with identical GEMM shapes and fusion context profile
+// identically; this is the deduplication identity.
+using LayerKey = std::tuple<std::int64_t, std::int64_t, std::int64_t, bool,
+                            std::int64_t>;
+
+LayerKey layer_key(const LayerDesc& layer) {
+  return LayerKey{layer.gemm.m, layer.gemm.n, layer.gemm.k,
+                  layer.input_checksum_fusable, layer.input_elems};
+}
+
+InferencePlan compile_impl(const GemmCostModel& model, const Model& m,
+                           ProtectionPolicy policy, DType dtype,
+                           const AbftOptions& opts, ProfileCache* cache,
+                           bool parallel) {
+  InferencePlan plan;
+  plan.model_name = m.name();
+  plan.device_name = model.device().name;
+  plan.policy = policy;
+  plan.dtype = dtype;
+  plan.abft_options = opts;
+
+  const auto& layers = m.layers();
+
+  // Deduplicate: profile only the first layer of each identity class.
+  std::map<LayerKey, std::size_t> first_of;
+  std::vector<std::size_t> reps;                    // layer index per class
+  std::vector<std::size_t> class_of(layers.size()); // layer -> class
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const auto [it, inserted] = first_of.emplace(layer_key(layers[i]),
+                                                 reps.size());
+    if (inserted) reps.push_back(i);
+    class_of[i] = it->second;
+  }
+
+  // Profile the representatives — across the worker pool when requested.
+  // Bit-identical either way: each profile is a pure function of its layer,
+  // and results land in a class-indexed slot regardless of schedule.
+  std::vector<SchemeProfile> profiles(reps.size());
+  const auto profile_class = [&](std::int64_t ci) {
+    const auto& layer = layers[reps[static_cast<std::size_t>(ci)]];
+    AbftOptions layer_opts = opts;
+    layer_opts.fused_input_checksum = layer.input_checksum_fusable;
+    layer_opts.input_feature_bytes =
+        static_cast<double>(layer.input_elems) * dtype_bytes(dtype);
+    IntensityGuidedSelector selector(model, layer_opts);
+    selector.set_cache(cache);
+    profiles[static_cast<std::size_t>(ci)] =
+        policy == ProtectionPolicy::intensity_guided
+            ? selector.select(layer.gemm, dtype).chosen
+            : selector.evaluate(fixed_scheme(policy), layer.gemm, dtype);
+  };
+  if (parallel) {
+    parallel_for(0, static_cast<std::int64_t>(reps.size()), profile_class);
+  } else {
+    serial_for(0, static_cast<std::int64_t>(reps.size()), profile_class);
+  }
+
+  // Assemble entries and totals in layer order (fixed FP summation order).
+  plan.entries.reserve(layers.size());
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    LayerPlanEntry entry;
+    entry.layer = layers[i];
+    entry.intensity = paper_intensity(layers[i].gemm, dtype);
+    entry.bandwidth_bound = entry.intensity < model.device().cmr(dtype);
+    entry.profile = profiles[class_of[i]];
+    plan.total_base_us += entry.profile.base.cost.total_us;
+    plan.total_protected_us += entry.profile.redundant.cost.total_us;
+    plan.entries.push_back(std::move(entry));
+  }
+  return plan;
+}
+
+}  // namespace
+
+InferencePlan compile_plan(const GemmCostModel& model, const Model& m,
+                           ProtectionPolicy policy, DType dtype,
+                           const AbftOptions& opts, ProfileCache* cache) {
+  return compile_impl(model, m, policy, dtype, opts, cache, /*parallel=*/true);
+}
+
+InferencePlan compile_plan_serial(const GemmCostModel& model, const Model& m,
+                                  ProtectionPolicy policy, DType dtype,
+                                  const AbftOptions& opts,
+                                  ProfileCache* cache) {
+  return compile_impl(model, m, policy, dtype, opts, cache,
+                      /*parallel=*/false);
+}
+
+}  // namespace aift

@@ -9,7 +9,8 @@
 // fault probability, so users can reason about the full fault-tolerance
 // cost, not just the error-free overhead.
 
-#include "runtime/pipeline.hpp"
+#include "fault/fault.hpp"
+#include "runtime/session.hpp"
 
 namespace aift {
 
@@ -34,5 +35,27 @@ struct RecoveryAnalysis {
 /// a layer cost its protected time T_r.
 [[nodiscard]] RecoveryAnalysis analyze_recovery(const PipelinePlan& plan,
                                                 double fault_probability);
+
+/// Monte-Carlo cross-check of analyze_recovery's expected-retry math
+/// against the real executor.
+struct RecoverySimulation {
+  std::int64_t trials = 0;
+  std::int64_t faulted_executions = 0;  ///< faults actually injected
+  std::int64_t total_retries = 0;       ///< retries the sessions performed
+  std::int64_t undetected = 0;          ///< injected faults that never flagged
+  double mean_retries_per_inference = 0.0;
+};
+
+/// Runs `trials` inferences on `session`; every layer execution (retries
+/// included, matching the geometric model of analyze_recovery) suffers an
+/// independent fault with probability `fault_probability`, drawn from
+/// `fault_opts` (default: high mantissa/exponent bits, which the schemes
+/// always detect). With full detection, mean_retries_per_inference
+/// converges on analyze_recovery(plan, p).expected_retries as trials grow
+/// (minus the truncation of the session's max_retries budget).
+/// Deterministic in (session, fault_probability, trials, seed).
+[[nodiscard]] RecoverySimulation simulate_recovery(
+    const InferenceSession& session, double fault_probability, int trials,
+    std::uint64_t seed, FaultModelOptions fault_opts = {27, 29, false, false});
 
 }  // namespace aift

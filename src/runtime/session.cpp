@@ -1,0 +1,202 @@
+#include "runtime/session.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace aift {
+namespace {
+
+// Order-independent digest: any fault that changes a stored output's
+// value — including a bare sign flip, which leaves Σ|x| alone — moves it.
+double digest(const Matrix<half_t>& m) {
+  double sum = 0.0;
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    for (std::int64_t c = 0; c < m.cols(); ++c) {
+      const double x = m(r, c).to_float();
+      sum += x + 3.0 * std::abs(x);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+int SessionResult::total_detections() const {
+  int n = 0;
+  for (const auto& l : layers) n += l.detections;
+  return n;
+}
+
+int SessionResult::total_retries() const {
+  int n = 0;
+  for (const auto& l : layers) n += l.retries();
+  return n;
+}
+
+bool SessionResult::recovered() const {
+  for (const auto& l : layers) {
+    if (l.unrecovered) return false;
+  }
+  return true;
+}
+
+InferenceSession::InferenceSession(InferencePlan plan, SessionOptions opts)
+    : plan_(std::move(plan)), opts_(opts) {
+  AIFT_CHECK_MSG(!plan_.entries.empty(), "cannot instantiate an empty plan");
+  AIFT_CHECK(opts_.max_retries >= 0);
+  layers_.reserve(plan_.entries.size());
+  for (std::size_t i = 0; i < plan_.entries.size(); ++i) {
+    const auto& entry = plan_.entries[i];
+    Layer layer{entry,
+                Matrix<half_t>(entry.layer.gemm.k, entry.layer.gemm.n),
+                std::nullopt, std::nullopt, std::nullopt};
+    Rng rng(derive_seed(opts_.weight_seed, static_cast<std::uint64_t>(i)));
+    rng.fill_uniform(layer.weights, -0.5, 0.5);
+
+    switch (entry.scheme()) {
+      case Scheme::none:
+        break;
+      case Scheme::global_abft:
+        // Offline weight-checksum construction (§2.5), reused across runs.
+        layer.global.emplace(layer.weights, plan_.abft_options.num_checksums);
+        break;
+      case Scheme::thread_one_sided:
+        layer.thread.emplace(entry.exec_tile(), ThreadAbftSide::one_sided);
+        break;
+      case Scheme::thread_two_sided:
+        layer.thread.emplace(entry.exec_tile(), ThreadAbftSide::two_sided);
+        break;
+      case Scheme::repl_traditional:
+        layer.repl.emplace(entry.exec_tile(), ReplicationKind::traditional);
+        break;
+      case Scheme::repl_single_acc:
+        layer.repl.emplace(entry.exec_tile(),
+                           ReplicationKind::single_accumulation);
+        break;
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::int64_t InferenceSession::input_rows() const {
+  return layers_.front().entry.layer.gemm.m;
+}
+
+std::int64_t InferenceSession::input_cols() const {
+  return layers_.front().entry.layer.gemm.k;
+}
+
+Matrix<half_t> InferenceSession::make_input(std::uint64_t seed) const {
+  Matrix<half_t> input(input_rows(), input_cols());
+  Rng rng(seed);
+  rng.fill_uniform(input, -0.5, 0.5);
+  return input;
+}
+
+const Matrix<half_t>& InferenceSession::weights(std::size_t layer) const {
+  AIFT_CHECK(layer < layers_.size());
+  return layers_[layer].weights;
+}
+
+bool InferenceSession::check_layer(const Layer& layer, const Matrix<half_t>& a,
+                                   const Matrix<half_t>& c) const {
+  switch (layer.entry.scheme()) {
+    case Scheme::none:
+      return false;
+    case Scheme::global_abft:
+      return layer.global->check(a, c).fault_detected;
+    case Scheme::thread_one_sided:
+    case Scheme::thread_two_sided:
+      return layer.thread->check(a, layer.weights, c).fault_detected;
+    case Scheme::repl_traditional:
+    case Scheme::repl_single_acc:
+      return layer.repl->check(a, layer.weights, c).fault_detected;
+  }
+  return false;
+}
+
+SessionResult InferenceSession::run(const Matrix<half_t>& input,
+                                    const SessionRunOptions& run_opts) const {
+  return run_from(0, input, run_opts);
+}
+
+Matrix<half_t> InferenceSession::propagate(Matrix<half_t> c,
+                                           std::size_t next_layer) const {
+  apply_activation(c, opts_.activation);
+  const GemmShape& next = layers_[next_layer].entry.layer.gemm;
+  return repack_activations(c, next.m, next.k);
+}
+
+std::vector<Matrix<half_t>> InferenceSession::layer_inputs(
+    const Matrix<half_t>& input) const {
+  std::vector<Matrix<half_t>> inputs;
+  inputs.reserve(layers_.size());
+  inputs.push_back(input);
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    const GemmShape& shape = layers_[i].entry.layer.gemm;
+    Matrix<half_t> c(shape.m, shape.n);
+    functional_gemm(inputs[i], layers_[i].weights, c,
+                    layers_[i].entry.exec_tile());
+    inputs.push_back(propagate(std::move(c), i + 1));
+  }
+  return inputs;
+}
+
+SessionResult InferenceSession::run_from(std::size_t first_layer,
+                                         const Matrix<half_t>& a_first,
+                                         const SessionRunOptions& run_opts)
+    const {
+  AIFT_CHECK(first_layer < layers_.size());
+  const GemmShape& first = layers_[first_layer].entry.layer.gemm;
+  AIFT_CHECK_MSG(a_first.rows() == first.m && a_first.cols() == first.k,
+                 "layer " << first_layer << " input is " << a_first.rows()
+                          << "x" << a_first.cols() << ", plan expects "
+                          << first.m << "x" << first.k);
+
+  SessionResult result;
+  result.layers.reserve(layers_.size() - first_layer);
+
+  Matrix<half_t> a = a_first;
+  for (std::size_t i = first_layer; i < layers_.size(); ++i) {
+    const Layer& layer = layers_[i];
+    const GemmShape& shape = layer.entry.layer.gemm;
+
+    LayerTrace trace;
+    trace.name = layer.entry.layer.name;
+    trace.scheme = layer.entry.scheme();
+
+    Matrix<half_t> c(shape.m, shape.n);
+    for (int attempt = 0;; ++attempt) {
+      FunctionalOptions fopts;
+      fopts.parallel = run_opts.parallel;
+      for (const auto& f : run_opts.faults) {
+        if (f.layer == i && f.execution == attempt) {
+          fopts.faults.push_back(f.spec);
+        }
+      }
+      functional_gemm(a, layer.weights, c, layer.entry.exec_tile(), fopts);
+      ++trace.executions;
+
+      if (!check_layer(layer, a, c)) break;
+      ++trace.detections;
+      if (attempt >= opts_.max_retries) {
+        // Retry budget exhausted: surrender the flagged output.
+        trace.unrecovered = true;
+        break;
+      }
+    }
+    trace.output_digest = digest(c);
+    result.layers.push_back(std::move(trace));
+
+    if (i + 1 < layers_.size()) {
+      a = propagate(std::move(c), i + 1);
+    } else {
+      result.output = std::move(c);
+    }
+  }
+  return result;
+}
+
+}  // namespace aift

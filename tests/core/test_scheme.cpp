@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 namespace aift {
 namespace {
 
@@ -13,12 +16,28 @@ const TileConfig kTile{128, 128, 32, 64, 64, 2};
 const DeviceSpec kT4 = devices::t4();
 
 TEST(SchemeNames, RoundTrip) {
-  for (Scheme s : {Scheme::none, Scheme::global_abft, Scheme::thread_one_sided,
-                   Scheme::thread_two_sided, Scheme::repl_traditional,
-                   Scheme::repl_single_acc}) {
-    EXPECT_EQ(scheme_by_name(scheme_name(s)), s);
+  for (Scheme s : all_schemes()) {
+    const auto back = scheme_by_name(scheme_name(s));
+    ASSERT_TRUE(back.has_value()) << scheme_name(s);
+    EXPECT_EQ(*back, s);
   }
-  EXPECT_THROW((void)scheme_by_name("bogus"), std::logic_error);
+}
+
+TEST(SchemeNames, UnknownNameIsNonFatal) {
+  EXPECT_EQ(scheme_by_name("bogus"), std::nullopt);
+  EXPECT_EQ(scheme_by_name(""), std::nullopt);
+  // Case matters: names are exact identifiers, not fuzzy matches.
+  EXPECT_EQ(scheme_by_name("Global-ABFT"), std::nullopt);
+}
+
+TEST(SchemeNames, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> seen;
+  for (Scheme s : all_schemes()) {
+    const std::string name = scheme_name(s);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
 }
 
 TEST(SchemeDelta, NoneIsEmpty) {
@@ -92,6 +111,31 @@ TEST(SchemeDelta, OverlapFractionPropagates) {
   const auto d =
       scheme_delta(Scheme::global_abft, kShape, kTile, DType::f16, kT4, opts);
   EXPECT_DOUBLE_EQ(d.overlap_fraction, 0.6);
+}
+
+TEST(SchemeDelta, OnlyGlobalAbftReadsFusionContextOptions) {
+  // The ProfileCache fingerprint (IntensityGuidedSelector::profile_key)
+  // keys thread-level and replication profiles on num_checksums alone.
+  // That is sound only while their scheme_delta branches ignore every
+  // other AbftOptions field — which this test enforces: if a future delta
+  // change starts reading one, update profile_key in the same commit.
+  AbftOptions varied;
+  varied.overlap_fraction = 0.7;
+  varied.activation_checksum_multiplicity = 3.0;
+  varied.fused_input_checksum = false;
+  varied.input_feature_bytes = 1.0e6;
+  for (Scheme s : {Scheme::thread_one_sided, Scheme::thread_two_sided,
+                   Scheme::repl_traditional, Scheme::repl_single_acc}) {
+    const auto base = scheme_delta(s, kShape, kTile, DType::f16, kT4, {});
+    const auto alt = scheme_delta(s, kShape, kTile, DType::f16, kT4, varied);
+    EXPECT_TRUE(base == alt) << scheme_name(s);
+  }
+  // ...whereas global ABFT must react to them.
+  const auto g0 =
+      scheme_delta(Scheme::global_abft, kShape, kTile, DType::f16, kT4, {});
+  const auto g1 = scheme_delta(Scheme::global_abft, kShape, kTile, DType::f16,
+                               kT4, varied);
+  EXPECT_FALSE(g0 == g1);
 }
 
 TEST(SchemeDelta, MultiChecksumScalesWork) {

@@ -1,0 +1,170 @@
+// ProfileCache tests: memoization semantics, hit/miss accounting, key
+// identity, and thread-safety under worker-pool fan-out.
+
+#include "gemm/profile_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+
+#include "common/parallel.hpp"
+
+namespace aift {
+namespace {
+
+ProfileKey key_of(std::int64_t m, std::int64_t n, std::int64_t k,
+                  int scheme_tag = -1) {
+  ProfileKey key;
+  key.m = m;
+  key.n = n;
+  key.k = k;
+  key.scheme_tag = scheme_tag;
+  key.device = "T4";
+  return key;
+}
+
+ProfiledKernel kernel_with_cost(double us) {
+  ProfiledKernel pk;
+  pk.cost.total_us = us;
+  return pk;
+}
+
+TEST(ProfileCache, ComputesOnceThenHits) {
+  ProfileCache cache;
+  std::atomic<int> computed{0};
+  const auto compute = [&]() {
+    ++computed;
+    return kernel_with_cost(1.5);
+  };
+
+  const auto first = cache.get_or_compute(key_of(64, 64, 64), compute);
+  EXPECT_DOUBLE_EQ(first.cost.total_us, 1.5);
+  EXPECT_EQ(computed.load(), 1);
+
+  for (int i = 0; i < 5; ++i) {
+    const auto again = cache.get_or_compute(key_of(64, 64, 64), compute);
+    EXPECT_DOUBLE_EQ(again.cost.total_us, 1.5);
+  }
+  EXPECT_EQ(computed.load(), 1);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 5);
+  EXPECT_EQ(stats.lookups(), 6);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProfileCache, DistinctKeysDistinctEntries) {
+  ProfileCache cache;
+  (void)cache.get_or_compute(key_of(64, 64, 64),
+                             [] { return kernel_with_cost(1.0); });
+  (void)cache.get_or_compute(key_of(64, 64, 128),
+                             [] { return kernel_with_cost(2.0); });
+  // Same shape, different scheme: separate entry.
+  (void)cache.get_or_compute(key_of(64, 64, 64, /*scheme_tag=*/2),
+                             [] { return kernel_with_cost(3.0); });
+  EXPECT_EQ(cache.size(), 3u);
+
+  const auto back = cache.get_or_compute(key_of(64, 64, 64, 2), [] {
+    ADD_FAILURE() << "should have been cached";
+    return ProfiledKernel{};
+  });
+  EXPECT_DOUBLE_EQ(back.cost.total_us, 3.0);
+}
+
+TEST(ProfileCache, KeyPermutationsOfShapeDiffer) {
+  // (m, n, k) must not collide under permutation — a symmetric hash or a
+  // sloppy equality would silently alias transposed problems.
+  ProfileCache cache;
+  (void)cache.get_or_compute(key_of(128, 64, 32),
+                             [] { return kernel_with_cost(1.0); });
+  (void)cache.get_or_compute(key_of(64, 128, 32),
+                             [] { return kernel_with_cost(2.0); });
+  (void)cache.get_or_compute(key_of(32, 64, 128),
+                             [] { return kernel_with_cost(3.0); });
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ProfileCache, OptionsFingerprintSeparatesEntries) {
+  ProfileCache cache;
+  auto fused = key_of(64, 64, 64, 1);
+  auto unfused = fused;
+  unfused.opts[3] = 1.0;
+  (void)cache.get_or_compute(fused, [] { return kernel_with_cost(1.0); });
+  (void)cache.get_or_compute(unfused, [] { return kernel_with_cost(2.0); });
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ProfileCache, KeyEqualityMatchesHashOnSpecialDoubles) {
+  // Key equality is bitwise over the opts fingerprint, matching the hash:
+  // 0.0 and -0.0 are distinct keys, and a NaN-bearing key equals itself —
+  // either way the unordered_map invariant (equal keys hash equal) holds.
+  auto pos = key_of(64, 64, 64, 1);
+  auto neg = pos;
+  neg.opts[0] = -0.0;
+  EXPECT_FALSE(pos == neg);
+
+  auto nan_key = pos;
+  nan_key.opts[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(nan_key == nan_key);
+  EXPECT_EQ(ProfileKeyHash{}(nan_key), ProfileKeyHash{}(nan_key));
+
+  ProfileCache cache;
+  (void)cache.get_or_compute(pos, [] { return kernel_with_cost(1.0); });
+  (void)cache.get_or_compute(neg, [] { return kernel_with_cost(2.0); });
+  (void)cache.get_or_compute(nan_key, [] { return kernel_with_cost(3.0); });
+  // Second NaN lookup must hit, not grow the map.
+  EXPECT_DOUBLE_EQ(cache.get_or_compute(nan_key, [] {
+                          ADD_FAILURE() << "NaN key failed to self-match";
+                          return ProfiledKernel{};
+                        }).cost.total_us,
+                   3.0);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ProfileCache, ClearResetsEntriesAndStats) {
+  ProfileCache cache;
+  (void)cache.get_or_compute(key_of(8, 8, 8),
+                             [] { return kernel_with_cost(1.0); });
+  (void)cache.get_or_compute(key_of(8, 8, 8),
+                             [] { return kernel_with_cost(1.0); });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, 0);
+}
+
+TEST(ProfileCache, ConcurrentLookupsAreConsistent) {
+  // Many workers hammer a small key set; every returned value must match
+  // its key, and afterwards a serial sweep is all hits.
+  ProfileCache cache;
+  constexpr std::int64_t kLookups = 512;
+  parallel_for(0, kLookups, [&](std::int64_t i) {
+    const std::int64_t shape = 8 << (i % 4);  // 4 distinct keys
+    const auto pk =
+        cache.get_or_compute(key_of(shape, shape, shape), [&] {
+          return kernel_with_cost(static_cast<double>(shape));
+        });
+    EXPECT_DOUBLE_EQ(pk.cost.total_us, static_cast<double>(shape));
+  });
+  EXPECT_EQ(cache.size(), 4u);
+
+  const auto before = cache.stats();
+  EXPECT_EQ(before.lookups(), kLookups);
+  // Racing first lookups may each compute (deterministically equal)
+  // results, so misses can exceed the key count — but never the lookups.
+  EXPECT_GE(before.misses, 4);
+  EXPECT_LE(before.misses, kLookups);
+
+  for (std::int64_t s : {8, 16, 32, 64}) {
+    (void)cache.get_or_compute(key_of(s, s, s), [&] {
+      ADD_FAILURE() << "warm cache must not recompute";
+      return ProfiledKernel{};
+    });
+  }
+  EXPECT_EQ(cache.stats().hits, before.hits + 4);
+}
+
+}  // namespace
+}  // namespace aift

@@ -1,0 +1,158 @@
+// Plan-compiler tests: the plan -> compile split must be a pure refactor —
+// parallel compilation and profile-cache reuse may never change a plan —
+// and the shared ProfileCache must demonstrably eliminate re-profiling.
+
+#include "runtime/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace aift {
+namespace {
+
+void expect_identical_plans(const InferencePlan& a, const InferencePlan& b) {
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  EXPECT_EQ(a.model_name, b.model_name);
+  EXPECT_EQ(a.policy, b.policy);
+  // Bit-identical, not approximately equal: the compile paths must agree
+  // on every profiled cost and every tile choice.
+  EXPECT_EQ(a.total_base_us, b.total_base_us);
+  EXPECT_EQ(a.total_protected_us, b.total_protected_us);
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    const auto& ea = a.entries[i];
+    const auto& eb = b.entries[i];
+    EXPECT_EQ(ea.layer.name, eb.layer.name);
+    EXPECT_EQ(ea.scheme(), eb.scheme()) << i;
+    EXPECT_TRUE(ea.exec_tile() == eb.exec_tile()) << i;
+    EXPECT_EQ(ea.profile.base.cost.total_us, eb.profile.base.cost.total_us)
+        << i;
+    EXPECT_EQ(ea.profile.redundant.cost.total_us,
+              eb.profile.redundant.cost.total_us)
+        << i;
+    EXPECT_EQ(ea.intensity, eb.intensity) << i;
+    EXPECT_EQ(ea.bandwidth_bound, eb.bandwidth_bound) << i;
+  }
+}
+
+class PlanCompilerTest : public ::testing::Test {
+ protected:
+  GemmCostModel model_{devices::t4()};
+};
+
+TEST_F(PlanCompilerTest, ParallelMatchesSerialBitForBit) {
+  for (const auto policy :
+       {ProtectionPolicy::intensity_guided, ProtectionPolicy::global_abft,
+        ProtectionPolicy::none}) {
+    const auto m = zoo::vgg16(zoo::imagenet_input(1));
+    const auto parallel = compile_plan(model_, m, policy);
+    const auto serial = compile_plan_serial(model_, m, policy);
+    expect_identical_plans(parallel, serial);
+  }
+}
+
+TEST_F(PlanCompilerTest, CacheOnOffPlansAreIdentical) {
+  const auto m = zoo::resnet50(zoo::imagenet_input(1));
+  ProfileCache cache;
+  const auto cached =
+      compile_plan(model_, m, ProtectionPolicy::intensity_guided, DType::f16,
+                   {}, &cache);
+  const auto uncached =
+      compile_plan(model_, m, ProtectionPolicy::intensity_guided);
+  expect_identical_plans(cached, uncached);
+  EXPECT_GT(cache.size(), 0u);
+}
+
+TEST_F(PlanCompilerTest, CacheEliminatesRepeatedProfiling) {
+  // VGG-16 repeats conv shapes, so a cold compile already profiles far
+  // fewer points than layers; a second compile of the same model must be
+  // all hits and add zero misses.
+  const auto m = zoo::vgg16(zoo::imagenet_input(1));
+  ProfileCache cache;
+  // Serial cold pass: no racing first lookups, so misses == stored entries
+  // holds exactly.
+  (void)compile_plan_serial(model_, m, ProtectionPolicy::intensity_guided,
+                            DType::f16, {}, &cache);
+  const auto cold = cache.stats();
+  EXPECT_GT(cold.misses, 0);
+  EXPECT_EQ(static_cast<std::size_t>(cold.misses), cache.size());
+
+  (void)compile_plan(model_, m, ProtectionPolicy::intensity_guided,
+                     DType::f16, {}, &cache);
+  const auto warm = cache.stats();
+  EXPECT_EQ(warm.misses, cold.misses) << "warm compile re-profiled";
+  EXPECT_GT(warm.hits, cold.hits);
+}
+
+TEST_F(PlanCompilerTest, CacheSharesBaselineProfilesAcrossPolicies) {
+  // Fixed-scheme plans of the same model share every unprotected baseline
+  // profile (and intensity_guided additionally reuses both schemes'
+  // redundant profiles), so planning a second policy must hit.
+  const auto m = zoo::dlrm_mlp_bottom(1);
+  ProtectedPipeline pipe(model_);
+  (void)pipe.plan(m, ProtectionPolicy::global_abft);
+  const auto after_first = pipe.cache_stats();
+  (void)pipe.plan(m, ProtectionPolicy::thread_level);
+  const auto after_second = pipe.cache_stats();
+  EXPECT_GT(after_second.hits, after_first.hits);
+  (void)pipe.plan(m, ProtectionPolicy::intensity_guided);
+  const auto after_guided = pipe.cache_stats();
+  // Guided considers exactly {global, thread_one_sided}: every profile it
+  // needs is already cached.
+  EXPECT_EQ(after_guided.misses, after_second.misses);
+}
+
+TEST_F(PlanCompilerTest, PipelineFacadeMatchesDirectCompiler) {
+  const auto m = zoo::noscope_coral(64);
+  ProtectedPipeline pipe(model_);
+  const auto via_pipe = pipe.plan(m, ProtectionPolicy::intensity_guided);
+  const auto direct =
+      compile_plan(model_, m, ProtectionPolicy::intensity_guided);
+  expect_identical_plans(via_pipe, direct);
+  EXPECT_GT(pipe.cache_stats().lookups(), 0);
+}
+
+TEST_F(PlanCompilerTest, PlanCarriesCheckerConfiguration) {
+  AbftOptions opts;
+  opts.num_checksums = 2;
+  const auto plan = compile_plan(model_, zoo::dlrm_mlp_top(1),
+                                 ProtectionPolicy::global_abft, DType::f16,
+                                 opts);
+  EXPECT_EQ(plan.abft_options.num_checksums, 2);
+  for (const auto& e : plan.entries) {
+    EXPECT_EQ(e.scheme(), Scheme::global_abft);
+    EXPECT_TRUE(e.exec_tile().valid());
+  }
+}
+
+TEST_F(PlanCompilerTest, FusionContextOnlyAffectsGlobalAbftKeys) {
+  // Thread-level deltas ignore the fusion-context options, so layers that
+  // differ only there must share one cached thread-level profile (while
+  // global ABFT, which prices the standalone checksum kernel, must not).
+  AbftOptions fused;
+  AbftOptions unfused;
+  unfused.fused_input_checksum = false;
+  unfused.input_feature_bytes = 4096.0;
+  IntensityGuidedSelector a(model_, fused), b(model_, unfused);
+  const GemmShape shape{64, 64, 64};
+  EXPECT_TRUE(a.profile_key(Scheme::thread_one_sided, shape, DType::f16) ==
+              b.profile_key(Scheme::thread_one_sided, shape, DType::f16));
+  EXPECT_TRUE(a.profile_key(Scheme::none, shape, DType::f16) ==
+              b.profile_key(Scheme::none, shape, DType::f16));
+  EXPECT_FALSE(a.profile_key(Scheme::global_abft, shape, DType::f16) ==
+               b.profile_key(Scheme::global_abft, shape, DType::f16));
+}
+
+TEST(PolicyNames, RoundTrip) {
+  for (const ProtectionPolicy p : all_policies()) {
+    const auto back = policy_by_name(policy_name(p));
+    ASSERT_TRUE(back.has_value()) << policy_name(p);
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_EQ(policy_by_name("bogus"), std::nullopt);
+  EXPECT_EQ(policy_by_name(""), std::nullopt);
+}
+
+}  // namespace
+}  // namespace aift

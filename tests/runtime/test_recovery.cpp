@@ -10,6 +10,7 @@
 #include "core/thread_level_abft.hpp"
 #include "gemm/functional.hpp"
 #include "nn/zoo/zoo.hpp"
+#include "runtime/pipeline.hpp"
 
 namespace aift {
 namespace {
@@ -55,6 +56,56 @@ TEST_F(RecoveryTest, RareFaultsBarelyMoveExpectedLatency) {
 TEST_F(RecoveryTest, RejectsInvalidProbability) {
   EXPECT_THROW((void)analyze_recovery(plan_, -0.1), std::logic_error);
   EXPECT_THROW((void)analyze_recovery(plan_, 1.0), std::logic_error);
+}
+
+TEST(RecoverySimulated, SessionRetriesCrossValidateExpectedRetryMath) {
+  // Monte-Carlo cross-check of the analytic model against the real
+  // executor: every layer execution (retries included) faults with
+  // probability p, so measured mean retries per inference should approach
+  // analyze_recovery's geometric expectation L * p/(1-p), less the small
+  // truncation of the session's finite retry budget. Deterministic in the
+  // fixed seed.
+  ModelBuilder b("RetrySim", /*batch=*/2, /*in_features=*/16);
+  b.linear("fc1", 16);
+  b.linear("fc2", 8);
+  const auto model = std::move(b).build();
+
+  GemmCostModel cost(devices::t4());
+  ProtectedPipeline pipe(cost);
+  SessionOptions sopts;
+  sopts.max_retries = 6;  // keep geometric truncation ≪ sampling error
+  const InferenceSession session(
+      pipe.plan(model, ProtectionPolicy::intensity_guided), sopts);
+
+  const double p = 0.25;
+  const int trials = 400;
+  const auto sim = simulate_recovery(session, p, trials, /*seed=*/2024);
+
+  EXPECT_EQ(sim.trials, trials);
+  EXPECT_GT(sim.faulted_executions, 0);
+  // High-bit faults are essentially always flagged; the rare exception is
+  // a down-scaling flip of a near-zero partial accumulator, whose effect
+  // sits below the checker's FP16 rounding threshold.
+  EXPECT_LE(sim.undetected, sim.faulted_executions / 20);
+
+  const auto analysis =
+      analyze_recovery(session.plan(), p);
+  EXPECT_NEAR(sim.mean_retries_per_inference, analysis.expected_retries,
+              0.15 * analysis.expected_retries);
+}
+
+TEST(RecoverySimulated, ZeroProbabilityMeansZeroRetries) {
+  ModelBuilder b("NoFaults", 2, 16);
+  b.linear("fc", 8);
+  const auto model = std::move(b).build();
+  GemmCostModel cost(devices::t4());
+  ProtectedPipeline pipe(cost);
+  const InferenceSession session(
+      pipe.plan(model, ProtectionPolicy::intensity_guided));
+  const auto sim = simulate_recovery(session, 0.0, 20, 1);
+  EXPECT_EQ(sim.faulted_executions, 0);
+  EXPECT_EQ(sim.total_retries, 0);
+  EXPECT_DOUBLE_EQ(sim.mean_retries_per_inference, 0.0);
 }
 
 TEST(RecoveryFunctional, RetryAfterDetectionYieldsCleanResult) {
