@@ -1,7 +1,9 @@
 // End-to-end protected-inference throughput of the plan -> compile ->
-// execute stack: plan compilation cache-cold vs cache-warm (the
-// ProfileCache's payoff), clean serving throughput per policy, and
-// model-level campaign trial throughput.
+// execute -> serve stack: plan compilation cache-cold vs cache-warm (the
+// ProfileCache's payoff), clean serving throughput per policy, the batched
+// serving engine's batch-size sweep (deferred vs synchronous
+// verification), and model-level campaign trial throughput (per-trial vs
+// batched engines).
 //
 // Emits JSON (the schema of BENCH_session.json at the repo root) to
 // stdout, or to a file when a path is given:
@@ -16,6 +18,7 @@
 #include "common/parallel.hpp"
 #include "fault/model_campaign.hpp"
 #include "nn/zoo/zoo.hpp"
+#include "runtime/executor.hpp"
 #include "runtime/pipeline.hpp"
 #include "runtime/session.hpp"
 
@@ -77,6 +80,46 @@ ServeTiming time_serving(const ProtectedPipeline& pipe, const Model& m,
   return t;
 }
 
+struct BatchTiming {
+  int batch = 0;
+  int requests = 0;
+  double deferred_s = 0.0;  ///< deferred, overlapped verification
+  double sync_s = 0.0;      ///< synchronous per-layer verification
+
+  [[nodiscard]] double deferred_per_s() const { return requests / deferred_s; }
+  [[nodiscard]] double sync_per_s() const { return requests / sync_s; }
+};
+
+// Serves `requests` requests in batches of `batch` through the executor,
+// once with deferred and once with synchronous verification.
+BatchTiming time_batched(const InferenceSession& session, int batch,
+                         int requests) {
+  BatchTiming t;
+  t.batch = batch;
+  t.requests = requests;
+  const BatchExecutor executor(session);
+  // Batches assembled outside the timed region, like the serial baseline's
+  // pre-generated inputs: both paths time serving only.
+  std::vector<std::vector<BatchRequest>> chunks;
+  for (int lo = 0; lo < requests; lo += batch) {
+    std::vector<BatchRequest> chunk(
+        static_cast<std::size_t>(std::min(requests, lo + batch) - lo));
+    for (std::size_t r = 0; r < chunk.size(); ++r) {
+      chunk[r].input = session.make_input(
+          static_cast<std::uint64_t>(7 + lo) + r);
+    }
+    chunks.push_back(std::move(chunk));
+  }
+  for (const bool defer : {true, false}) {
+    BatchOptions opts;
+    opts.defer_verification = defer;
+    const auto t0 = Clock::now();
+    for (const auto& chunk : chunks) (void)executor.run(chunk, opts);
+    (defer ? t.deferred_s : t.sync_s) = seconds_since(t0);
+  }
+  return t;
+}
+
 int run(int argc, char** argv) {
   const GemmCostModel cost(devices::t4());
 
@@ -96,9 +139,30 @@ int run(int argc, char** argv) {
   serving.push_back(
       time_serving(pipe, mlp, ProtectionPolicy::intensity_guided, kRequests));
 
-  // Model-level campaign throughput.
+  // Batched serving: the executor's batch-size sweep against the serial
+  // B=1 baseline (sequential session.run of the same request stream).
   const InferenceSession session(
       pipe.plan(mlp, ProtectionPolicy::intensity_guided));
+  constexpr int kBatchedRequests = 64;
+  double serial_baseline_s = 0.0;
+  {
+    // Inputs pre-generated outside the timed region, exactly like the
+    // batched sweep — the comparison times serving only.
+    std::vector<Matrix<half_t>> inputs;
+    inputs.reserve(kBatchedRequests);
+    for (int r = 0; r < kBatchedRequests; ++r) {
+      inputs.push_back(session.make_input(static_cast<std::uint64_t>(7 + r)));
+    }
+    const auto t0 = Clock::now();
+    for (const auto& input : inputs) (void)session.run(input);
+    serial_baseline_s = seconds_since(t0);
+  }
+  std::vector<BatchTiming> batched;
+  for (const int b : {1, 4, 16, 64}) {
+    batched.push_back(time_batched(session, b, kBatchedRequests));
+  }
+
+  // Model-level campaign throughput: trial-parallel vs batched engines.
   ModelCampaignConfig cfg;
   cfg.trials = 64;
   cfg.fault_opts.min_bit = 20;
@@ -108,6 +172,13 @@ int run(int argc, char** argv) {
   const double campaign_s = seconds_since(t0);
   if (stats.trials != cfg.trials) {
     std::fprintf(stderr, "FATAL: campaign dropped trials\n");
+    return 1;
+  }
+  const auto t1 = Clock::now();
+  const auto batched_stats = run_model_campaign_batched(session, cfg, 16);
+  const double batched_campaign_s = seconds_since(t1);
+  if (batched_stats != stats) {
+    std::fprintf(stderr, "FATAL: batched campaign stats diverged\n");
     return 1;
   }
 
@@ -144,14 +215,43 @@ int run(int argc, char** argv) {
                   i + 1 < serving.size() ? "," : "");
     json += buf;
   }
-  json += "  ],\n";
-  char buf[256];
+  json += "  ],\n  \"batched_serving\": {\n";
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"serial_b1_baseline\": {\"requests\": %d, "
+                  "\"elapsed_s\": %.4f, \"requests_per_s\": %.1f},\n",
+                  kBatchedRequests, serial_baseline_s,
+                  kBatchedRequests / serial_baseline_s);
+    json += buf;
+  }
+  json += "    \"sweep\": [\n";
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    const auto& b = batched[i];
+    const double serial_per_s = kBatchedRequests / serial_baseline_s;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "      {\"batch\": %d, \"requests\": %d, "
+                  "\"deferred_requests_per_s\": %.1f, "
+                  "\"sync_requests_per_s\": %.1f, "
+                  "\"deferred_speedup_vs_serial_b1\": %.2f, "
+                  "\"sync_speedup_vs_serial_b1\": %.2f}%s\n",
+                  b.batch, b.requests, b.deferred_per_s(), b.sync_per_s(),
+                  b.deferred_per_s() / serial_per_s,
+                  b.sync_per_s() / serial_per_s,
+                  i + 1 < batched.size() ? "," : "");
+    json += buf;
+  }
+  json += "    ]\n  },\n";
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "  \"model_campaign\": {\"trials\": %lld, \"elapsed_s\": "
-                "%.4f, \"trials_per_s\": %.1f, \"detected\": %lld, "
+                "%.4f, \"trials_per_s\": %.1f, \"batched_elapsed_s\": %.4f, "
+                "\"batched_trials_per_s\": %.1f, \"detected\": %lld, "
                 "\"recovered\": %lld}\n}\n",
                 static_cast<long long>(stats.trials), campaign_s,
-                stats.trials / campaign_s,
+                stats.trials / campaign_s, batched_campaign_s,
+                stats.trials / batched_campaign_s,
                 static_cast<long long>(stats.detected),
                 static_cast<long long>(stats.recovered));
   json += buf;

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "runtime/executor.hpp"
 
 namespace aift {
 namespace {
@@ -36,25 +37,28 @@ struct ModelCampaignContext {
   }
 };
 
-void run_trial(const ModelCampaignContext& ctx, std::int64_t t,
-               ModelCampaignStats& stats, bool parallel_gemm) {
-  const InferenceSession& session = ctx.session;
+// The fault site of trial t, reproduced from its private RNG stream.
+struct TrialSite {
+  std::size_t layer = 0;
+  FaultSpec fault;
+};
+
+TrialSite trial_site(const ModelCampaignContext& ctx, std::int64_t t) {
   Rng rng(campaign_trial_seed(ctx.config.seed, t));
-  const auto layer = static_cast<std::size_t>(rng.uniform_int(
-      0, static_cast<std::int64_t>(session.num_layers()) - 1));
-  const auto& entry = session.plan().entries[layer];
-  const FaultSpec fault = random_fault(rng, entry.layer.gemm,
-                                       entry.exec_tile(),
-                                       ctx.config.fault_opts);
+  TrialSite site;
+  site.layer = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(ctx.session.num_layers()) - 1));
+  const auto& entry = ctx.session.plan().entries[site.layer];
+  site.fault = random_fault(rng, entry.layer.gemm, entry.exec_tile(),
+                            ctx.config.fault_opts);
+  return site;
+}
 
-  SessionRunOptions run_opts;
-  run_opts.parallel = parallel_gemm;
-  run_opts.faults = {SessionFault{layer, fault, /*execution=*/0}};
-  // Start at the faulted layer: everything before it is fault-free and
-  // bit-identical to the cached clean activations.
-  const SessionResult result =
-      session.run_from(layer, ctx.layer_inputs[layer], run_opts);
-
+// Classifies one trial's result (a run started at the faulted layer, so
+// result.layers.front() traces that layer). Shared by the per-trial and
+// batched engines — a batched row is classified exactly like a lone trial.
+void classify_trial(const ModelCampaignContext& ctx, std::size_t layer,
+                    const SessionResult& result, ModelCampaignStats& stats) {
   ++stats.trials;
   ++stats.faults_per_layer[layer];
   const LayerTrace& faulted_trace = result.layers.front();
@@ -76,6 +80,20 @@ void run_trial(const ModelCampaignContext& ctx, std::int64_t t,
   } else {
     ++stats.sdc;
   }
+}
+
+void run_trial(const ModelCampaignContext& ctx, std::int64_t t,
+               ModelCampaignStats& stats, bool parallel_gemm) {
+  const TrialSite site = trial_site(ctx, t);
+
+  SessionRunOptions run_opts;
+  run_opts.parallel = parallel_gemm;
+  run_opts.faults = {SessionFault{site.layer, site.fault, /*execution=*/0}};
+  // Start at the faulted layer: everything before it is fault-free and
+  // bit-identical to the cached clean activations.
+  const SessionResult result = ctx.session.run_from(
+      site.layer, ctx.layer_inputs[site.layer], run_opts);
+  classify_trial(ctx, site.layer, result, stats);
 }
 
 ModelCampaignStats zeroed_stats(const InferenceSession& session) {
@@ -143,6 +161,46 @@ ModelCampaignStats run_model_campaign_serial(const InferenceSession& session,
   ModelCampaignStats stats = zeroed_stats(session);
   for (std::int64_t t = 0; t < config.trials; ++t)
     run_trial(ctx, t, stats, /*parallel_gemm=*/false);
+  return stats;
+}
+
+ModelCampaignStats run_model_campaign_batched(const InferenceSession& session,
+                                              const ModelCampaignConfig& config,
+                                              std::int64_t batch_rows) {
+  AIFT_CHECK(batch_rows > 0);
+  const ModelCampaignContext ctx(session, config);
+
+  // Group trials by faulted layer: each group shares the clean activation
+  // feeding that layer (the serial engine's prefix skip) and the layer
+  // suffix it must execute, so its trials stack into one batch.
+  std::vector<std::vector<TrialSite>> by_layer(session.num_layers());
+  for (std::int64_t t = 0; t < config.trials; ++t) {
+    const TrialSite site = trial_site(ctx, t);
+    by_layer[site.layer].push_back(site);
+  }
+
+  const BatchExecutor executor(session);
+  ModelCampaignStats stats = zeroed_stats(session);
+  for (std::size_t layer = 0; layer < by_layer.size(); ++layer) {
+    const auto& sites = by_layer[layer];
+    for (std::size_t lo = 0; lo < sites.size();
+         lo += static_cast<std::size_t>(batch_rows)) {
+      const std::size_t hi = std::min(
+          sites.size(), lo + static_cast<std::size_t>(batch_rows));
+      std::vector<BatchRequest> batch;
+      batch.reserve(hi - lo);
+      for (std::size_t s = lo; s < hi; ++s) {
+        BatchRequest req;
+        req.input = ctx.layer_inputs[layer];
+        req.faults = {SessionFault{layer, sites[s].fault, /*execution=*/0}};
+        batch.push_back(std::move(req));
+      }
+      const BatchResult result = executor.run_from(layer, batch);
+      for (std::size_t s = lo; s < hi; ++s) {
+        classify_trial(ctx, layer, result.requests[s - lo], stats);
+      }
+    }
+  }
   return stats;
 }
 

@@ -72,4 +72,18 @@ struct ModelCampaignStats {
 [[nodiscard]] ModelCampaignStats run_model_campaign_serial(
     const InferenceSession& session, const ModelCampaignConfig& config);
 
+/// Batched campaign mode: trials become rows of a batch instead of
+/// independent sessions. Trials are grouped by their faulted layer (each
+/// group shares the cached clean activation feeding that layer, keeping
+/// the serial engine's prefix skip) and marched through the BatchExecutor
+/// up to `batch_rows` at a time with deferred, overlapped verification —
+/// one stacked GEMM per layer per group instead of one GEMM per layer per
+/// trial. Bit-identical ModelCampaignStats to run_model_campaign at any
+/// batch_rows and any AIFT_NUM_THREADS: per-trial outcomes are unchanged
+/// (the executor reproduces serial sessions bit for bit) and every stats
+/// field is an order-independent sum.
+[[nodiscard]] ModelCampaignStats run_model_campaign_batched(
+    const InferenceSession& session, const ModelCampaignConfig& config,
+    std::int64_t batch_rows = 16);
+
 }  // namespace aift

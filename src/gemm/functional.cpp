@@ -34,7 +34,8 @@ template <typename StoreFn>
 void run_blocks(const Matrix<half_t>& a, const Matrix<half_t>& b,
                 std::int64_t m, std::int64_t n, std::int64_t k,
                 const TileConfig& tile, const FunctionalOptions& opts,
-                const StoreFn& store) {
+                const StoreFn& store, std::int64_t extra_tasks = 0,
+                const std::function<void(std::int64_t)>* extra_task = nullptr) {
   AIFT_CHECK_MSG(tile.valid(), "invalid tile config " << tile.name());
   const std::int64_t bm = (m + tile.mb - 1) / tile.mb;
   const std::int64_t bn = (n + tile.nb - 1) / tile.nb;
@@ -49,6 +50,12 @@ void run_blocks(const Matrix<half_t>& a, const Matrix<half_t>& b,
   std::atomic<std::int64_t> mma_count{0};
 
   auto body = [&](std::int64_t block) {
+    if (block >= bm * bn) {
+      // Co-scheduled non-GEMM work (deferred verification drains) rides the
+      // same parallel region as the threadblocks.
+      (*extra_task)(block - bm * bn);
+      return;
+    }
     const std::int64_t bi = block / bn;
     const std::int64_t bj = block % bn;
     const std::int64_t r0 = bi * tile.mb;
@@ -107,9 +114,9 @@ void run_blocks(const Matrix<half_t>& a, const Matrix<half_t>& b,
   };
 
   if (opts.parallel) {
-    parallel_for(0, bm * bn, body);
+    parallel_for(0, bm * bn + extra_tasks, body);
   } else {
-    serial_for(0, bm * bn, body);
+    serial_for(0, bm * bn + extra_tasks, body);
   }
 
   if (opts.counters != nullptr) {
@@ -120,6 +127,25 @@ void run_blocks(const Matrix<half_t>& a, const Matrix<half_t>& b,
   }
 }
 
+// The FP16 store epilogue (round-to-nearest-even, clamped to the real
+// unpadded output), shared by the single-request and batched entry points:
+// the stacking bit-identity invariant requires both paths to store through
+// one definition.
+auto f16_store(Matrix<half_t>& c, const TileConfig& tile, std::int64_t m,
+               std::int64_t n) {
+  return [&c, &tile, m, n](std::int64_t r0, std::int64_t c0,
+                           const std::vector<float>& acc) {
+    for (int r = 0; r < tile.mb; ++r) {
+      if (r0 + r >= m) break;
+      for (int cc = 0; cc < tile.nb; ++cc) {
+        if (c0 + cc >= n) break;
+        c(r0 + r, c0 + cc) =
+            half_t(acc[static_cast<std::size_t>(r) * tile.nb + cc]);
+      }
+    }
+  };
+}
+
 }  // namespace
 
 void functional_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b,
@@ -128,17 +154,7 @@ void functional_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b,
   AIFT_CHECK(a.cols() == b.rows());
   AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
   const std::int64_t m = a.rows(), n = b.cols(), k = a.cols();
-  run_blocks(a, b, m, n, k, tile, opts,
-             [&](std::int64_t r0, std::int64_t c0, const std::vector<float>& acc) {
-               for (int r = 0; r < tile.mb; ++r) {
-                 if (r0 + r >= m) break;
-                 for (int cc = 0; cc < tile.nb; ++cc) {
-                   if (c0 + cc >= n) break;
-                   c(r0 + r, c0 + cc) =
-                       half_t(acc[static_cast<std::size_t>(r) * tile.nb + cc]);
-                 }
-               }
-             });
+  run_blocks(a, b, m, n, k, tile, opts, f16_store(c, tile, m, n));
 }
 
 void functional_gemm_f32out(const Matrix<half_t>& a, const Matrix<half_t>& b,
@@ -158,6 +174,38 @@ void functional_gemm_f32out(const Matrix<half_t>& a, const Matrix<half_t>& b,
                  }
                }
              });
+}
+
+void functional_gemm_batched(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                             Matrix<half_t>& c, std::int64_t rows_per_request,
+                             const TileConfig& tile,
+                             const BatchedGemmOptions& opts) {
+  AIFT_CHECK(a.cols() == b.rows());
+  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  AIFT_CHECK_MSG(rows_per_request > 0 && a.rows() % rows_per_request == 0,
+                 "stacked A of " << a.rows() << " rows is not a whole number "
+                                 << "of " << rows_per_request
+                                 << "-row requests");
+  const std::int64_t batch = a.rows() / rows_per_request;
+  AIFT_CHECK(opts.faults.empty() ||
+             static_cast<std::int64_t>(opts.faults.size()) == batch);
+  AIFT_CHECK(opts.extra_tasks == 0 || opts.extra_task != nullptr);
+
+  // Request-local fault coordinates shift into the request's row band.
+  FunctionalOptions fopts;
+  fopts.parallel = opts.parallel;
+  for (std::size_t r = 0; r < opts.faults.size(); ++r) {
+    for (const auto& f : opts.faults[r]) {
+      if (f.row < 0 || f.row >= rows_per_request) continue;  // padding-only
+      FaultSpec shifted = f;
+      shifted.row += static_cast<std::int64_t>(r) * rows_per_request;
+      fopts.faults.push_back(shifted);
+    }
+  }
+
+  const std::int64_t m = a.rows(), n = b.cols(), k = a.cols();
+  run_blocks(a, b, m, n, k, tile, fopts, f16_store(c, tile, m, n),
+             opts.extra_tasks, &opts.extra_task);
 }
 
 Matrix<float> reference_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b) {

@@ -10,6 +10,7 @@
 // a chosen k8-step, then propagate naturally to the stored output.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/half.hpp"
@@ -56,6 +57,41 @@ void functional_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b,
 void functional_gemm_f32out(const Matrix<half_t>& a, const Matrix<half_t>& b,
                             Matrix<float>& c, const TileConfig& tile,
                             const FunctionalOptions& opts = {});
+
+/// Options of the batched (multi-request) entry point.
+struct BatchedGemmOptions {
+  bool parallel = true;
+  /// faults[r] are injected into request r's row band, in request-local
+  /// coordinates (row within [0, rows_per_request)). Faults whose row falls
+  /// outside the request — which in a standalone GEMM would land in tile
+  /// padding and never reach a stored output — are dropped rather than
+  /// translated, so they stay inert instead of corrupting a sibling row.
+  std::vector<std::vector<FaultSpec>> faults;
+  /// Extra independent work items co-scheduled with the GEMM threadblocks
+  /// in the same parallel region: extra_task(t) runs once for each t in
+  /// [0, extra_tasks) on the worker pool, interleaved with the blocks. The
+  /// batched executor drains the previous layer's deferred ABFT
+  /// verifications here, hiding their cost behind this GEMM (§2.5 step 5).
+  /// Tasks must write disjoint state; execution order is unspecified.
+  std::int64_t extra_tasks = 0;
+  std::function<void(std::int64_t)> extra_task;
+};
+
+/// One GEMM for B stacked requests sharing the weight matrix: `a` holds the
+/// B requests' activation rows stacked vertically (B * rows_per_request x
+/// K) and `c` receives the stacked outputs (B * rows_per_request x N).
+///
+/// Bit-identical per request to running each request's GEMM alone: an
+/// output element's FP32 accumulation order depends only on the K
+/// decomposition (kb slabs of k8 MMA steps), never on M, the row's position
+/// in the grid, or which threadblock computes it. Stacking amortizes the
+/// threadblock padding that dominates small-M serving shapes (an M=1
+/// request still pays a full mb-row tile) and shares one padded FP32
+/// conversion of the weights across the whole batch.
+void functional_gemm_batched(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                             Matrix<half_t>& c, std::int64_t rows_per_request,
+                             const TileConfig& tile,
+                             const BatchedGemmOptions& opts = {});
 
 /// Naive double-precision reference (no tiling, no FP16 store) for tests.
 Matrix<float> reference_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b);

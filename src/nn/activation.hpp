@@ -40,4 +40,28 @@ void apply_activation(Matrix<half_t>& m, Activation a);
                                                 std::int64_t rows,
                                                 std::int64_t cols);
 
+/// `a` applied scalar-wise (the body of apply_activation, exposed so fused
+/// flows compute the identical FP32 value without mutating the source).
+[[nodiscard]] float activate_value(float x, Activation a);
+
+/// Fused, non-destructive inter-layer flow: activation of `prev` followed
+/// by repack into a rows x cols matrix, without modifying `prev`. Produces
+/// bit-identical output to apply_activation + repack_activations — each
+/// output element is half(activate_value(prev(...))) either way — while
+/// leaving `prev` available for deferred verification and output digests.
+[[nodiscard]] Matrix<half_t> activate_and_repack(const Matrix<half_t>& prev,
+                                                 Activation a,
+                                                 std::int64_t rows,
+                                                 std::int64_t cols);
+
+/// Batched inter-layer flow over `requests` row-stacked outputs: request
+/// r's band of prev_stacked (prev_stacked.rows()/requests rows) is
+/// activated and repacked independently — index wrapping never crosses a
+/// request boundary — into rows of the returned (requests*rows x cols)
+/// stacked matrix. Requests fan out over the worker pool; bit-identical to
+/// per-request activate_and_repack at any worker count.
+[[nodiscard]] Matrix<half_t> activate_and_repack_stacked(
+    const Matrix<half_t>& prev_stacked, std::int64_t requests, Activation a,
+    std::int64_t rows, std::int64_t cols, bool parallel = true);
+
 }  // namespace aift

@@ -1,0 +1,96 @@
+#pragma once
+// Batched serving engine — the "serve" stage of the plan -> compile ->
+// execute -> serve split.
+//
+// A BatchExecutor marches B requests through one InferenceSession's plan
+// layer-by-layer: every layer runs as a single stacked GEMM for the whole
+// batch (functional_gemm_batched — the requests share weights and the
+// tile-padding waste of small-M serving shapes is amortized across the
+// batch), and each global-ABFT layer's output-checksum reduction is
+// deferred into a verification queue that drains *while the next layer's
+// GEMM runs* — the overlap the paper exploits to hide ABFT cost behind
+// unexploited compute in memory-bound GEMMs (§2.5 step 5).
+//
+// A drained check that flags rewinds only the faulted request: its
+// speculative next-layer execution is flushed, the layer re-executes from
+// the request's retained clean input under the session's retry budget, and
+// the request rejoins the batch. Sibling requests are never re-executed.
+//
+// The invariant that makes all of this safe is testable and CTest-pinned:
+// outputs and per-layer traces are bit-identical to running the B requests
+// sequentially through InferenceSession::run, at any batch size, at any
+// AIFT_NUM_THREADS, with verification deferred or synchronous.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "runtime/session.hpp"
+
+namespace aift {
+
+/// One request of a batch: its input activation plus the faults to inject
+/// into its executions (SessionFault::layer is absolute, as in run_from).
+struct BatchRequest {
+  Matrix<half_t> input;
+  std::vector<SessionFault> faults;
+};
+
+struct BatchOptions {
+  /// Fan the stacked GEMMs, verification drains and inter-layer flow out
+  /// over the worker pool. Parallel and serial execution are bit-identical.
+  bool parallel = true;
+  /// Defer each global-ABFT layer's output-checksum reduction and drain it
+  /// during the next layer's GEMM (the paper's overlap). When false every
+  /// check runs synchronously after its layer, like InferenceSession::run.
+  /// Both modes produce bit-identical results and traces — deferral only
+  /// moves *when* checks execute, never what they compute.
+  bool defer_verification = true;
+};
+
+/// Engine-level counters of one batched run (the per-request architectural
+/// story — detections, retries, digests — lives in the SessionResults).
+struct BatchStats {
+  std::int64_t deferred_checks = 0;   ///< checks drained behind a later GEMM
+  std::int64_t synchronous_checks = 0;  ///< attempt-0 checks run in-line
+  std::int64_t rewinds = 0;  ///< deferred detections that rolled a row back
+  /// Speculative next-layer executions discarded by a rewind (never counted
+  /// in any LayerTrace — traces record architecturally retired executions).
+  std::int64_t flushed_executions = 0;
+
+  friend bool operator==(const BatchStats&, const BatchStats&) = default;
+};
+
+struct BatchResult {
+  /// Element r is exactly what InferenceSession::run (or run_from) would
+  /// return for request r, bit for bit — output, traces, digests.
+  std::vector<SessionResult> requests;
+  BatchStats stats;
+};
+
+class BatchExecutor {
+ public:
+  /// The session must outlive the executor. All state lives per-run, so
+  /// one executor may serve concurrent run() calls.
+  explicit BatchExecutor(const InferenceSession& session)
+      : session_(session) {}
+
+  [[nodiscard]] const InferenceSession& session() const { return session_; }
+
+  /// Runs the whole batch through every planned layer.
+  [[nodiscard]] BatchResult run(const std::vector<BatchRequest>& batch,
+                                const BatchOptions& opts = {}) const;
+
+  /// Runs only the layer suffix [first_layer, num_layers), every request's
+  /// input feeding layer first_layer — the batched form of
+  /// InferenceSession::run_from (campaigns batch trials that share a
+  /// faulted layer this way).
+  [[nodiscard]] BatchResult run_from(std::size_t first_layer,
+                                     const std::vector<BatchRequest>& batch,
+                                     const BatchOptions& opts = {}) const;
+
+ private:
+  const InferenceSession& session_;
+};
+
+}  // namespace aift

@@ -1,0 +1,347 @@
+#include "runtime/plan_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace aift {
+namespace {
+
+// FNV-1a 64 over the payload: cheap, stable across platforms, and any
+// truncation or bit flip in the artifact moves it.
+std::uint64_t fingerprint(const std::string& payload) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char ch : payload) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Doubles are written as C hexfloats: exact bit-for-bit round trip.
+std::string hex_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+// ------------------------------------------------------------- writing ----
+
+void write_tile(std::ostringstream& os, const char* key,
+                const TileConfig& t) {
+  os << key << ' ' << t.mb << ' ' << t.nb << ' ' << t.kb << ' ' << t.mw << ' '
+     << t.nw << ' ' << t.stages << '\n';
+}
+
+void write_cost(std::ostringstream& os, const char* key,
+                const KernelCost& c) {
+  os << key << ' ' << hex_double(c.mem_us) << ' ' << hex_double(c.tensor_us)
+     << ' ' << hex_double(c.alu_us) << ' ' << hex_double(c.latency_us) << ' '
+     << hex_double(c.exec_us) << ' ' << hex_double(c.launch_us) << ' '
+     << hex_double(c.second_kernel_us) << ' ' << hex_double(c.pre_kernel_us)
+     << ' ' << hex_double(c.total_us) << ' ' << bottleneck_name(c.bottleneck)
+     << ' ' << c.occupancy.blocks_per_sm << ' ' << c.occupancy.warps_per_sm
+     << ' ' << hex_double(c.occupancy.occupancy) << ' '
+     << (c.occupancy.register_spill ? 1 : 0) << ' ' << c.occupancy.limiter
+     << ' ' << c.blocks << ' ' << hex_double(c.waves) << ' '
+     << hex_double(c.dram_bytes) << ' ' << hex_double(c.tensor_flops) << ' '
+     << hex_double(c.alu_ops) << '\n';
+}
+
+// ------------------------------------------------------------- reading ----
+
+struct LineReader {
+  std::istringstream in;
+  int line_no = 0;
+
+  explicit LineReader(const std::string& text) : in(text) {}
+
+  /// Next line split at its first space into (keyword, rest). The keyword
+  /// must match; the rest is returned.
+  std::string expect(const std::string& keyword) {
+    std::string line;
+    AIFT_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                   "plan artifact truncated: expected '" << keyword << "'");
+    ++line_no;
+    const std::size_t sp = line.find(' ');
+    const std::string head = line.substr(0, sp);
+    AIFT_CHECK_MSG(head == keyword, "plan artifact line "
+                                        << line_no << ": expected '" << keyword
+                                        << "', got '" << head << "'");
+    return sp == std::string::npos ? std::string() : line.substr(sp + 1);
+  }
+};
+
+struct TokenReader {
+  std::istringstream in;
+  int line_no;
+
+  TokenReader(const std::string& rest, int line)
+      : in(rest), line_no(line) {}
+
+  std::string token() {
+    std::string t;
+    AIFT_CHECK_MSG(static_cast<bool>(in >> t),
+                   "plan artifact line " << line_no << ": missing field");
+    return t;
+  }
+
+  double f64() {
+    const std::string t = token();
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    AIFT_CHECK_MSG(end != nullptr && *end == '\0',
+                   "plan artifact line " << line_no << ": bad number '" << t
+                                         << "'");
+    return v;
+  }
+
+  std::int64_t i64() {
+    const std::string t = token();
+    char* end = nullptr;
+    const long long v = std::strtoll(t.c_str(), &end, 10);
+    AIFT_CHECK_MSG(end != nullptr && *end == '\0',
+                   "plan artifact line " << line_no << ": bad integer '" << t
+                                         << "'");
+    return static_cast<std::int64_t>(v);
+  }
+
+  int i32() { return static_cast<int>(i64()); }
+  bool flag() {
+    const std::int64_t v = i64();
+    AIFT_CHECK_MSG(v == 0 || v == 1,
+                   "plan artifact line " << line_no << ": bad flag " << v);
+    return v == 1;
+  }
+};
+
+Bottleneck parse_bottleneck(const std::string& name, int line) {
+  for (const Bottleneck b : {Bottleneck::memory, Bottleneck::tensor,
+                             Bottleneck::alu, Bottleneck::latency}) {
+    if (name == bottleneck_name(b)) return b;
+  }
+  AIFT_CHECK_MSG(false, "plan artifact line " << line << ": unknown bottleneck '"
+                                              << name << "'");
+  return Bottleneck::memory;
+}
+
+// Occupancy::limiter points at a static string; intern the loaded name.
+const char* parse_limiter(const std::string& name, int line) {
+  for (const char* known :
+       {"registers", "threads", "smem", "blocks", "none"}) {
+    if (name == known) return known;
+  }
+  AIFT_CHECK_MSG(false, "plan artifact line " << line << ": unknown limiter '"
+                                              << name << "'");
+  return "none";
+}
+
+DType parse_dtype(const std::string& name, int line) {
+  for (const DType t : {DType::f16, DType::f32, DType::i8}) {
+    if (name == dtype_name(t)) return t;
+  }
+  AIFT_CHECK_MSG(false, "plan artifact line " << line << ": unknown dtype '"
+                                              << name << "'");
+  return DType::f16;
+}
+
+TileConfig read_tile(LineReader& lr, const char* key) {
+  TokenReader tr(lr.expect(key), lr.line_no);
+  TileConfig t;
+  t.mb = tr.i32();
+  t.nb = tr.i32();
+  t.kb = tr.i32();
+  t.mw = tr.i32();
+  t.nw = tr.i32();
+  t.stages = tr.i32();
+  return t;
+}
+
+KernelCost read_cost(LineReader& lr, const char* key) {
+  TokenReader tr(lr.expect(key), lr.line_no);
+  KernelCost c;
+  c.mem_us = tr.f64();
+  c.tensor_us = tr.f64();
+  c.alu_us = tr.f64();
+  c.latency_us = tr.f64();
+  c.exec_us = tr.f64();
+  c.launch_us = tr.f64();
+  c.second_kernel_us = tr.f64();
+  c.pre_kernel_us = tr.f64();
+  c.total_us = tr.f64();
+  c.bottleneck = parse_bottleneck(tr.token(), lr.line_no);
+  c.occupancy.blocks_per_sm = tr.i32();
+  c.occupancy.warps_per_sm = tr.i32();
+  c.occupancy.occupancy = tr.f64();
+  c.occupancy.register_spill = tr.flag();
+  c.occupancy.limiter = parse_limiter(tr.token(), lr.line_no);
+  c.blocks = tr.i64();
+  c.waves = tr.f64();
+  c.dram_bytes = tr.f64();
+  c.tensor_flops = tr.f64();
+  c.alu_ops = tr.f64();
+  return c;
+}
+
+}  // namespace
+
+std::string serialize_plan(const InferencePlan& plan) {
+  std::ostringstream os;
+  os << "model " << plan.model_name << '\n';
+  os << "device " << plan.device_name << '\n';
+  os << "policy " << policy_name(plan.policy) << '\n';
+  os << "dtype " << dtype_name(plan.dtype) << '\n';
+  const AbftOptions& ao = plan.abft_options;
+  os << "abft " << hex_double(ao.overlap_fraction) << ' '
+     << hex_double(ao.activation_checksum_multiplicity) << ' '
+     << ao.num_checksums << ' ' << (ao.fused_input_checksum ? 1 : 0) << ' '
+     << hex_double(ao.input_feature_bytes) << '\n';
+  os << "totals " << hex_double(plan.total_base_us) << ' '
+     << hex_double(plan.total_protected_us) << '\n';
+  os << "entries " << plan.entries.size() << '\n';
+  for (const auto& e : plan.entries) {
+    const LayerDesc& l = e.layer;
+    os << "name " << l.name << '\n';
+    os << "layer " << (l.kind == LayerKind::conv2d ? "conv2d" : "linear")
+       << ' ' << l.gemm.m << ' ' << l.gemm.n << ' ' << l.gemm.k << ' ' << l.kh
+       << ' ' << l.kw << ' ' << l.stride << ' ' << l.input_elems << ' '
+       << (l.input_checksum_fusable ? 1 : 0) << '\n';
+    os << "meta " << hex_double(e.intensity) << ' '
+       << (e.bandwidth_bound ? 1 : 0) << ' '
+       << hex_double(e.profile.overhead_pct) << ' '
+       << scheme_name(e.profile.scheme) << '\n';
+    write_tile(os, "base_tile", e.profile.base.tile);
+    write_cost(os, "base_cost", e.profile.base.cost);
+    write_tile(os, "red_tile", e.profile.redundant.tile);
+    write_cost(os, "red_cost", e.profile.redundant.cost);
+  }
+
+  const std::string payload = os.str();
+  char header[64];
+  std::snprintf(header, sizeof(header), "aift-plan v%d %016llx\n",
+                kPlanFormatVersion,
+                static_cast<unsigned long long>(fingerprint(payload)));
+  return header + payload;
+}
+
+InferencePlan deserialize_plan(const std::string& text) {
+  // Header: "aift-plan v<version> <fingerprint>".
+  const std::size_t eol = text.find('\n');
+  AIFT_CHECK_MSG(eol != std::string::npos, "plan artifact: missing header");
+  const std::string header = text.substr(0, eol);
+  const std::string payload = text.substr(eol + 1);
+  {
+    TokenReader tr(header, 1);
+    AIFT_CHECK_MSG(tr.token() == "aift-plan",
+                   "plan artifact: bad magic in '" << header << "'");
+    const std::string version = tr.token();
+    std::string expected = "v";
+    expected += std::to_string(kPlanFormatVersion);
+    AIFT_CHECK_MSG(version == expected,
+                   "plan artifact: unsupported version '"
+                       << version << "' (expected " << expected << ")");
+    const std::string fp = tr.token();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fingerprint(payload)));
+    AIFT_CHECK_MSG(fp == buf, "plan artifact: fingerprint mismatch ("
+                                  << fp << " recorded, " << buf
+                                  << " computed) — truncated or corrupted");
+  }
+
+  LineReader lr(payload);
+  InferencePlan plan;
+  plan.model_name = lr.expect("model");
+  plan.device_name = lr.expect("device");
+  {
+    const std::string policy = lr.expect("policy");
+    const auto p = policy_by_name(policy);
+    AIFT_CHECK_MSG(p.has_value(), "plan artifact line "
+                                      << lr.line_no << ": unknown policy '"
+                                      << policy << "'");
+    plan.policy = *p;
+  }
+  plan.dtype = parse_dtype(lr.expect("dtype"), lr.line_no);
+  {
+    TokenReader tr(lr.expect("abft"), lr.line_no);
+    plan.abft_options.overlap_fraction = tr.f64();
+    plan.abft_options.activation_checksum_multiplicity = tr.f64();
+    plan.abft_options.num_checksums = tr.i32();
+    plan.abft_options.fused_input_checksum = tr.flag();
+    plan.abft_options.input_feature_bytes = tr.f64();
+  }
+  {
+    TokenReader tr(lr.expect("totals"), lr.line_no);
+    plan.total_base_us = tr.f64();
+    plan.total_protected_us = tr.f64();
+  }
+  std::int64_t entries = 0;
+  {
+    TokenReader tr(lr.expect("entries"), lr.line_no);
+    entries = tr.i64();
+    AIFT_CHECK_MSG(entries >= 0, "plan artifact line " << lr.line_no
+                                                       << ": bad entry count");
+  }
+  plan.entries.reserve(static_cast<std::size_t>(entries));
+  for (std::int64_t i = 0; i < entries; ++i) {
+    LayerPlanEntry e;
+    e.layer.name = lr.expect("name");
+    {
+      TokenReader tr(lr.expect("layer"), lr.line_no);
+      const std::string kind = tr.token();
+      AIFT_CHECK_MSG(kind == "conv2d" || kind == "linear",
+                     "plan artifact line " << lr.line_no
+                                           << ": unknown layer kind '" << kind
+                                           << "'");
+      e.layer.kind = kind == "conv2d" ? LayerKind::conv2d : LayerKind::linear;
+      e.layer.gemm.m = tr.i64();
+      e.layer.gemm.n = tr.i64();
+      e.layer.gemm.k = tr.i64();
+      e.layer.kh = tr.i32();
+      e.layer.kw = tr.i32();
+      e.layer.stride = tr.i32();
+      e.layer.input_elems = tr.i64();
+      e.layer.input_checksum_fusable = tr.flag();
+    }
+    {
+      TokenReader tr(lr.expect("meta"), lr.line_no);
+      e.intensity = tr.f64();
+      e.bandwidth_bound = tr.flag();
+      e.profile.overhead_pct = tr.f64();
+      const std::string scheme = tr.token();
+      const auto s = scheme_by_name(scheme);
+      AIFT_CHECK_MSG(s.has_value(), "plan artifact line "
+                                        << lr.line_no << ": unknown scheme '"
+                                        << scheme << "'");
+      e.profile.scheme = *s;
+    }
+    e.profile.base.tile = read_tile(lr, "base_tile");
+    e.profile.base.cost = read_cost(lr, "base_cost");
+    e.profile.redundant.tile = read_tile(lr, "red_tile");
+    e.profile.redundant.cost = read_cost(lr, "red_cost");
+    plan.entries.push_back(std::move(e));
+  }
+  return plan;
+}
+
+void save_plan(const InferencePlan& plan, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  AIFT_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  const std::string text = serialize_plan(plan);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  AIFT_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+InferencePlan load_plan(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AIFT_CHECK_MSG(in.good(), "cannot open plan artifact '" << path << "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize_plan(buf.str());
+}
+
+}  // namespace aift

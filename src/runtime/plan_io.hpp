@@ -1,0 +1,45 @@
+#pragma once
+// Versioned on-disk persistence of compiled InferencePlans.
+//
+// Profiling a model zoo at server start is the expensive step of the
+// paper's profile-once-before-deployment workflow (§5.3); persisting the
+// compiled plan lets a serving process instantiate an InferenceSession
+// without re-profiling. The format is a line-oriented text artifact:
+//
+//   aift-plan v<version> <fingerprint>
+//   <payload lines>
+//
+// where the fingerprint is an FNV-1a 64 hash of the payload. Every
+// floating-point field is written as a C hexfloat ("%a"), so a load
+// reproduces the plan bit for bit — serialize(deserialize(s)) == s — and a
+// session built from a loaded plan serves identically to one built from
+// the freshly compiled plan.
+//
+// load/deserialize *reject* (std::logic_error) artifacts with a wrong
+// magic, an unsupported version, a fingerprint mismatch (truncation or
+// corruption), or malformed payload lines — a server must never silently
+// serve from a damaged plan.
+
+#include <string>
+
+#include "runtime/plan.hpp"
+
+namespace aift {
+
+/// Format version written by serialize_plan; bumped on any layout change.
+inline constexpr int kPlanFormatVersion = 1;
+
+/// The full on-disk artifact (header + payload) as a string.
+[[nodiscard]] std::string serialize_plan(const InferencePlan& plan);
+
+/// Inverse of serialize_plan. Throws std::logic_error on version or
+/// fingerprint mismatch or malformed input.
+[[nodiscard]] InferencePlan deserialize_plan(const std::string& text);
+
+/// Writes the artifact to `path` (throws std::logic_error on I/O failure).
+void save_plan(const InferencePlan& plan, const std::string& path);
+
+/// Reads and validates an artifact from `path`.
+[[nodiscard]] InferencePlan load_plan(const std::string& path);
+
+}  // namespace aift

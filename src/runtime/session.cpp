@@ -1,27 +1,12 @@
 #include "runtime/session.hpp"
 
-#include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "runtime/executor.hpp"
 
 namespace aift {
-namespace {
-
-// Order-independent digest: any fault that changes a stored output's
-// value — including a bare sign flip, which leaves Σ|x| alone — moves it.
-double digest(const Matrix<half_t>& m) {
-  double sum = 0.0;
-  for (std::int64_t r = 0; r < m.rows(); ++r) {
-    for (std::int64_t c = 0; c < m.cols(); ++c) {
-      const double x = m(r, c).to_float();
-      sum += x + 3.0 * std::abs(x);
-    }
-  }
-  return sum;
-}
-
-}  // namespace
 
 int SessionResult::total_detections() const {
   int n = 0;
@@ -122,13 +107,6 @@ SessionResult InferenceSession::run(const Matrix<half_t>& input,
   return run_from(0, input, run_opts);
 }
 
-Matrix<half_t> InferenceSession::propagate(Matrix<half_t> c,
-                                           std::size_t next_layer) const {
-  apply_activation(c, opts_.activation);
-  const GemmShape& next = layers_[next_layer].entry.layer.gemm;
-  return repack_activations(c, next.m, next.k);
-}
-
 std::vector<Matrix<half_t>> InferenceSession::layer_inputs(
     const Matrix<half_t>& input) const {
   std::vector<Matrix<half_t>> inputs;
@@ -136,10 +114,11 @@ std::vector<Matrix<half_t>> InferenceSession::layer_inputs(
   inputs.push_back(input);
   for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
     const GemmShape& shape = layers_[i].entry.layer.gemm;
+    const GemmShape& next = layers_[i + 1].entry.layer.gemm;
     Matrix<half_t> c(shape.m, shape.n);
     functional_gemm(inputs[i], layers_[i].weights, c,
                     layers_[i].entry.exec_tile());
-    inputs.push_back(propagate(std::move(c), i + 1));
+    inputs.push_back(activate_and_repack(c, opts_.activation, next.m, next.k));
   }
   return inputs;
 }
@@ -148,55 +127,16 @@ SessionResult InferenceSession::run_from(std::size_t first_layer,
                                          const Matrix<half_t>& a_first,
                                          const SessionRunOptions& run_opts)
     const {
-  AIFT_CHECK(first_layer < layers_.size());
-  const GemmShape& first = layers_[first_layer].entry.layer.gemm;
-  AIFT_CHECK_MSG(a_first.rows() == first.m && a_first.cols() == first.k,
-                 "layer " << first_layer << " input is " << a_first.rows()
-                          << "x" << a_first.cols() << ", plan expects "
-                          << first.m << "x" << first.k);
-
-  SessionResult result;
-  result.layers.reserve(layers_.size() - first_layer);
-
-  Matrix<half_t> a = a_first;
-  for (std::size_t i = first_layer; i < layers_.size(); ++i) {
-    const Layer& layer = layers_[i];
-    const GemmShape& shape = layer.entry.layer.gemm;
-
-    LayerTrace trace;
-    trace.name = layer.entry.layer.name;
-    trace.scheme = layer.entry.scheme();
-
-    Matrix<half_t> c(shape.m, shape.n);
-    for (int attempt = 0;; ++attempt) {
-      FunctionalOptions fopts;
-      fopts.parallel = run_opts.parallel;
-      for (const auto& f : run_opts.faults) {
-        if (f.layer == i && f.execution == attempt) {
-          fopts.faults.push_back(f.spec);
-        }
-      }
-      functional_gemm(a, layer.weights, c, layer.entry.exec_tile(), fopts);
-      ++trace.executions;
-
-      if (!check_layer(layer, a, c)) break;
-      ++trace.detections;
-      if (attempt >= opts_.max_retries) {
-        // Retry budget exhausted: surrender the flagged output.
-        trace.unrecovered = true;
-        break;
-      }
-    }
-    trace.output_digest = digest(c);
-    result.layers.push_back(std::move(trace));
-
-    if (i + 1 < layers_.size()) {
-      a = propagate(std::move(c), i + 1);
-    } else {
-      result.output = std::move(c);
-    }
-  }
-  return result;
+  // Thin facade: a batch of one with synchronous verification is exactly
+  // the serial check-then-advance path.
+  std::vector<BatchRequest> batch(1);
+  batch[0].input = a_first;
+  batch[0].faults = run_opts.faults;
+  BatchOptions bopts;
+  bopts.parallel = run_opts.parallel;
+  bopts.defer_verification = false;
+  BatchResult result = BatchExecutor(*this).run_from(first_layer, batch, bopts);
+  return std::move(result.requests.front());
 }
 
 }  // namespace aift

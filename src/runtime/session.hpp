@@ -1,17 +1,20 @@
 #pragma once
 // Executable protected inference — the "execute" stage of the plan ->
-// compile -> execute split.
+// compile -> execute -> serve split.
 //
 // An InferenceSession instantiates a compiled InferencePlan: per-layer
 // weights are sampled once at construction (weight checksums for
-// global-ABFT layers are built offline there too, as §2.5 prescribes), and
-// run() pushes an input through every planned layer with functional_gemm
-// under the layer's profiled tile, runs the selected scheme's actual
-// check, and performs detect-and-re-execute recovery on flagged layers
-// (soft errors are transient, so retries run clean unless the caller
-// injects a fault into that execution attempt as well). The result carries
-// a per-layer trace — detections, retries, an output digest — plus the
-// final numerical output.
+// global-ABFT layers are built offline there too, as §2.5 prescribes) and
+// the checker instances are created per layer. It is the thin per-request
+// facade over the batched serving engine: run() / run_from() delegate to a
+// single-request BatchExecutor (runtime/executor.hpp) with synchronous
+// verification, which pushes the input through every planned layer with
+// functional_gemm under the layer's profiled tile, runs the selected
+// scheme's actual check, and performs detect-and-re-execute recovery on
+// flagged layers (soft errors are transient, so retries run clean unless
+// the caller injects a fault into that execution attempt as well). The
+// result carries a per-layer trace — detections, retries, an output digest
+// — plus the final numerical output.
 //
 // run() is const and safe to call concurrently: model-level fault
 // campaigns fan trials out across the worker pool over one shared session.
@@ -129,13 +132,13 @@ class InferenceSession {
     std::optional<ThreadReplication> repl;
   };
 
+  // The batched serving engine executes the session's layers directly;
+  // it is the single definition of the execution semantics that run(),
+  // run_from() and layer_inputs() must stay bit-identical to.
+  friend class BatchExecutor;
+
   [[nodiscard]] bool check_layer(const Layer& layer, const Matrix<half_t>& a,
                                  const Matrix<half_t>& c) const;
-  /// The inter-layer flow (activation + repack into next_layer's A shape).
-  /// The single definition shared by run_from and layer_inputs — they must
-  /// stay bit-identical for the campaign prefix-skip to be sound.
-  [[nodiscard]] Matrix<half_t> propagate(Matrix<half_t> c,
-                                         std::size_t next_layer) const;
 
   InferencePlan plan_;
   SessionOptions opts_;

@@ -125,5 +125,40 @@ TEST_F(ModelCampaignTest, RejectsEmptyCampaign) {
   EXPECT_THROW((void)run_model_campaign(session, cfg), std::logic_error);
 }
 
+TEST_F(ModelCampaignTest, BatchedCampaignMatchesSerialBitForBit) {
+  // Trials as batch rows (grouped by faulted layer, marched through the
+  // BatchExecutor with deferred verification) must reproduce the per-trial
+  // engines exactly — at any batch size, including batches of one and
+  // batches larger than any per-layer group.
+  const auto session = session_for(ProtectionPolicy::intensity_guided);
+  ModelCampaignConfig cfg;
+  cfg.trials = 24;
+  cfg.fault_opts.min_bit = 10;  // include maskable low bits
+  cfg.fault_opts.max_bit = 29;
+  const auto serial = run_model_campaign_serial(session, cfg);
+  for (const std::int64_t batch_rows : {1, 5, 16, 64}) {
+    EXPECT_EQ(run_model_campaign_batched(session, cfg, batch_rows), serial)
+        << "batch_rows=" << batch_rows;
+  }
+}
+
+TEST_F(ModelCampaignTest, BatchedCampaignOnUnprotectedPolicyAgreesToo) {
+  // No checker in the loop: classification rests purely on output
+  // equality, so stacked execution must still be bit-identical.
+  const auto session = session_for(ProtectionPolicy::none);
+  ModelCampaignConfig cfg;
+  cfg.trials = 20;
+  cfg.fault_opts.min_bit = 20;
+  cfg.fault_opts.max_bit = 29;
+  EXPECT_EQ(run_model_campaign_batched(session, cfg, 8),
+            run_model_campaign_serial(session, cfg));
+}
+
+TEST_F(ModelCampaignTest, BatchedCampaignRejectsBadBatchSize) {
+  const auto session = session_for(ProtectionPolicy::intensity_guided);
+  EXPECT_THROW((void)run_model_campaign_batched(session, {}, 0),
+               std::logic_error);
+}
+
 }  // namespace
 }  // namespace aift

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "common/rng.hpp"
@@ -220,6 +221,100 @@ TEST(Functional, ZeroInputsGiveZeroOutputs) {
   for (std::int64_t i = 0; i < 16; ++i)
     for (std::int64_t j = 0; j < 16; ++j)
       EXPECT_FLOAT_EQ(c(i, j).to_float(), 0.0f);
+}
+
+// The stacking invariant the batched serving engine rests on: an output
+// element's accumulation order depends only on the K decomposition, so B
+// requests stacked into one GEMM reproduce each request's standalone
+// output bit for bit — even when a request's rows straddle a threadblock
+// boundary (m does not divide mb).
+TEST(FunctionalBatched, StackedRequestsMatchStandaloneGemms) {
+  const TileConfig tile{32, 32, 32, 16, 16, 2};
+  for (const std::int64_t m : {std::int64_t{1}, std::int64_t{3},
+                               std::int64_t{16}}) {
+    const std::int64_t batch = 5, k = 40, n = 24;
+    Rng rng(71);
+    Matrix<half_t> b(k, n);
+    rng.fill_uniform(b);
+    std::vector<Matrix<half_t>> as;
+    Matrix<half_t> stacked_a(batch * m, k);
+    for (std::int64_t r = 0; r < batch; ++r) {
+      Matrix<half_t> a(m, k);
+      rng.fill_uniform(a);
+      for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < k; ++j) stacked_a(r * m + i, j) = a(i, j);
+      as.push_back(std::move(a));
+    }
+
+    Matrix<half_t> stacked_c(batch * m, n);
+    BatchedGemmOptions opts;
+    // A per-request fault: request 2, its local row min(1, m-1).
+    opts.faults.resize(static_cast<std::size_t>(batch));
+    const FaultSpec fault{std::min<std::int64_t>(1, m - 1), 2, -1,
+                          0x20000000u};
+    opts.faults[2] = {fault};
+    functional_gemm_batched(stacked_a, b, stacked_c, m, tile, opts);
+
+    for (std::int64_t r = 0; r < batch; ++r) {
+      Matrix<half_t> want(m, n);
+      FunctionalOptions fopts;
+      if (r == 2) fopts.faults = {fault};
+      functional_gemm(as[static_cast<std::size_t>(r)], b, want, tile, fopts);
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          EXPECT_EQ(stacked_c(r * m + i, j).bits(), want(i, j).bits())
+              << "m=" << m << " request " << r << " (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(FunctionalBatched, PaddingOnlyFaultsStayInert) {
+  // A fault row outside [0, m) would fall into tile padding standalone;
+  // stacked, translating it would corrupt a sibling request, so the
+  // batched path must drop it.
+  const TileConfig tile{32, 32, 32, 16, 16, 2};
+  const std::int64_t batch = 3, m = 4, k = 16, n = 16;
+  Rng rng(72);
+  Matrix<half_t> a(batch * m, k), b(k, n);
+  rng.fill_uniform(a);
+  rng.fill_uniform(b);
+  Matrix<half_t> clean(batch * m, n), faulty(batch * m, n);
+  functional_gemm_batched(a, b, clean, m, tile);
+  BatchedGemmOptions opts;
+  opts.faults.resize(static_cast<std::size_t>(batch));
+  opts.faults[0] = {FaultSpec{m, 0, -1, 0x7F000000u}};  // local row == m
+  functional_gemm_batched(a, b, faulty, m, tile, opts);
+  EXPECT_TRUE(clean == faulty);
+}
+
+TEST(FunctionalBatched, CoScheduledExtraTasksAllRun) {
+  const TileConfig tile{32, 32, 32, 16, 16, 2};
+  const std::int64_t batch = 4, m = 2, k = 16, n = 16;
+  Rng rng(73);
+  Matrix<half_t> a(batch * m, k), b(k, n);
+  rng.fill_uniform(a);
+  rng.fill_uniform(b);
+  Matrix<half_t> c(batch * m, n), want(batch * m, n);
+  std::vector<int> ran(8, 0);
+  BatchedGemmOptions opts;
+  opts.extra_tasks = static_cast<std::int64_t>(ran.size());
+  opts.extra_task = [&](std::int64_t t) {
+    ran[static_cast<std::size_t>(t)] = 1;  // disjoint slots
+  };
+  functional_gemm_batched(a, b, c, m, tile, opts);
+  for (const int r : ran) EXPECT_EQ(r, 1);
+  // The co-scheduled tasks never perturb the numerical result.
+  functional_gemm_batched(a, b, want, m, tile);
+  EXPECT_TRUE(c == want);
+}
+
+TEST(FunctionalBatched, RejectsRaggedStacking) {
+  const TileConfig tile{32, 32, 32, 16, 16, 2};
+  Matrix<half_t> a(10, 16), b(16, 16), c(10, 16);
+  EXPECT_THROW(functional_gemm_batched(a, b, c, 4, tile), std::logic_error);
+  EXPECT_THROW(functional_gemm_batched(a, b, c, 0, tile), std::logic_error);
 }
 
 }  // namespace

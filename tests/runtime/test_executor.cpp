@@ -1,0 +1,273 @@
+// BatchExecutor tests: the batched serving engine must be bit-identical —
+// outputs and per-layer traces — to running the same requests sequentially
+// through InferenceSession::run, at any batch size, with verification
+// deferred or synchronous, under parallel or serial execution. CTest
+// additionally runs this whole binary pinned to AIFT_NUM_THREADS=1/2/8
+// (batched_determinism_threads_*), making worker-count independence an
+// explicit CTest fact like the campaign suites.
+
+#include "runtime/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/zoo/zoo.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace aift {
+namespace {
+
+Model tiny_mlp() {
+  ModelBuilder b("TinyMLP", /*batch=*/4, /*in_features=*/24);
+  b.linear("fc1", 32);
+  b.linear("fc2", 24);
+  b.linear("fc3", 12);
+  return std::move(b).build();
+}
+
+// Flip exponent bit 29: rescales the accumulator by 2^±32, so every
+// scheme detects it and, unprotected, it must reach the output.
+FaultSpec big_fault(std::int64_t row = 0, std::int64_t col = 0) {
+  return FaultSpec{row, col, /*k8_step=*/-1, /*xor_bits=*/0x20000000u};
+}
+
+void expect_identical(const SessionResult& got, const SessionResult& want,
+                      const std::string& context) {
+  EXPECT_TRUE(got.output == want.output) << context << ": output differs";
+  ASSERT_EQ(got.layers.size(), want.layers.size()) << context;
+  for (std::size_t i = 0; i < got.layers.size(); ++i) {
+    const auto& g = got.layers[i];
+    const auto& w = want.layers[i];
+    EXPECT_EQ(g.name, w.name) << context << " layer " << i;
+    EXPECT_EQ(g.scheme, w.scheme) << context << " layer " << i;
+    EXPECT_EQ(g.executions, w.executions) << context << " layer " << i;
+    EXPECT_EQ(g.detections, w.detections) << context << " layer " << i;
+    EXPECT_EQ(g.unrecovered, w.unrecovered) << context << " layer " << i;
+    EXPECT_EQ(g.output_digest, w.output_digest) << context << " layer " << i;
+  }
+}
+
+class BatchExecutorTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] InferenceSession make_session(ProtectionPolicy policy,
+                                              SessionOptions opts = {}) const {
+    return InferenceSession(pipe_.plan(model_, policy), opts);
+  }
+
+  /// A batch whose request r gets input seed 100+r; rows 1 and 3 (when
+  /// present) carry injected faults in different layers.
+  [[nodiscard]] static std::vector<BatchRequest> make_batch(
+      const InferenceSession& session, std::size_t size) {
+    std::vector<BatchRequest> batch(size);
+    for (std::size_t r = 0; r < size; ++r) {
+      batch[r].input = session.make_input(100 + r);
+    }
+    if (size > 1) batch[1].faults = {SessionFault{0, big_fault(), 0}};
+    if (size > 3) {
+      batch[3].faults = {SessionFault{2, big_fault(1, 2), 0},
+                         SessionFault{2, big_fault(2, 1), 1}};
+    }
+    return batch;
+  }
+
+  GemmCostModel cost_{devices::t4()};
+  ProtectedPipeline pipe_{cost_};
+  Model model_ = tiny_mlp();
+};
+
+// The headline invariant: for every policy, any batch size, and both
+// verification modes, the batch result equals B sequential serial-path
+// sessions bit for bit.
+TEST_F(BatchExecutorTest, BatchMatchesSequentialSessions) {
+  for (const auto policy :
+       {ProtectionPolicy::none, ProtectionPolicy::global_abft,
+        ProtectionPolicy::thread_level, ProtectionPolicy::repl_single_acc,
+        ProtectionPolicy::intensity_guided}) {
+    const auto session = make_session(policy);
+    const BatchExecutor executor(session);
+    for (const std::size_t size : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{8}}) {
+      const auto batch = make_batch(session, size);
+      for (const bool defer : {true, false}) {
+        BatchOptions opts;
+        opts.defer_verification = defer;
+        const auto result = executor.run(batch, opts);
+        ASSERT_EQ(result.requests.size(), size);
+        for (std::size_t r = 0; r < size; ++r) {
+          SessionRunOptions sopts;
+          sopts.faults = batch[r].faults;
+          const auto want = session.run(batch[r].input, sopts);
+          expect_identical(
+              result.requests[r], want,
+              std::string(policy_name(policy)) + (defer ? "/deferred" : "/sync") +
+                  "/B" + std::to_string(size) + "/row" + std::to_string(r));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(BatchExecutorTest, ParallelAndSerialExecutionAgreeBitForBit) {
+  const auto session = make_session(ProtectionPolicy::intensity_guided);
+  const BatchExecutor executor(session);
+  const auto batch = make_batch(session, 5);
+  BatchOptions par, ser;
+  ser.parallel = false;
+  const auto a = executor.run(batch, par);
+  const auto b = executor.run(batch, ser);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t r = 0; r < a.requests.size(); ++r) {
+    expect_identical(a.requests[r], b.requests[r],
+                     "parallel-vs-serial row " + std::to_string(r));
+  }
+  EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST_F(BatchExecutorTest, DeferredVerificationIsOverlappedAndRewinds) {
+  // All layers global-ABFT: every check defers, and the row-1 fault in
+  // layer 0 must drain during layer 1's GEMM and rewind only that row.
+  const auto session = make_session(ProtectionPolicy::global_abft);
+  const BatchExecutor executor(session);
+  const auto batch = make_batch(session, 4);
+  const auto result = executor.run(batch);
+  // One deferred check per layer per request.
+  EXPECT_EQ(result.stats.deferred_checks,
+            static_cast<std::int64_t>(4 * session.num_layers()));
+  EXPECT_EQ(result.stats.synchronous_checks, 0);
+  // Rows 1 and 3 each detect once (row 3's faulty retry re-detects
+  // synchronously inside the rewind, not through the queue).
+  EXPECT_EQ(result.stats.rewinds, 2);
+  // Row 1's layer-1 speculative execution was flushed; row 3 faulted the
+  // final layer, so there was nothing downstream to flush.
+  EXPECT_EQ(result.stats.flushed_executions, 1);
+  EXPECT_TRUE(result.requests[1].recovered());
+  EXPECT_TRUE(result.requests[3].recovered());
+  EXPECT_EQ(result.requests[3].layers[2].executions, 3);
+}
+
+TEST_F(BatchExecutorTest, SynchronousModeUsesNoQueue) {
+  const auto session = make_session(ProtectionPolicy::global_abft);
+  const BatchExecutor executor(session);
+  BatchOptions opts;
+  opts.defer_verification = false;
+  const auto result = executor.run(make_batch(session, 2), opts);
+  EXPECT_EQ(result.stats.deferred_checks, 0);
+  EXPECT_EQ(result.stats.rewinds, 0);
+  EXPECT_EQ(result.stats.flushed_executions, 0);
+  EXPECT_EQ(result.stats.synchronous_checks,
+            static_cast<std::int64_t>(2 * session.num_layers()));
+}
+
+// Satellite requirement: a persistent fault in one batch row must surface
+// as that row's failure without corrupting or re-executing sibling rows.
+TEST_F(BatchExecutorTest, RetryBudgetExhaustionIsIsolatedToItsRow) {
+  SessionOptions sopts;
+  sopts.max_retries = 2;
+  const auto session =
+      make_session(ProtectionPolicy::global_abft, sopts);
+  const BatchExecutor executor(session);
+
+  std::vector<BatchRequest> batch(4);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    batch[r].input = session.make_input(300 + r);
+  }
+  // Row 2: the fault persists through every execution attempt of layer 1.
+  // It targets the largest-magnitude cell of that layer's clean output so
+  // the exponent flip is super-threshold for the global checksum in either
+  // scaling direction (squash is monotone in |x| and the repack between
+  // fc2 and fc3 is the identity, so the activated input to layer 2 ranks
+  // the raw layer-1 cells faithfully).
+  const auto clean_l2_input = session.layer_inputs(batch[2].input)[2];
+  std::int64_t frow = 0, fcol = 0;
+  float best = -1.0f;
+  for (std::int64_t r = 0; r < clean_l2_input.rows(); ++r) {
+    for (std::int64_t c = 0; c < clean_l2_input.cols(); ++c) {
+      const float mag = std::fabs(clean_l2_input(r, c).to_float());
+      if (mag > best) {
+        best = mag;
+        frow = r;
+        fcol = c;
+      }
+    }
+  }
+  for (int e = 0; e <= sopts.max_retries; ++e) {
+    batch[2].faults.push_back(SessionFault{1, big_fault(frow, fcol), e});
+  }
+
+  const auto result = executor.run(batch);
+  // The persistent row surrendered after the budget...
+  EXPECT_FALSE(result.requests[2].recovered());
+  EXPECT_TRUE(result.requests[2].layers[1].unrecovered);
+  EXPECT_EQ(result.requests[2].layers[1].executions, sopts.max_retries + 1);
+  EXPECT_EQ(result.requests[2].layers[1].detections, sopts.max_retries + 1);
+  // ...matching its standalone serial run exactly, surrendered output
+  // included.
+  SessionRunOptions ropts;
+  ropts.faults = batch[2].faults;
+  expect_identical(result.requests[2], session.run(batch[2].input, ropts),
+                   "surrendered row");
+  // Sibling rows never saw a detection, never re-executed, and their
+  // outputs are bit-identical to their own clean standalone runs.
+  for (const std::size_t r : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    EXPECT_TRUE(result.requests[r].clean()) << "row " << r;
+    for (const auto& trace : result.requests[r].layers) {
+      EXPECT_EQ(trace.executions, 1) << "row " << r;
+    }
+    EXPECT_TRUE(result.requests[r].output ==
+                session.run(batch[r].input).output)
+        << "row " << r;
+  }
+}
+
+TEST_F(BatchExecutorTest, RunFromMatchesSessionSuffix) {
+  const auto session = make_session(ProtectionPolicy::intensity_guided);
+  const BatchExecutor executor(session);
+  const auto inputs = session.layer_inputs(session.make_input(42));
+  for (std::size_t li = 0; li < session.num_layers(); ++li) {
+    std::vector<BatchRequest> batch(3);
+    for (auto& req : batch) req.input = inputs[li];
+    batch[1].faults = {SessionFault{li, big_fault(), 0}};
+    const auto result = executor.run_from(li, batch);
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      SessionRunOptions sopts;
+      sopts.faults = batch[r].faults;
+      const auto want = session.run_from(li, inputs[li], sopts);
+      expect_identical(result.requests[r], want,
+                       "run_from layer " + std::to_string(li) + " row " +
+                           std::to_string(r));
+    }
+  }
+}
+
+TEST_F(BatchExecutorTest, LargeBatchServesEveryRequest) {
+  const auto mlp = zoo::dlrm_mlp_bottom(1);
+  const InferenceSession session(
+      pipe_.plan(mlp, ProtectionPolicy::intensity_guided));
+  const BatchExecutor executor(session);
+  std::vector<BatchRequest> batch(64);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    batch[r].input = session.make_input(500 + r);
+  }
+  const auto result = executor.run(batch);
+  ASSERT_EQ(result.requests.size(), batch.size());
+  // Spot-check rows against their standalone runs (all 64 would be slow).
+  for (const std::size_t r : {std::size_t{0}, std::size_t{31}, std::size_t{63}}) {
+    expect_identical(result.requests[r], session.run(batch[r].input),
+                     "B=64 row " + std::to_string(r));
+  }
+}
+
+TEST_F(BatchExecutorTest, RejectsEmptyAndMisshapenBatches) {
+  const auto session = make_session(ProtectionPolicy::intensity_guided);
+  const BatchExecutor executor(session);
+  EXPECT_THROW((void)executor.run({}), std::logic_error);
+  std::vector<BatchRequest> batch(2);
+  batch[0].input = session.make_input(1);
+  batch[1].input = Matrix<half_t>(session.input_rows(),
+                                  session.input_cols() + 1);
+  EXPECT_THROW((void)executor.run(batch), std::logic_error);
+}
+
+}  // namespace
+}  // namespace aift

@@ -1,0 +1,169 @@
+// Plan persistence tests: serialize/deserialize must round-trip a compiled
+// InferencePlan bit for bit (hexfloat doubles, every field), a session
+// instantiated from a loaded plan must serve identically to one built from
+// the fresh plan, and damaged artifacts — wrong magic, wrong version, a
+// fingerprint mismatch from truncation or tampering — must be rejected.
+
+#include "runtime/plan_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "nn/zoo/zoo.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/session.hpp"
+
+namespace aift {
+namespace {
+
+class PlanIoTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] InferencePlan make_plan(
+      ProtectionPolicy policy = ProtectionPolicy::intensity_guided) const {
+    return pipe_.plan(zoo::dlrm_mlp_bottom(1), policy);
+  }
+
+  GemmCostModel cost_{devices::t4()};
+  ProtectedPipeline pipe_{cost_};
+};
+
+void expect_cost_equal(const KernelCost& a, const KernelCost& b) {
+  EXPECT_EQ(a.mem_us, b.mem_us);
+  EXPECT_EQ(a.tensor_us, b.tensor_us);
+  EXPECT_EQ(a.alu_us, b.alu_us);
+  EXPECT_EQ(a.latency_us, b.latency_us);
+  EXPECT_EQ(a.exec_us, b.exec_us);
+  EXPECT_EQ(a.launch_us, b.launch_us);
+  EXPECT_EQ(a.second_kernel_us, b.second_kernel_us);
+  EXPECT_EQ(a.pre_kernel_us, b.pre_kernel_us);
+  EXPECT_EQ(a.total_us, b.total_us);
+  EXPECT_EQ(a.bottleneck, b.bottleneck);
+  EXPECT_EQ(a.occupancy.blocks_per_sm, b.occupancy.blocks_per_sm);
+  EXPECT_EQ(a.occupancy.warps_per_sm, b.occupancy.warps_per_sm);
+  EXPECT_EQ(a.occupancy.occupancy, b.occupancy.occupancy);
+  EXPECT_EQ(a.occupancy.register_spill, b.occupancy.register_spill);
+  EXPECT_STREQ(a.occupancy.limiter, b.occupancy.limiter);
+  EXPECT_EQ(a.blocks, b.blocks);
+  EXPECT_EQ(a.waves, b.waves);
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+  EXPECT_EQ(a.tensor_flops, b.tensor_flops);
+  EXPECT_EQ(a.alu_ops, b.alu_ops);
+}
+
+TEST_F(PlanIoTest, RoundTripsEveryFieldForEveryPolicy) {
+  for (const ProtectionPolicy policy : all_policies()) {
+    const InferencePlan plan = make_plan(policy);
+    const InferencePlan loaded = deserialize_plan(serialize_plan(plan));
+
+    EXPECT_EQ(loaded.model_name, plan.model_name);
+    EXPECT_EQ(loaded.device_name, plan.device_name);
+    EXPECT_EQ(loaded.policy, plan.policy);
+    EXPECT_EQ(loaded.dtype, plan.dtype);
+    EXPECT_EQ(loaded.abft_options.overlap_fraction,
+              plan.abft_options.overlap_fraction);
+    EXPECT_EQ(loaded.abft_options.activation_checksum_multiplicity,
+              plan.abft_options.activation_checksum_multiplicity);
+    EXPECT_EQ(loaded.abft_options.num_checksums,
+              plan.abft_options.num_checksums);
+    EXPECT_EQ(loaded.abft_options.fused_input_checksum,
+              plan.abft_options.fused_input_checksum);
+    EXPECT_EQ(loaded.abft_options.input_feature_bytes,
+              plan.abft_options.input_feature_bytes);
+    EXPECT_EQ(loaded.total_base_us, plan.total_base_us);
+    EXPECT_EQ(loaded.total_protected_us, plan.total_protected_us);
+    ASSERT_EQ(loaded.entries.size(), plan.entries.size());
+    for (std::size_t i = 0; i < plan.entries.size(); ++i) {
+      const auto& a = loaded.entries[i];
+      const auto& b = plan.entries[i];
+      EXPECT_EQ(a.layer.name, b.layer.name);
+      EXPECT_EQ(a.layer.kind, b.layer.kind);
+      EXPECT_EQ(a.layer.gemm, b.layer.gemm);
+      EXPECT_EQ(a.layer.kh, b.layer.kh);
+      EXPECT_EQ(a.layer.kw, b.layer.kw);
+      EXPECT_EQ(a.layer.stride, b.layer.stride);
+      EXPECT_EQ(a.layer.input_elems, b.layer.input_elems);
+      EXPECT_EQ(a.layer.input_checksum_fusable, b.layer.input_checksum_fusable);
+      EXPECT_EQ(a.intensity, b.intensity);
+      EXPECT_EQ(a.bandwidth_bound, b.bandwidth_bound);
+      EXPECT_EQ(a.profile.scheme, b.profile.scheme);
+      EXPECT_EQ(a.profile.overhead_pct, b.profile.overhead_pct);
+      EXPECT_EQ(a.profile.base.tile, b.profile.base.tile);
+      EXPECT_EQ(a.profile.redundant.tile, b.profile.redundant.tile);
+      expect_cost_equal(a.profile.base.cost, b.profile.base.cost);
+      expect_cost_equal(a.profile.redundant.cost, b.profile.redundant.cost);
+    }
+
+    // The strongest fixed point: re-serializing the loaded plan reproduces
+    // the artifact byte for byte.
+    EXPECT_EQ(serialize_plan(loaded), serialize_plan(plan));
+  }
+}
+
+TEST_F(PlanIoTest, ConvolutionalModelRoundTrips) {
+  const InferencePlan plan = pipe_.plan(zoo::resnet50(zoo::imagenet_input(1)),
+                                        ProtectionPolicy::intensity_guided);
+  const InferencePlan loaded = deserialize_plan(serialize_plan(plan));
+  EXPECT_EQ(serialize_plan(loaded), serialize_plan(plan));
+}
+
+TEST_F(PlanIoTest, SessionFromLoadedPlanServesIdentically) {
+  const InferencePlan plan = make_plan();
+  const InferenceSession fresh(plan);
+  const InferenceSession loaded(deserialize_plan(serialize_plan(plan)));
+  const auto input = fresh.make_input(7);
+  const auto a = fresh.run(input);
+  const auto b = loaded.run(input);
+  EXPECT_TRUE(a.output == b.output);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].output_digest, b.layers[i].output_digest);
+    EXPECT_EQ(a.layers[i].scheme, b.layers[i].scheme);
+  }
+}
+
+TEST_F(PlanIoTest, SaveAndLoadFile) {
+  const InferencePlan plan = make_plan();
+  const std::string path = testing::TempDir() + "aift_plan_io_test.plan";
+  save_plan(plan, path);
+  const InferencePlan loaded = load_plan(path);
+  EXPECT_EQ(serialize_plan(loaded), serialize_plan(plan));
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_plan(path), std::logic_error);
+}
+
+TEST_F(PlanIoTest, RejectsWrongMagic) {
+  std::string text = serialize_plan(make_plan());
+  text.replace(0, std::strlen("aift-plan"), "not-aplan");
+  EXPECT_THROW((void)deserialize_plan(text), std::logic_error);
+}
+
+TEST_F(PlanIoTest, RejectsVersionMismatch) {
+  std::string text = serialize_plan(make_plan());
+  const std::size_t pos = text.find(" v1 ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, " v9 ");
+  EXPECT_THROW((void)deserialize_plan(text), std::logic_error);
+}
+
+TEST_F(PlanIoTest, RejectsTamperedPayload) {
+  const std::string text = serialize_plan(make_plan());
+  // Flip one payload character: the recorded fingerprint no longer matches.
+  std::string tampered = text;
+  const std::size_t pos = tampered.find("entries");
+  ASSERT_NE(pos, std::string::npos);
+  tampered[pos] = 'E';
+  EXPECT_THROW((void)deserialize_plan(tampered), std::logic_error);
+}
+
+TEST_F(PlanIoTest, RejectsTruncatedArtifact) {
+  const std::string text = serialize_plan(make_plan());
+  EXPECT_THROW((void)deserialize_plan(text.substr(0, text.size() / 2)),
+               std::logic_error);
+  EXPECT_THROW((void)deserialize_plan(""), std::logic_error);
+  EXPECT_THROW((void)deserialize_plan("aift-plan"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace aift
