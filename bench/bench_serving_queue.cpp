@@ -1,0 +1,266 @@
+// Dynamic-batching serving throughput: a request stream driven through
+// ServingEngine (threaded batcher, per-model RequestQueue, BatchPolicy
+// max_batch/max_delay) versus the two fixed-shape baselines —
+//
+//   serial_b1:  sequential InferenceSession::run per request (no batching);
+//   fixed_b16:  hand-assembled batches of 16 through BatchExecutor (the
+//               upper bound dynamic batching chases, with zero queueing).
+//
+// The engine is swept over offered arrival rates (a fraction of the
+// measured serial capacity, plus a saturating burst): at low load batches
+// stay small and latency tracks max_delay; at saturation the queue fills,
+// batches reach max_batch, and requests/s must clear the serial baseline —
+// the acceptance bar for the request-queue layer.
+//
+// Emits JSON (the schema of BENCH_serving.json at the repo root) to
+// stdout, or to a file when a path is given:
+//   bench_serving_queue [output.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "nn/zoo/zoo.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/serving.hpp"
+
+namespace aift {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr int kRequests = 96;
+
+struct Latencies {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+Latencies percentiles(std::vector<double> us) {
+  Latencies l;
+  if (us.empty()) return l;
+  std::sort(us.begin(), us.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(us.size() - 1));
+    return us[idx];
+  };
+  l.p50_us = at(0.50);
+  l.p99_us = at(0.99);
+  return l;
+}
+
+struct Baseline {
+  double requests_per_s = 0.0;
+  Latencies latency;
+};
+
+// Sequential single-request serving: latency is pure execute time.
+Baseline serial_b1(const InferenceSession& session,
+                   const std::vector<Matrix<half_t>>& inputs) {
+  Baseline b;
+  std::vector<double> lat;
+  lat.reserve(inputs.size());
+  const auto t0 = Clock::now();
+  for (const auto& input : inputs) {
+    const auto r0 = Clock::now();
+    (void)session.run(input);
+    lat.push_back(seconds_since(r0) * 1e6);
+  }
+  b.requests_per_s = static_cast<double>(inputs.size()) / seconds_since(t0);
+  b.latency = percentiles(std::move(lat));
+  return b;
+}
+
+// Hand-assembled fixed-size batches: the no-queue upper bound.
+Baseline fixed_batch(const InferenceSession& session,
+                     const std::vector<Matrix<half_t>>& inputs, int batch) {
+  Baseline b;
+  const BatchExecutor executor(session);
+  std::vector<double> lat;
+  lat.reserve(inputs.size());
+  const auto t0 = Clock::now();
+  for (std::size_t lo = 0; lo < inputs.size();
+       lo += static_cast<std::size_t>(batch)) {
+    const std::size_t hi =
+        std::min(inputs.size(), lo + static_cast<std::size_t>(batch));
+    std::vector<BatchRequest> chunk(hi - lo);
+    for (std::size_t r = 0; r < chunk.size(); ++r) {
+      chunk[r].input = inputs[lo + r];
+    }
+    const auto b0 = Clock::now();
+    (void)executor.run(chunk);
+    const double batch_us = seconds_since(b0) * 1e6;
+    for (std::size_t r = 0; r < chunk.size(); ++r) lat.push_back(batch_us);
+  }
+  b.requests_per_s = static_cast<double>(inputs.size()) / seconds_since(t0);
+  b.latency = percentiles(std::move(lat));
+  return b;
+}
+
+struct SweepPoint {
+  std::string label;
+  double offered_per_s = 0.0;  ///< 0 = saturating burst (no pacing)
+  double requests_per_s = 0.0;
+  Latencies latency;           ///< queue + execute, per request
+  double mean_batch = 0.0;
+  double mean_queue_us = 0.0;
+  std::int64_t batches = 0;
+};
+
+// Drives kRequests through a fresh threaded engine at the offered arrival
+// rate (Poisson-free fixed pacing keeps the bench deterministic-ish and
+// host-comparable).
+SweepPoint drive_engine(const InferencePlan& plan,
+                        const std::vector<Matrix<half_t>>& inputs,
+                        const std::string& label, double offered_per_s) {
+  SweepPoint point;
+  point.label = label;
+  point.offered_per_s = offered_per_s;
+
+  ServingEngine engine;  // threaded, real clock
+  BatchPolicy policy;
+  policy.max_batch = 16;
+  policy.max_delay = std::chrono::microseconds(1000);
+  engine.add_model("m", plan, policy);
+
+  std::vector<std::future<ServedResult>> futures;
+  futures.reserve(inputs.size());
+  const auto t0 = Clock::now();
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    if (offered_per_s > 0.0) {
+      const auto due = t0 + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(
+                                    static_cast<double>(r) / offered_per_s));
+      std::this_thread::sleep_until(due);
+    }
+    futures.push_back(engine.submit("m", inputs[r]));
+  }
+  std::vector<double> lat;
+  lat.reserve(futures.size());
+  for (auto& f : futures) {
+    const ServedResult served = f.get();
+    lat.push_back(served.queue_us + served.execute_us);
+  }
+  point.requests_per_s =
+      static_cast<double>(inputs.size()) / seconds_since(t0);
+  point.latency = percentiles(std::move(lat));
+  const ServingStats stats = engine.stats();
+  point.mean_batch = stats.mean_batch_size();
+  point.mean_queue_us = stats.mean_queue_us();
+  point.batches = stats.batches;
+  engine.shutdown();
+  return point;
+}
+
+int run(int argc, char** argv) {
+  const GemmCostModel cost(devices::t4());
+  ProtectedPipeline pipe(cost);
+  const auto plan =
+      pipe.plan(zoo::dlrm_mlp_bottom(1), ProtectionPolicy::intensity_guided);
+  const InferenceSession session(plan);
+
+  std::vector<Matrix<half_t>> inputs;
+  inputs.reserve(kRequests);
+  for (int r = 0; r < kRequests; ++r) {
+    inputs.push_back(session.make_input(static_cast<std::uint64_t>(7 + r)));
+  }
+
+  const Baseline serial = serial_b1(session, inputs);
+  const Baseline fixed16 = fixed_batch(session, inputs, 16);
+
+  // Arrival-rate sweep: fractions of the measured serial capacity, then a
+  // saturating burst (every request submitted immediately).
+  std::vector<SweepPoint> sweep;
+  sweep.push_back(drive_engine(plan, inputs, "0.5x_serial",
+                               0.5 * serial.requests_per_s));
+  sweep.push_back(drive_engine(plan, inputs, "1x_serial",
+                               serial.requests_per_s));
+  sweep.push_back(drive_engine(plan, inputs, "2x_serial",
+                               2.0 * serial.requests_per_s));
+  sweep.push_back(drive_engine(plan, inputs, "saturating", 0.0));
+
+  const SweepPoint& saturated = sweep.back();
+  const bool beats_serial =
+      saturated.requests_per_s >= serial.requests_per_s;
+
+  char buf[640];
+  std::string json = "{\n  \"bench\": \"serving_queue\",\n";
+  json += "  \"workers\": " + std::to_string(parallel_workers()) + ",\n";
+  json += "  \"host_hw_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json +=
+      "  \"note\": \"functional-simulator throughput; regenerate on the "
+      "target host before comparing\",\n";
+  json += "  \"model\": \"" + plan.model_name + "\",\n";
+  json += "  \"policy\": \"" + std::string(policy_name(plan.policy)) +
+          "\",\n";
+  json += "  \"batch_policy\": {\"max_batch\": 16, \"max_delay_us\": "
+          "1000},\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"serial_b1_baseline\": {\"requests\": %d, "
+                "\"requests_per_s\": %.1f, \"p50_us\": %.1f, "
+                "\"p99_us\": %.1f},\n",
+                kRequests, serial.requests_per_s, serial.latency.p50_us,
+                serial.latency.p99_us);
+  json += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  \"fixed_b16_baseline\": {\"requests\": %d, "
+                "\"requests_per_s\": %.1f, \"p50_us\": %.1f, "
+                "\"p99_us\": %.1f},\n",
+                kRequests, fixed16.requests_per_s, fixed16.latency.p50_us,
+                fixed16.latency.p99_us);
+  json += buf;
+  json += "  \"arrival_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"arrival\": \"%s\", \"offered_per_s\": %.1f, "
+        "\"requests_per_s\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+        "\"mean_batch\": %.2f, \"mean_queue_us\": %.1f, "
+        "\"batches\": %lld, \"speedup_vs_serial_b1\": %.2f}%s\n",
+        p.label.c_str(), p.offered_per_s, p.requests_per_s, p.latency.p50_us,
+        p.latency.p99_us, p.mean_batch, p.mean_queue_us,
+        static_cast<long long>(p.batches),
+        p.requests_per_s / serial.requests_per_s,
+        i + 1 < sweep.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"saturating_beats_serial_b1\": %s\n}\n",
+                beats_serial ? "true" : "false");
+  json += buf;
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  std::fputs(json.c_str(), stdout);
+  if (!beats_serial) {
+    std::fprintf(stderr,
+                 "WARNING: saturating dynamic batching fell below the "
+                 "serial B=1 baseline on this host\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aift
+
+int main(int argc, char** argv) { return aift::run(argc, argv); }

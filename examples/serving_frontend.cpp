@@ -1,0 +1,128 @@
+// A traffic-facing protected-inference frontend, end to end:
+//
+//   1. compile two models once and register them as shards of one
+//      ServingEngine (multi-session sharding: each model gets its own
+//      InferenceSession + BatchExecutor behind a shared request queue);
+//   2. fire a burst of interleaved single requests from client threads —
+//      no caller ever assembles a batch;
+//   3. the engine's batcher forms batches under each model's BatchPolicy
+//      (dispatch at max_batch, or when the oldest request has waited
+//      max_delay) and serves them through the batched executor with
+//      deferred, overlapped ABFT verification;
+//   4. one request carries an injected soft error: its future still
+//      resolves to the exact standalone result — detected, re-executed,
+//      recovered — while its batch siblings are untouched;
+//   5. print the engine's serving stats: batch-size histogram, queue
+//      depth high-water mark, queue/execute latency.
+//
+// Build & run:  ./build/serving_frontend
+
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/zoo/zoo.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/serving.hpp"
+
+using namespace aift;
+
+int main() {
+  const GemmCostModel cost(devices::t4());
+  const ProtectedPipeline pipe(cost);
+
+  // 1. Two shards, different latency profiles: the bottom MLP batches up
+  // to 16, the top MLP is latency-sensitive and capped at 8.
+  ServingEngine engine;  // threaded batcher
+  BatchPolicy bottom_policy;
+  bottom_policy.max_batch = 16;
+  bottom_policy.max_delay = std::chrono::microseconds(1500);
+  engine.add_model("dlrm-bottom",
+                   pipe.plan(zoo::dlrm_mlp_bottom(1),
+                             ProtectionPolicy::intensity_guided),
+                   bottom_policy);
+  BatchPolicy top_policy;
+  top_policy.max_batch = 8;
+  top_policy.max_delay = std::chrono::microseconds(500);
+  engine.add_model("dlrm-top",
+                   pipe.plan(zoo::dlrm_mlp_top(1),
+                             ProtectionPolicy::intensity_guided),
+                   top_policy);
+  std::printf("Serving %zu models:", engine.models().size());
+  for (const auto& name : engine.models()) std::printf(" %s", name.c_str());
+  std::printf("\n");
+
+  // 2-3. Two client threads, each submitting interleaved traffic to both
+  // shards. Request 7 of the bottom stream carries a soft error.
+  constexpr int kPerClient = 24;
+  const auto& bottom = engine.session("dlrm-bottom");
+  const auto& top = engine.session("dlrm-top");
+  std::vector<std::future<ServedResult>> bottom_futs(2 * kPerClient);
+  std::vector<std::future<ServedResult>> top_futs(2 * kPerClient);
+  auto client = [&](int id) {
+    for (int r = 0; r < kPerClient; ++r) {
+      const int slot = id * kPerClient + r;
+      std::vector<SessionFault> faults;
+      if (slot == 7) {
+        faults = {SessionFault{1, FaultSpec{0, 3, -1, 0x20000000u}, 0}};
+      }
+      bottom_futs[static_cast<std::size_t>(slot)] = engine.submit(
+          "dlrm-bottom", bottom.make_input(static_cast<std::uint64_t>(slot)),
+          faults);
+      top_futs[static_cast<std::size_t>(slot)] = engine.submit(
+          "dlrm-top", top.make_input(static_cast<std::uint64_t>(100 + slot)));
+    }
+  };
+  std::thread c0(client, 0), c1(client, 1);
+  c0.join();
+  c1.join();
+  engine.drain();
+
+  // 4. Every future carries the exact standalone result — spot-check the
+  // faulted one and one sibling per shard.
+  const ServedResult faulted = bottom_futs[7].get();
+  std::printf(
+      "\nFaulted request: detected %d time(s), %d retr%s, %s "
+      "(served in a batch of %lld; queued %.0fus, executed %.0fus)\n",
+      faulted.session.total_detections(), faulted.session.total_retries(),
+      faulted.session.total_retries() == 1 ? "y" : "ies",
+      faulted.session.recovered() ? "recovered" : "UNRECOVERED",
+      static_cast<long long>(faulted.batch_size), faulted.queue_us,
+      faulted.execute_us);
+  bool identical = true;
+  {
+    SessionRunOptions opts;
+    opts.faults = {SessionFault{1, FaultSpec{0, 3, -1, 0x20000000u}, 0}};
+    identical = identical &&
+                faulted.session.output ==
+                    bottom.run(bottom.make_input(7), opts).output;
+    identical = identical && top_futs[11].get().session.output ==
+                                 top.run(top.make_input(111)).output;
+  }
+  std::printf("Spot-checked futures are %s their standalone runs.\n",
+              identical ? "bit-identical to" : "DIVERGED FROM");
+  if (!identical || !faulted.session.recovered()) return 1;
+
+  // 5. Engine stats.
+  const ServingStats stats = engine.stats();
+  std::printf("\n%lld requests served in %lld batches "
+              "(mean batch %.2f, peak queue depth %lld)\n",
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.batches), stats.mean_batch_size(),
+              static_cast<long long>(stats.max_queue_depth));
+  std::printf("Batch-size histogram:");
+  for (std::size_t b = 1; b < stats.batch_size_hist.size(); ++b) {
+    if (stats.batch_size_hist[b] > 0) {
+      std::printf(" %zux%lld", b,
+                  static_cast<long long>(stats.batch_size_hist[b]));
+    }
+  }
+  std::printf("\nLatency: queue mean %.0fus max %.0fus, "
+              "execute mean %.0fus max %.0fus\n",
+              stats.mean_queue_us(), stats.queue_us_max,
+              stats.mean_execute_us(), stats.execute_us_max);
+  engine.shutdown();
+  return 0;
+}

@@ -54,32 +54,11 @@ TrialSite trial_site(const ModelCampaignContext& ctx, std::int64_t t) {
   return site;
 }
 
-// Classifies one trial's result (a run started at the faulted layer, so
-// result.layers.front() traces that layer). Shared by the per-trial and
-// batched engines — a batched row is classified exactly like a lone trial.
+// Shared by the per-trial and batched engines — a batched row is
+// classified exactly like a lone trial.
 void classify_trial(const ModelCampaignContext& ctx, std::size_t layer,
                     const SessionResult& result, ModelCampaignStats& stats) {
-  ++stats.trials;
-  ++stats.faults_per_layer[layer];
-  const LayerTrace& faulted_trace = result.layers.front();
-  const bool flagged = faulted_trace.detections > 0;
-  const bool output_clean = result.output == ctx.clean_output;
-  if (flagged) {
-    ++stats.detected;
-    ++stats.detections_per_layer[layer];
-    if (faulted_trace.unrecovered) {
-      ++stats.unrecovered;
-    } else if (output_clean) {
-      ++stats.recovered;
-    }
-    // flagged && recovered-but-corrupted-output cannot happen: a passing
-    // retry reproduces the clean layer output bit-for-bit, and downstream
-    // layers are deterministic. Nothing is counted for it.
-  } else if (output_clean) {
-    ++stats.masked;
-  } else {
-    ++stats.sdc;
-  }
+  classify_model_trial(stats, layer, result, ctx.clean_output);
 }
 
 void run_trial(const ModelCampaignContext& ctx, std::int64_t t,
@@ -118,15 +97,60 @@ ModelCampaignStats& ModelCampaignStats::merge(const ModelCampaignStats& other) {
   unrecovered += other.unrecovered;
   masked += other.masked;
   sdc += other.sdc;
+  detected_corrupted += other.detected_corrupted;
+  // The per-layer vectors may have different lengths — and, in a malformed
+  // partial, lengths that differ from each other — so each one is resized
+  // and accumulated against its own counterpart only.
   if (faults_per_layer.size() < other.faults_per_layer.size()) {
     faults_per_layer.resize(other.faults_per_layer.size(), 0);
+  }
+  if (detections_per_layer.size() < other.detections_per_layer.size()) {
     detections_per_layer.resize(other.detections_per_layer.size(), 0);
   }
   for (std::size_t i = 0; i < other.faults_per_layer.size(); ++i) {
     faults_per_layer[i] += other.faults_per_layer[i];
+  }
+  for (std::size_t i = 0; i < other.detections_per_layer.size(); ++i) {
     detections_per_layer[i] += other.detections_per_layer[i];
   }
   return *this;
+}
+
+void classify_model_trial(ModelCampaignStats& stats, std::size_t layer,
+                          const SessionResult& result,
+                          const Matrix<half_t>& clean_output) {
+  AIFT_CHECK_MSG(!result.layers.empty(),
+                 "cannot classify a trial with no layer traces");
+  if (stats.faults_per_layer.size() <= layer) {
+    stats.faults_per_layer.resize(layer + 1, 0);
+  }
+  if (stats.detections_per_layer.size() <= layer) {
+    stats.detections_per_layer.resize(layer + 1, 0);
+  }
+  ++stats.trials;
+  ++stats.faults_per_layer[layer];
+  const LayerTrace& faulted_trace = result.layers.front();
+  const bool flagged = faulted_trace.detections > 0;
+  const bool output_clean = result.output == clean_output;
+  if (flagged) {
+    ++stats.detected;
+    ++stats.detections_per_layer[layer];
+    if (faulted_trace.unrecovered) {
+      ++stats.unrecovered;
+    } else if (output_clean) {
+      ++stats.recovered;
+    } else {
+      // A passing retry reproduces the clean layer output bit for bit and
+      // downstream layers are deterministic, so this class is reachable
+      // only through a checker that accepted a corrupted re-execution.
+      // Count it — never let a checker bug vanish from coverage tables.
+      ++stats.detected_corrupted;
+    }
+  } else if (output_clean) {
+    ++stats.masked;
+  } else {
+    ++stats.sdc;
+  }
 }
 
 ModelCampaignStats run_model_campaign(const InferenceSession& session,

@@ -46,6 +46,14 @@ struct ModelCampaignStats {
   std::int64_t unrecovered = 0;
   std::int64_t masked = 0;
   std::int64_t sdc = 0;
+  /// Detected, retried to a *passing* check within the budget — yet the
+  /// final output still differs from the fault-free reference. A passing
+  /// retry reproduces the clean layer output bit for bit and downstream
+  /// layers are deterministic, so this must stay 0; a nonzero count means
+  /// a checker accepted a corrupted re-execution (a checker bug), and
+  /// counting it here keeps such trials from vanishing from coverage
+  /// tables.
+  std::int64_t detected_corrupted = 0;
   /// Faults injected / detections observed per layer (indexed like the
   /// session's plan entries).
   std::vector<std::int64_t> faults_per_layer;
@@ -61,6 +69,18 @@ struct ModelCampaignStats {
   friend bool operator==(const ModelCampaignStats&,
                          const ModelCampaignStats&) = default;
 };
+
+/// Classifies one trial against the fault-free reference output and
+/// accumulates it into `stats`. `result` must be a run started at the
+/// faulted layer (result.layers.front() traces that layer), as produced by
+/// InferenceSession::run_from or a BatchExecutor row. Grows the per-layer
+/// vectors as needed. Exposed so the classification of every
+/// (flagged, recovered, output) combination — including the
+/// detected_corrupted checker-bug surface — is directly testable; the
+/// campaign engines all classify through this.
+void classify_model_trial(ModelCampaignStats& stats, std::size_t layer,
+                          const SessionResult& result,
+                          const Matrix<half_t>& clean_output);
 
 /// Runs the campaign with trials fanned out across the worker pool.
 /// Deterministic: the result depends only on (session, config), never on

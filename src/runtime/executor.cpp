@@ -77,6 +77,21 @@ BatchResult BatchExecutor::run_from(std::size_t first_layer,
                               << " input is " << input.rows() << "x"
                               << input.cols() << ", plan expects " << first.m
                               << "x" << first.k);
+    // A fault addressed to a layer this run never executes — or to an
+    // execution attempt past the retry budget, which can never occur —
+    // would silently inject nothing and report as "masked"; reject the
+    // mistyped site instead.
+    for (const auto& f : batch[static_cast<std::size_t>(r)].faults) {
+      AIFT_CHECK_MSG(f.layer >= first_layer && f.layer < num_layers,
+                     "request " << r << ": fault targets layer " << f.layer
+                                << ", but this run executes layers ["
+                                << first_layer << ", " << num_layers << ")");
+      AIFT_CHECK_MSG(f.execution >= 0 && f.execution <= sopts.max_retries,
+                     "request " << r << ": fault targets execution attempt "
+                                << f.execution << ", but attempts are 0.."
+                                << sopts.max_retries
+                                << " under the retry budget");
+    }
   }
 
   BatchResult out;

@@ -1,9 +1,13 @@
 #include "runtime/plan_io.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <locale>
 #include <sstream>
+#include <system_error>
 
 #include "common/check.hpp"
 
@@ -22,10 +26,24 @@ std::uint64_t fingerprint(const std::string& payload) {
 }
 
 // Doubles are written as C hexfloats: exact bit-for-bit round trip.
+// std::to_chars is locale-independent by specification — snprintf("%a")
+// would write the *current C locale's* decimal separator, producing an
+// artifact another host can't parse. to_chars omits printf's "0x" prefix,
+// so it is restored here to keep the v1 artifact layout unchanged.
 std::string hex_double(double v) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  return buf;
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::hex);
+  AIFT_CHECK_MSG(ec == std::errc(), "hexfloat formatting failed");
+  const std::string digits(buf, ptr);
+  // Non-finite values print as "inf"/"-inf"/"nan" with no prefix, exactly
+  // as printf("%a") did (the cost model uses an infinite total_us as its
+  // "does not fit the device" sentinel, so they do occur in plans).
+  if (!std::isfinite(v)) return digits;
+  if (!digits.empty() && digits.front() == '-') {
+    return "-0x" + digits.substr(1);
+  }
+  return "0x" + digits;
 }
 
 // ------------------------------------------------------------- writing ----
@@ -57,7 +75,9 @@ struct LineReader {
   std::istringstream in;
   int line_no = 0;
 
-  explicit LineReader(const std::string& text) : in(text) {}
+  explicit LineReader(const std::string& text) : in(text) {
+    in.imbue(std::locale::classic());
+  }
 
   /// Next line split at its first space into (keyword, rest). The keyword
   /// must match; the rest is returned.
@@ -80,7 +100,9 @@ struct TokenReader {
   int line_no;
 
   TokenReader(const std::string& rest, int line)
-      : in(rest), line_no(line) {}
+      : in(rest), line_no(line) {
+    in.imbue(std::locale::classic());
+  }
 
   std::string token() {
     std::string t;
@@ -89,24 +111,41 @@ struct TokenReader {
     return t;
   }
 
+  // strtod honors the current C locale's decimal separator — a host set to
+  // a comma locale would reject every artifact written elsewhere. from_chars
+  // is locale-independent by specification; it takes no "0x" prefix and no
+  // sign, so both are handled here.
   double f64() {
     const std::string t = token();
-    char* end = nullptr;
-    const double v = std::strtod(t.c_str(), &end);
-    AIFT_CHECK_MSG(end != nullptr && *end == '\0',
+    const char* first = t.c_str();
+    const char* last = first + t.size();
+    bool negative = false;
+    if (first != last && (*first == '-' || *first == '+')) {
+      negative = *first == '-';
+      ++first;
+    }
+    if (last - first > 2 && first[0] == '0' &&
+        (first[1] == 'x' || first[1] == 'X')) {
+      first += 2;
+    }
+    double v = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(first, last, v, std::chars_format::hex);
+    AIFT_CHECK_MSG(ec == std::errc() && ptr == last,
                    "plan artifact line " << line_no << ": bad number '" << t
                                          << "'");
-    return v;
+    return negative ? -v : v;
   }
 
   std::int64_t i64() {
     const std::string t = token();
-    char* end = nullptr;
-    const long long v = std::strtoll(t.c_str(), &end, 10);
-    AIFT_CHECK_MSG(end != nullptr && *end == '\0',
+    std::int64_t v = 0;
+    const char* first = t.c_str();
+    const auto [ptr, ec] = std::from_chars(first, first + t.size(), v, 10);
+    AIFT_CHECK_MSG(ec == std::errc() && ptr == first + t.size(),
                    "plan artifact line " << line_no << ": bad integer '" << t
                                          << "'");
-    return static_cast<std::int64_t>(v);
+    return v;
   }
 
   int i32() { return static_cast<int>(i64()); }
@@ -190,6 +229,9 @@ KernelCost read_cost(LineReader& lr, const char* key) {
 
 std::string serialize_plan(const InferencePlan& plan) {
   std::ostringstream os;
+  // A global C++ locale with digit grouping would turn "1234" into
+  // "1,234"; the artifact is defined in the classic locale.
+  os.imbue(std::locale::classic());
   os << "model " << plan.model_name << '\n';
   os << "device " << plan.device_name << '\n';
   os << "policy " << policy_name(plan.policy) << '\n';

@@ -15,6 +15,11 @@
 // session built from a loaded plan serves identically to one built from
 // the freshly compiled plan.
 //
+// The format is locale-independent: doubles go through
+// std::to_chars/std::from_chars and the streams are imbued with the
+// classic locale, so an artifact written under any host locale (comma
+// decimal separator, digit grouping, ...) loads identically everywhere.
+//
 // load/deserialize *reject* (std::logic_error) artifacts with a wrong
 // magic, an unsupported version, a fingerprint mismatch (truncation or
 // corruption), or malformed payload lines — a server must never silently

@@ -1,0 +1,324 @@
+#include "runtime/serving.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "runtime/plan_io.hpp"
+
+namespace aift {
+namespace {
+
+double us_between(ServingEngine::Clock::time_point from,
+                  ServingEngine::Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine() : ServingEngine(Options{}) {}
+
+ServingEngine::ServingEngine(Options opts) : opts_(std::move(opts)) {
+  if (!opts_.clock) opts_.clock = [] { return Clock::now(); };
+  if (opts_.threaded) batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+ServingEngine::~ServingEngine() { shutdown(); }
+
+void ServingEngine::add_model(const std::string& name, InferencePlan plan,
+                              const BatchPolicy& policy,
+                              const SessionOptions& session_opts) {
+  AIFT_CHECK_MSG(policy.max_batch >= 1,
+                 "model '" << name << "': max_batch must be >= 1, got "
+                           << policy.max_batch);
+  AIFT_CHECK_MSG(policy.max_delay.count() >= 0,
+                 "model '" << name << "': max_delay must be >= 0");
+  // Session instantiation (weight sampling, offline checksums) is the
+  // expensive part — do it outside the engine lock.
+  auto shard = std::make_unique<Shard>(name, std::move(plan), policy,
+                                       session_opts);
+  std::lock_guard<std::mutex> lock(mu_);
+  AIFT_CHECK_MSG(accepting_, "cannot add_model after shutdown");
+  const bool inserted = shards_.emplace(name, std::move(shard)).second;
+  AIFT_CHECK_MSG(inserted, "model '" << name << "' is already registered");
+}
+
+void ServingEngine::add_model_from_file(const std::string& name,
+                                        const std::string& path,
+                                        const BatchPolicy& policy,
+                                        const SessionOptions& session_opts) {
+  add_model(name, load_plan(path), policy, session_opts);
+}
+
+std::vector<std::string> ServingEngine::models() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(shards_.size());
+  for (const auto& [name, shard] : shards_) names.push_back(name);
+  return names;
+}
+
+const InferenceSession& ServingEngine::session(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = shards_.find(name);
+  AIFT_CHECK_MSG(it != shards_.end(), "unknown model '" << name << "'");
+  return it->second->session;
+}
+
+std::future<ServedResult> ServingEngine::submit(
+    const std::string& model, Matrix<half_t> input,
+    std::vector<SessionFault> faults) {
+  std::unique_lock<std::mutex> lock(mu_);
+  AIFT_CHECK_MSG(accepting_, "submit after shutdown");
+  const auto it = shards_.find(model);
+  AIFT_CHECK_MSG(it != shards_.end(), "unknown model '" << model << "'");
+  Shard& shard = *it->second;
+
+  // Validate here, where the error names one request, instead of letting a
+  // malformed request fail a whole dynamically formed batch.
+  const InferenceSession& session = shard.session;
+  AIFT_CHECK_MSG(
+      input.rows() == session.input_rows() &&
+          input.cols() == session.input_cols(),
+      "model '" << model << "': input is " << input.rows() << "x"
+                << input.cols() << ", plan expects " << session.input_rows()
+                << "x" << session.input_cols());
+  for (const auto& f : faults) {
+    AIFT_CHECK_MSG(f.layer < session.num_layers(),
+                   "model '" << model << "': fault targets layer " << f.layer
+                             << ", plan has " << session.num_layers()
+                             << " layers");
+    AIFT_CHECK_MSG(
+        f.execution >= 0 && f.execution <= session.options().max_retries,
+        "model '" << model << "': fault targets execution attempt "
+                  << f.execution << ", but attempts are 0.."
+                  << session.options().max_retries
+                  << " under the retry budget");
+  }
+
+  Pending pending;
+  pending.input = std::move(input);
+  pending.faults = std::move(faults);
+  pending.enqueued = now();
+  std::future<ServedResult> future = pending.promise.get_future();
+  shard.queue.push_back(std::move(pending));
+
+  ++stats_.submitted;
+  ++stats_.queue_depth;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth,
+                                    stats_.queue_depth);
+  lock.unlock();
+  work_cv_.notify_one();
+  return future;
+}
+
+std::int64_t ServingEngine::pending_locked() const {
+  std::int64_t n = 0;
+  for (const auto& [name, shard] : shards_) {
+    n += static_cast<std::int64_t>(shard->queue.size());
+  }
+  return n;
+}
+
+ServingEngine::Formed ServingEngine::form_due_locked(Clock::time_point at,
+                                                     bool force) {
+  // Among all due shards, serve the one whose head request has waited
+  // longest (ties broken by model-name order, keeping stepped-mode
+  // dispatch deterministic). Picking the first due shard instead would
+  // let sustained traffic on one model starve another model's aged
+  // requests past their max_delay indefinitely.
+  Shard* chosen = nullptr;
+  for (auto& [name, shard] : shards_) {
+    auto& queue = shard->queue;
+    if (queue.empty()) continue;
+    const BatchPolicy& policy = shard->policy;
+    const bool full = static_cast<std::int64_t>(queue.size()) >=
+                      policy.max_batch;
+    const bool aged = at - queue.front().enqueued >= policy.max_delay;
+    if (!(force || full || aged)) continue;
+    if (chosen == nullptr ||
+        queue.front().enqueued < chosen->queue.front().enqueued) {
+      chosen = shard.get();
+    }
+  }
+  if (chosen == nullptr) return {};
+
+  Formed formed;
+  formed.shard = chosen;
+  auto& queue = chosen->queue;
+  const std::size_t n = std::min(
+      queue.size(), static_cast<std::size_t>(chosen->policy.max_batch));
+  formed.requests.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    formed.requests.push_back(std::move(queue.front()));
+    queue.pop_front();
+  }
+  stats_.queue_depth -= static_cast<std::int64_t>(n);
+  return formed;
+}
+
+void ServingEngine::execute_batch(Formed formed) {
+  const auto batch_size = static_cast<std::int64_t>(formed.requests.size());
+  std::vector<BatchRequest> batch(formed.requests.size());
+  for (std::size_t r = 0; r < formed.requests.size(); ++r) {
+    batch[r].input = std::move(formed.requests[r].input);
+    batch[r].faults = std::move(formed.requests[r].faults);
+  }
+
+  const Clock::time_point dispatched = now();
+  bool failed = false;
+  BatchResult result;
+  try {
+    result = formed.shard->executor.run(batch, opts_.batch);
+  } catch (...) {
+    // submit() validation makes this unreachable short of an engine bug;
+    // deliver it to the waiters rather than losing their futures.
+    failed = true;
+    const auto error = std::current_exception();
+    for (auto& pending : formed.requests) {
+      pending.promise.set_exception(error);
+    }
+  }
+  const Clock::time_point finished = now();
+
+  if (!failed) {
+    const double execute_us = us_between(dispatched, finished);
+    std::vector<double> queue_us(formed.requests.size(), 0.0);
+    for (std::size_t r = 0; r < formed.requests.size(); ++r) {
+      queue_us[r] = us_between(formed.requests[r].enqueued, dispatched);
+    }
+
+    // Record stats BEFORE fulfilling the promises: a caller that wakes on
+    // future.get() and immediately reads stats() must see this batch
+    // counted.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.batches;
+      stats_.completed += batch_size;
+      if (static_cast<std::int64_t>(stats_.batch_size_hist.size()) <=
+          batch_size) {
+        stats_.batch_size_hist.resize(
+            static_cast<std::size_t>(batch_size) + 1, 0);
+      }
+      ++stats_.batch_size_hist[static_cast<std::size_t>(batch_size)];
+      for (const double q : queue_us) {
+        stats_.queue_us_total += q;
+        stats_.queue_us_max = std::max(stats_.queue_us_max, q);
+      }
+      stats_.execute_us_total += execute_us * static_cast<double>(batch_size);
+      stats_.execute_us_max = std::max(stats_.execute_us_max, execute_us);
+    }
+
+    for (std::size_t r = 0; r < formed.requests.size(); ++r) {
+      ServedResult served;
+      served.session = std::move(result.requests[r]);
+      served.queue_us = queue_us[r];
+      served.execute_us = execute_us;
+      served.batch_size = batch_size;
+      formed.requests[r].promise.set_value(std::move(served));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  idle_cv_.notify_all();
+}
+
+std::size_t ServingEngine::pump() {
+  AIFT_CHECK_MSG(!opts_.threaded,
+                 "pump() drives stepped engines only; a threaded engine's "
+                 "batcher dispatches on its own");
+  std::size_t dispatched = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    Formed formed = form_due_locked(now(), /*force=*/false);
+    if (formed.shard == nullptr) break;
+    ++in_flight_;
+    lock.unlock();
+    execute_batch(std::move(formed));
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void ServingEngine::drain() {
+  // Mode-independent: steal force-flushed batches onto the calling thread
+  // (max_delay waived, max_batch still caps each batch), then wait for any
+  // batch another thread still has in flight.
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    Formed formed = form_due_locked(now(), /*force=*/true);
+    if (formed.shard == nullptr) {
+      if (in_flight_ == 0 && pending_locked() == 0) return;
+      idle_cv_.wait(lock);
+      continue;
+    }
+    ++in_flight_;
+    lock.unlock();
+    execute_batch(std::move(formed));
+  }
+}
+
+void ServingEngine::shutdown() {
+  std::thread batcher;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    stop_ = true;
+    // Claim the thread under the lock: of two concurrent shutdown()
+    // calls (say, an explicit one racing the destructor) only one may
+    // join it.
+    batcher = std::move(batcher_);
+  }
+  work_cv_.notify_all();
+  if (batcher.joinable()) batcher.join();
+  // Threaded: the batcher exits only once every queue is empty, but a
+  // concurrent drain() may still hold batches in flight; stepped: nothing
+  // has run since the last pump. Either way drain() settles it.
+  drain();
+}
+
+ServingStats ServingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ServingEngine::batcher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Formed formed = form_due_locked(now(), /*force=*/stop_);
+    if (formed.shard != nullptr) {
+      ++in_flight_;
+      lock.unlock();
+      execute_batch(std::move(formed));
+      lock.lock();
+      continue;
+    }
+    if (stop_) return;
+
+    // Sleep until the oldest pending request's max_delay deadline (or a
+    // submit/shutdown notification, whichever comes first).
+    bool have_deadline = false;
+    Clock::time_point deadline{};
+    for (const auto& [name, shard] : shards_) {
+      if (shard->queue.empty()) continue;
+      const Clock::time_point d =
+          shard->queue.front().enqueued + shard->policy.max_delay;
+      if (!have_deadline || d < deadline) {
+        have_deadline = true;
+        deadline = d;
+      }
+    }
+    if (have_deadline) {
+      const auto remaining = deadline - now();
+      if (remaining <= Clock::duration::zero()) continue;
+      work_cv_.wait_for(lock, remaining);
+    } else {
+      work_cv_.wait(lock);
+    }
+  }
+}
+
+}  // namespace aift

@@ -1,0 +1,228 @@
+#pragma once
+// Dynamic-batching request front-end — the traffic-facing stage of the
+// plan -> compile -> execute -> serve split.
+//
+// PR 3's BatchExecutor made batched protected inference fast, but callers
+// had to hand-assemble batches; a serving process sees a *stream* of
+// single requests. ServingEngine closes that gap: it owns one thread-safe
+// RequestQueue per registered model (multi-session sharding: model name ->
+// InferencePlan -> InferenceSession -> BatchExecutor) and a batcher that
+// forms batches under a per-model BatchPolicy — dispatch as soon as
+// `max_batch` requests wait, or when the oldest pending request has waited
+// `max_delay` (the classic dynamic-batching latency/throughput knob).
+// Every submit() returns a future whose SessionResult is exactly — bit for
+// bit — what a standalone InferenceSession::run of that request would
+// produce, because batches are dispatched unmodified to BatchExecutor,
+// whose batch-invariance is already CTest-pinned.
+//
+// Two driving modes:
+//   - threaded (default): a background batcher thread waits on the queues
+//     and dispatches due batches; shutdown() stops intake, drains every
+//     pending request and joins the thread.
+//   - stepped (Options::threaded = false): nothing runs until the caller
+//     invokes pump(), which dispatches every batch due at the injected
+//     clock's current time, synchronously, in a deterministic order
+//     (oldest head request first, model name breaking ties, FIFO within
+//     a model). With a fake clock this makes batch-formation decisions
+//     — "3 waiting, max_batch 4, delay not yet expired → no batch" —
+//     unit-testable without real threads or real time.
+//
+// The engine also keeps serving statistics: queue depth (current/peak), a
+// batch-size histogram, and per-request queue + execute latency, measured
+// with the injected clock so stepped tests see deterministic numbers.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.hpp"
+
+namespace aift {
+
+/// When a model's pending requests become an executor batch.
+struct BatchPolicy {
+  /// Dispatch as soon as this many requests wait (also the cap on any
+  /// dynamically formed batch, including drain/shutdown flushes).
+  std::int64_t max_batch = 16;
+  /// Dispatch whatever is pending (up to max_batch) once the oldest
+  /// pending request has waited this long. Zero means "never hold a
+  /// request": every pump/batcher pass dispatches everything pending.
+  std::chrono::microseconds max_delay{2000};
+};
+
+/// What a request's future resolves to.
+struct ServedResult {
+  /// Exactly what InferenceSession::run(input, {faults}) would return for
+  /// this request, bit for bit — output, traces, digests.
+  SessionResult session;
+  double queue_us = 0.0;    ///< submit -> batch dispatch
+  double execute_us = 0.0;  ///< dispatch -> batch completion
+  std::int64_t batch_size = 0;  ///< size of the dynamically formed batch
+};
+
+/// Snapshot of engine-level serving statistics (stats()).
+struct ServingStats {
+  std::int64_t submitted = 0;  ///< requests accepted by submit()
+  std::int64_t completed = 0;  ///< requests whose future was fulfilled
+  std::int64_t batches = 0;    ///< batches dispatched to executors
+  std::int64_t queue_depth = 0;      ///< pending right now, all models
+  std::int64_t max_queue_depth = 0;  ///< high-water mark of queue_depth
+  /// batch_size_hist[b] = number of dispatched batches of size b (index 0
+  /// is always 0; the vector is just long enough for the largest batch).
+  std::vector<std::int64_t> batch_size_hist;
+  double queue_us_total = 0.0;
+  double queue_us_max = 0.0;
+  double execute_us_total = 0.0;
+  double execute_us_max = 0.0;
+
+  [[nodiscard]] double mean_batch_size() const {
+    return batches > 0 ? static_cast<double>(completed) /
+                             static_cast<double>(batches)
+                       : 0.0;
+  }
+  [[nodiscard]] double mean_queue_us() const {
+    return completed > 0 ? queue_us_total / static_cast<double>(completed)
+                         : 0.0;
+  }
+  [[nodiscard]] double mean_execute_us() const {
+    return completed > 0 ? execute_us_total / static_cast<double>(completed)
+                         : 0.0;
+  }
+};
+
+class ServingEngine {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using ClockFn = std::function<Clock::time_point()>;
+
+  struct Options {
+    /// Run the background batcher thread. When false the engine is in
+    /// stepped mode: the caller drives it with pump()/drain().
+    bool threaded = true;
+    /// Time source for enqueue stamps, due decisions and latency stats.
+    /// Defaults to Clock::now. A non-default clock only makes sense in
+    /// stepped mode (the batcher thread sleeps in real time).
+    ClockFn clock;
+    /// Forwarded to every BatchExecutor::run (parallel execution with
+    /// deferred, overlapped verification by default).
+    BatchOptions batch;
+  };
+
+  ServingEngine();  ///< default Options: threaded, steady clock
+  explicit ServingEngine(Options opts);
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Registers a model shard: the plan is instantiated into an
+  /// InferenceSession (weights + offline checksums) fronted by its own
+  /// BatchExecutor and RequestQueue. Rejects duplicate names.
+  void add_model(const std::string& name, InferencePlan plan,
+                 const BatchPolicy& policy = {},
+                 const SessionOptions& session_opts = {});
+
+  /// add_model from a persisted plan artifact (runtime/plan_io) — how a
+  /// serving process boots without re-profiling.
+  void add_model_from_file(const std::string& name, const std::string& path,
+                           const BatchPolicy& policy = {},
+                           const SessionOptions& session_opts = {});
+
+  [[nodiscard]] std::vector<std::string> models() const;
+  /// The shard's session (e.g. for make_input or bit-identity checks).
+  [[nodiscard]] const InferenceSession& session(const std::string& name) const;
+
+  /// Enqueues one request for `model` and returns its future. Validates
+  /// the input shape and fault sites (layer and execution attempt) up
+  /// front, so one malformed
+  /// request throws here instead of poisoning a whole batch's futures.
+  /// Throws after shutdown() and for unregistered models.
+  [[nodiscard]] std::future<ServedResult> submit(
+      const std::string& model, Matrix<half_t> input,
+      std::vector<SessionFault> faults = {});
+
+  /// Stepped mode only: dispatches every batch due at clock() now —
+  /// oldest head request first (name order breaks ties), requests FIFO
+  /// within a model — synchronously on the calling thread. Returns the
+  /// number of batches dispatched.
+  std::size_t pump();
+
+  /// Blocks until every pending request has been served, force-flushing
+  /// in either mode: max_delay is waived (a below-threshold queue is
+  /// dispatched immediately, possibly as an undersized batch), max_batch
+  /// still caps each batch. Flushed batches execute on the calling
+  /// thread; in threaded mode the batcher keeps dispatching concurrently
+  /// and drain() additionally waits for its in-flight batches.
+  void drain();
+
+  /// Stops intake (further submits throw), serves everything still
+  /// pending, and joins the batcher thread. Idempotent; the destructor
+  /// calls it.
+  void shutdown();
+
+  [[nodiscard]] ServingStats stats() const;
+
+ private:
+  struct Pending {
+    Matrix<half_t> input;
+    std::vector<SessionFault> faults;
+    std::promise<ServedResult> promise;
+    Clock::time_point enqueued;
+  };
+
+  struct Shard {
+    std::string name;
+    BatchPolicy policy;
+    InferenceSession session;
+    BatchExecutor executor;
+    std::deque<Pending> queue;
+
+    Shard(std::string model_name, InferencePlan plan, const BatchPolicy& p,
+          const SessionOptions& sopts)
+        : name(std::move(model_name)),
+          policy(p),
+          session(std::move(plan), sopts),
+          executor(session) {}
+  };
+
+  /// One formed batch, popped from a shard's queue and ready to execute.
+  struct Formed {
+    Shard* shard = nullptr;
+    std::vector<Pending> requests;
+  };
+
+  [[nodiscard]] Clock::time_point now() const { return opts_.clock(); }
+
+  /// Pops the next due batch in (model-name, FIFO) order, or an empty
+  /// Formed. `force` waives max_delay (drain/shutdown). Caller holds mu_.
+  Formed form_due_locked(Clock::time_point at, bool force);
+
+  /// Executes a formed batch and fulfills its promises. Called with mu_
+  /// released; takes mu_ only to update stats.
+  void execute_batch(Formed formed);
+
+  [[nodiscard]] std::int64_t pending_locked() const;
+  void batcher_loop();
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< batcher: new work / shutdown
+  std::condition_variable idle_cv_;  ///< drain(): queue empty + not busy
+  std::map<std::string, std::unique_ptr<Shard>> shards_;
+  ServingStats stats_;
+  std::int64_t in_flight_ = 0;  ///< batches currently executing
+  bool accepting_ = true;
+  bool stop_ = false;
+  std::thread batcher_;
+};
+
+}  // namespace aift

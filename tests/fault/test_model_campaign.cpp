@@ -118,6 +118,97 @@ TEST_F(ModelCampaignTest, LowBitFaultsMostlyMaskAndAlwaysPartition) {
   EXPECT_EQ(stats.trials, stats.detected + stats.masked + stats.sdc);
 }
 
+TEST_F(ModelCampaignTest, MergeHandlesMismatchedLayerVectors) {
+  // Regression: merge used to resize detections_per_layer only when
+  // faults_per_layer was shorter, then index both by faults_per_layer's
+  // length — mismatched-length partials read and wrote out of bounds.
+  ModelCampaignStats a;
+  a.trials = 3;
+  a.faults_per_layer = {1, 2, 0};
+  a.detections_per_layer = {1};  // shorter than its own faults vector
+  ModelCampaignStats b;
+  b.trials = 5;
+  b.faults_per_layer = {0, 0, 5};
+  b.detections_per_layer = {0, 0, 4};
+  a.merge(b);
+  EXPECT_EQ(a.trials, 8);
+  EXPECT_EQ(a.faults_per_layer, (std::vector<std::int64_t>{1, 2, 5}));
+  EXPECT_EQ(a.detections_per_layer, (std::vector<std::int64_t>{1, 0, 4}));
+
+  // Longer-into-shorter the other way round, plus commutativity on
+  // well-formed (equal-length) partials.
+  ModelCampaignStats c;
+  c.faults_per_layer = {7};
+  c.detections_per_layer = {6, 1};
+  ModelCampaignStats d;
+  d.faults_per_layer = {1, 1};
+  d.detections_per_layer = {1};
+  ModelCampaignStats cd = c;
+  cd.merge(d);
+  ModelCampaignStats dc = d;
+  dc.merge(c);
+  EXPECT_EQ(cd, dc);
+  EXPECT_EQ(cd.faults_per_layer, (std::vector<std::int64_t>{8, 1}));
+  EXPECT_EQ(cd.detections_per_layer, (std::vector<std::int64_t>{7, 1}));
+}
+
+TEST_F(ModelCampaignTest, ClassifyCoversEveryOutcomeIncludingCheckerBugs) {
+  Matrix<half_t> clean(1, 1);
+  clean(0, 0) = half_t(1.0f);
+  Matrix<half_t> corrupted(1, 1);
+  corrupted(0, 0) = half_t(2.0f);
+
+  const auto make_result = [&](int detections, bool unrecovered,
+                               const Matrix<half_t>& output) {
+    SessionResult result;
+    result.output = output;
+    LayerTrace trace;
+    trace.detections = detections;
+    trace.unrecovered = unrecovered;
+    result.layers.push_back(trace);
+    return result;
+  };
+
+  ModelCampaignStats stats;
+  classify_model_trial(stats, 0, make_result(1, false, clean), clean);
+  EXPECT_EQ(stats.recovered, 1);
+  classify_model_trial(stats, 0, make_result(1, true, corrupted), clean);
+  EXPECT_EQ(stats.unrecovered, 1);
+  classify_model_trial(stats, 1, make_result(0, false, clean), clean);
+  EXPECT_EQ(stats.masked, 1);
+  classify_model_trial(stats, 1, make_result(0, false, corrupted), clean);
+  EXPECT_EQ(stats.sdc, 1);
+
+  // The hole the old code silently dropped: flagged, retried to a passing
+  // check, yet the output is corrupted — only a buggy checker can produce
+  // it, and it must be counted, not vanish from coverage tables.
+  classify_model_trial(stats, 2, make_result(1, false, corrupted), clean);
+  EXPECT_EQ(stats.detected_corrupted, 1);
+
+  EXPECT_EQ(stats.trials, 5);
+  EXPECT_EQ(stats.detected, 3);
+  EXPECT_EQ(stats.faults_per_layer, (std::vector<std::int64_t>{2, 2, 1}));
+  EXPECT_EQ(stats.detections_per_layer, (std::vector<std::int64_t>{2, 0, 1}));
+  // Every trial lands in exactly one class.
+  EXPECT_EQ(stats.trials, stats.recovered + stats.unrecovered + stats.masked +
+                              stats.sdc + stats.detected_corrupted);
+
+  // A result with no traces is unclassifiable.
+  SessionResult empty;
+  empty.output = clean;
+  EXPECT_THROW(classify_model_trial(stats, 0, empty, clean),
+               std::logic_error);
+}
+
+TEST_F(ModelCampaignTest, RealCampaignsNeverProduceDetectedCorrupted) {
+  const auto session = session_for(ProtectionPolicy::intensity_guided);
+  ModelCampaignConfig cfg;
+  cfg.trials = 32;
+  cfg.fault_opts.min_bit = 10;
+  cfg.fault_opts.max_bit = 29;
+  EXPECT_EQ(run_model_campaign(session, cfg).detected_corrupted, 0);
+}
+
 TEST_F(ModelCampaignTest, RejectsEmptyCampaign) {
   const auto session = session_for(ProtectionPolicy::intensity_guided);
   ModelCampaignConfig cfg;

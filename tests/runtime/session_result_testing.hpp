@@ -1,0 +1,38 @@
+#pragma once
+// Helpers shared by the executor and serving suites, which both pin
+// results bit-identical to standalone sessions. One definition each: a
+// LayerTrace field added to the comparator here is enforced by every
+// suite at once instead of drifting between copies.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/session.hpp"
+
+namespace aift {
+
+// Flip exponent bit 29: rescales the accumulator by 2^±32, so every
+// scheme detects it and, unprotected, it must reach the output.
+inline FaultSpec big_fault(std::int64_t row = 0, std::int64_t col = 0) {
+  return FaultSpec{row, col, /*k8_step=*/-1, /*xor_bits=*/0x20000000u};
+}
+
+inline void expect_identical(const SessionResult& got,
+                             const SessionResult& want,
+                             const std::string& context) {
+  EXPECT_TRUE(got.output == want.output) << context << ": output differs";
+  ASSERT_EQ(got.layers.size(), want.layers.size()) << context;
+  for (std::size_t i = 0; i < got.layers.size(); ++i) {
+    const auto& g = got.layers[i];
+    const auto& w = want.layers[i];
+    EXPECT_EQ(g.name, w.name) << context << " layer " << i;
+    EXPECT_EQ(g.scheme, w.scheme) << context << " layer " << i;
+    EXPECT_EQ(g.executions, w.executions) << context << " layer " << i;
+    EXPECT_EQ(g.detections, w.detections) << context << " layer " << i;
+    EXPECT_EQ(g.unrecovered, w.unrecovered) << context << " layer " << i;
+    EXPECT_EQ(g.output_digest, w.output_digest) << context << " layer " << i;
+  }
+}
+
+}  // namespace aift

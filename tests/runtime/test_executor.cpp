@@ -14,6 +14,7 @@
 
 #include "nn/zoo/zoo.hpp"
 #include "runtime/pipeline.hpp"
+#include "session_result_testing.hpp"
 
 namespace aift {
 namespace {
@@ -24,28 +25,6 @@ Model tiny_mlp() {
   b.linear("fc2", 24);
   b.linear("fc3", 12);
   return std::move(b).build();
-}
-
-// Flip exponent bit 29: rescales the accumulator by 2^±32, so every
-// scheme detects it and, unprotected, it must reach the output.
-FaultSpec big_fault(std::int64_t row = 0, std::int64_t col = 0) {
-  return FaultSpec{row, col, /*k8_step=*/-1, /*xor_bits=*/0x20000000u};
-}
-
-void expect_identical(const SessionResult& got, const SessionResult& want,
-                      const std::string& context) {
-  EXPECT_TRUE(got.output == want.output) << context << ": output differs";
-  ASSERT_EQ(got.layers.size(), want.layers.size()) << context;
-  for (std::size_t i = 0; i < got.layers.size(); ++i) {
-    const auto& g = got.layers[i];
-    const auto& w = want.layers[i];
-    EXPECT_EQ(g.name, w.name) << context << " layer " << i;
-    EXPECT_EQ(g.scheme, w.scheme) << context << " layer " << i;
-    EXPECT_EQ(g.executions, w.executions) << context << " layer " << i;
-    EXPECT_EQ(g.detections, w.detections) << context << " layer " << i;
-    EXPECT_EQ(g.unrecovered, w.unrecovered) << context << " layer " << i;
-    EXPECT_EQ(g.output_digest, w.output_digest) << context << " layer " << i;
-  }
 }
 
 class BatchExecutorTest : public ::testing::Test {
@@ -256,6 +235,121 @@ TEST_F(BatchExecutorTest, LargeBatchServesEveryRequest) {
     expect_identical(result.requests[r], session.run(batch[r].input),
                      "B=64 row " + std::to_string(r));
   }
+}
+
+// Satellite requirement: deferred-mode budget exhaustion at B>1 must be a
+// pure per-row event — engine-level BatchStats are identical between
+// parallel and serial execution, and every row (surrendered one included)
+// reproduces the serial engine bit for bit.
+TEST_F(BatchExecutorTest, DeferredBudgetExhaustionMatchesSerialEngine) {
+  SessionOptions sopts;
+  sopts.max_retries = 2;
+  const auto session = make_session(ProtectionPolicy::global_abft, sopts);
+  const BatchExecutor executor(session);
+
+  std::vector<BatchRequest> batch(3);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    batch[r].input = session.make_input(900 + r);
+  }
+  // Row 1: a persistent fault on every execution attempt of layer 0 — the
+  // retry budget must exhaust through the deferred path. Target the
+  // largest-magnitude cell of layer 0's clean output (ranked through the
+  // monotone squash / identity repack, as in the test above) so the
+  // exponent flip is super-threshold in either scaling direction.
+  const auto clean_l1_input = session.layer_inputs(batch[1].input)[1];
+  std::int64_t frow = 0, fcol = 0;
+  float best = -1.0f;
+  for (std::int64_t r = 0; r < clean_l1_input.rows(); ++r) {
+    for (std::int64_t c = 0; c < clean_l1_input.cols(); ++c) {
+      const float mag = std::fabs(clean_l1_input(r, c).to_float());
+      if (mag > best) {
+        best = mag;
+        frow = r;
+        fcol = c;
+      }
+    }
+  }
+  for (int e = 0; e <= sopts.max_retries; ++e) {
+    batch[1].faults.push_back(SessionFault{0, big_fault(frow, fcol), e});
+  }
+
+  BatchOptions deferred_parallel;           // defaults: parallel + deferred
+  BatchOptions deferred_serial;
+  deferred_serial.parallel = false;
+  const auto par = executor.run(batch, deferred_parallel);
+  const auto ser = executor.run(batch, deferred_serial);
+
+  // Engine-level stats are scheduling-independent...
+  EXPECT_EQ(par.stats, ser.stats);
+  // ...and show the deferred machinery at work: every check went through
+  // the queue, the flagged row rewound once (its budget then exhausted
+  // inside the synchronous recovery loop), and its speculative layer-1
+  // execution was flushed.
+  EXPECT_EQ(par.stats.deferred_checks,
+            static_cast<std::int64_t>(3 * session.num_layers()));
+  EXPECT_EQ(par.stats.synchronous_checks, 0);
+  EXPECT_EQ(par.stats.rewinds, 1);
+  EXPECT_EQ(par.stats.flushed_executions, 1);
+
+  // The surrendered row carries unrecovered and its serial-engine result;
+  // siblings stay clean.
+  EXPECT_TRUE(par.requests[1].layers[0].unrecovered);
+  EXPECT_EQ(par.requests[1].layers[0].executions, sopts.max_retries + 1);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    expect_identical(par.requests[r], ser.requests[r],
+                     "deferred par-vs-ser row " + std::to_string(r));
+    SessionRunOptions run_opts;
+    run_opts.faults = batch[r].faults;
+    expect_identical(par.requests[r], session.run(batch[r].input, run_opts),
+                     "deferred-vs-serial-engine row " + std::to_string(r));
+  }
+  EXPECT_TRUE(par.requests[0].clean());
+  EXPECT_TRUE(par.requests[2].clean());
+}
+
+// Satellite requirement: a fault addressed to a layer the run never
+// executes used to be silently ignored (a mistyped campaign fault site
+// would report as "masked"); now it is rejected up front.
+TEST_F(BatchExecutorTest, RejectsFaultsOutsideExecutedLayerRange) {
+  const auto session = make_session(ProtectionPolicy::intensity_guided);
+  const BatchExecutor executor(session);
+
+  // Past the last layer on a full run.
+  std::vector<BatchRequest> batch(2);
+  batch[0].input = session.make_input(1);
+  batch[1].input = session.make_input(2);
+  batch[1].faults = {SessionFault{session.num_layers(), big_fault(), 0}};
+  EXPECT_THROW((void)executor.run(batch), std::logic_error);
+
+  // Before first_layer on a suffix run.
+  const auto inputs = session.layer_inputs(session.make_input(3));
+  std::vector<BatchRequest> suffix(1);
+  suffix[0].input = inputs[1];
+  suffix[0].faults = {SessionFault{0, big_fault(), 0}};
+  EXPECT_THROW((void)executor.run_from(1, suffix), std::logic_error);
+
+  // The same misaddressed fault through the session facade.
+  SessionRunOptions run_opts;
+  run_opts.faults = {SessionFault{session.num_layers(), big_fault(), 0}};
+  EXPECT_THROW((void)session.run(session.make_input(4), run_opts),
+               std::logic_error);
+
+  // A fault on an execution attempt past the retry budget can likewise
+  // never inject (attempts are capped at max_retries) — rejected too.
+  std::vector<BatchRequest> budget(1);
+  budget[0].input = session.make_input(5);
+  budget[0].faults = {
+      SessionFault{0, big_fault(), session.options().max_retries + 1}};
+  EXPECT_THROW((void)executor.run(budget), std::logic_error);
+  budget[0].faults = {SessionFault{0, big_fault(), -1}};
+  EXPECT_THROW((void)executor.run(budget), std::logic_error);
+
+  // In-range faults at both boundaries still execute.
+  suffix[0].faults = {SessionFault{1, big_fault(), 0}};
+  EXPECT_NO_THROW((void)executor.run_from(1, suffix));
+  budget[0].faults = {
+      SessionFault{0, big_fault(), session.options().max_retries}};
+  EXPECT_NO_THROW((void)executor.run(budget));
 }
 
 TEST_F(BatchExecutorTest, RejectsEmptyAndMisshapenBatches) {

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cstring>
+#include <limits>
+#include <locale>
 #include <string>
 
 #include "nn/zoo/zoo.hpp"
@@ -131,6 +134,71 @@ TEST_F(PlanIoTest, SaveAndLoadFile) {
   EXPECT_EQ(serialize_plan(loaded), serialize_plan(plan));
   std::remove(path.c_str());
   EXPECT_THROW((void)load_plan(path), std::logic_error);
+}
+
+TEST_F(PlanIoTest, NonFiniteCostsRoundTrip) {
+  // The cost model uses an infinite total_us as its "does not fit the
+  // device" sentinel, so plans can legitimately carry non-finite doubles;
+  // they must serialize to the printf("%a")-compatible "inf"/"-inf"/"nan"
+  // tokens and load back bit for bit.
+  InferencePlan plan = make_plan();
+  plan.entries[0].profile.redundant.cost.total_us =
+      std::numeric_limits<double>::infinity();
+  plan.entries[0].profile.base.cost.waves =
+      -std::numeric_limits<double>::infinity();
+  const std::string text = serialize_plan(plan);
+  EXPECT_NE(text.find(" inf"), std::string::npos);
+  const InferencePlan loaded = deserialize_plan(text);
+  EXPECT_EQ(loaded.entries[0].profile.redundant.cost.total_us,
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(loaded.entries[0].profile.base.cost.waves,
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(serialize_plan(loaded), text);
+}
+
+// A numpunct facet like de_DE's — comma decimal point, dot grouping —
+// without requiring any system locale to be installed.
+class CommaNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+TEST_F(PlanIoTest, RoundTripIsLocaleIndependent) {
+  // Regression: hexfloat doubles used to go through snprintf("%a") and
+  // strtod, both of which honor the C locale's decimal separator, and the
+  // payload streams used the global C++ locale (digit grouping) — a host
+  // set to a comma locale would write artifacts nothing else could read.
+  const InferencePlan plan = make_plan();
+  const std::string reference = serialize_plan(plan);
+
+  // Hostile global C++ locale (always available — it's a custom facet).
+  const std::locale old_global =
+      std::locale::global(std::locale(std::locale::classic(),
+                                      new CommaNumpunct));
+  // Hostile C locale too, when the host has one installed (this is the
+  // locale snprintf/strtod would have read).
+  const std::string old_c = std::setlocale(LC_ALL, nullptr);
+  bool c_switched = false;
+  for (const char* name : {"de_DE.UTF-8", "fr_FR.UTF-8", "de_DE", "fr_FR"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      c_switched = true;
+      break;
+    }
+  }
+
+  const std::string under_locale = serialize_plan(plan);
+  const InferencePlan loaded = deserialize_plan(reference);
+
+  std::locale::global(old_global);
+  std::setlocale(LC_ALL, old_c.c_str());
+
+  EXPECT_EQ(under_locale, reference)
+      << "serialization changed under a comma-decimal locale"
+      << (c_switched ? " (C locale switched too)" : "");
+  EXPECT_EQ(serialize_plan(loaded), reference)
+      << "deserialization changed under a comma-decimal locale";
 }
 
 TEST_F(PlanIoTest, RejectsWrongMagic) {

@@ -1,0 +1,386 @@
+// ServingEngine tests. The load-bearing facts:
+//
+//  - Batch formation follows BatchPolicy exactly: dispatch at max_batch,
+//    or when the oldest pending request has aged past max_delay — pinned
+//    with the deterministic stepped mode (injected fake clock + pump()),
+//    so every decision is observable without threads or real time.
+//  - Served results are bit-identical to calling BatchExecutor::run
+//    directly on the same dynamically formed grouping — including a
+//    deferred-verification rewind *inside* such a batch — and therefore
+//    to standalone InferenceSession::run.
+//  - Multi-model sharding routes each request to its own session.
+//  - drain()/shutdown() flush below-threshold queues; submit() validates
+//    eagerly so one malformed request can't poison a batch.
+//
+// CTest runs this binary additionally pinned to AIFT_NUM_THREADS=1/2/8
+// (serving_determinism_threads_*), like the executor/campaign suites.
+
+#include "runtime/serving.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/zoo/zoo.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/plan_io.hpp"
+#include "session_result_testing.hpp"
+
+namespace aift {
+namespace {
+
+using std::chrono::microseconds;
+
+// Manually advanced time source for stepped engines.
+struct ManualClock {
+  std::shared_ptr<ServingEngine::Clock::time_point> now_ =
+      std::make_shared<ServingEngine::Clock::time_point>(
+          ServingEngine::Clock::now());
+
+  [[nodiscard]] ServingEngine::ClockFn fn() const {
+    auto now = now_;
+    return [now] { return *now; };
+  }
+  void advance(microseconds d) { *now_ += d; }
+};
+
+ServingEngine::Options stepped_options(const ManualClock& clock) {
+  ServingEngine::Options opts;
+  opts.threaded = false;
+  opts.clock = clock.fn();
+  return opts;
+}
+
+class ServingTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] InferencePlan plan(
+      ProtectionPolicy policy = ProtectionPolicy::intensity_guided) const {
+    return pipe_.plan(zoo::dlrm_mlp_bottom(1), policy);
+  }
+
+  GemmCostModel cost_{devices::t4()};
+  ProtectedPipeline pipe_{cost_};
+};
+
+TEST_F(ServingTest, SteppedBatchFormationFollowsPolicy) {
+  ManualClock clock;
+  ServingEngine engine(stepped_options(clock));
+  BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.max_delay = microseconds(1000);
+  engine.add_model("dlrm", plan(), policy);
+  const auto& session = engine.session("dlrm");
+
+  // 3 waiting, batch not full, delay not expired: nothing may dispatch.
+  std::vector<std::future<ServedResult>> futures;
+  for (int r = 0; r < 3; ++r) {
+    futures.push_back(engine.submit("dlrm", session.make_input(10 + r)));
+  }
+  EXPECT_EQ(engine.pump(), 0u);
+  EXPECT_EQ(engine.stats().queue_depth, 3);
+  EXPECT_EQ(engine.stats().batches, 0);
+
+  // The oldest request ages past max_delay: the partial batch goes out.
+  clock.advance(microseconds(1000));
+  EXPECT_EQ(engine.pump(), 1u);
+  for (auto& f : futures) EXPECT_EQ(f.get().batch_size, 3);
+
+  // A full batch dispatches immediately, no aging required.
+  futures.clear();
+  for (int r = 0; r < 4; ++r) {
+    futures.push_back(engine.submit("dlrm", session.make_input(20 + r)));
+  }
+  EXPECT_EQ(engine.pump(), 1u);
+  for (auto& f : futures) EXPECT_EQ(f.get().batch_size, 4);
+
+  // 9 waiting: two full batches leave, the ninth request keeps waiting.
+  futures.clear();
+  for (int r = 0; r < 9; ++r) {
+    futures.push_back(engine.submit("dlrm", session.make_input(30 + r)));
+  }
+  EXPECT_EQ(engine.pump(), 2u);
+  EXPECT_EQ(engine.stats().queue_depth, 1);
+  clock.advance(microseconds(1000));
+  EXPECT_EQ(engine.pump(), 1u);
+  EXPECT_EQ(futures.back().get().batch_size, 1);
+
+  const ServingStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 16);
+  EXPECT_EQ(stats.completed, 16);
+  EXPECT_EQ(stats.batches, 5);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_EQ(stats.max_queue_depth, 9);
+  ASSERT_EQ(stats.batch_size_hist.size(), 5u);  // largest batch was 4
+  EXPECT_EQ(stats.batch_size_hist[1], 1);
+  EXPECT_EQ(stats.batch_size_hist[3], 1);
+  EXPECT_EQ(stats.batch_size_hist[4], 3);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size(), 16.0 / 5.0);
+}
+
+// The acceptance invariant: a dynamically formed batch — including one
+// whose deferred verification rewinds a row — produces exactly what
+// BatchExecutor::run on the same grouping produces, which is itself
+// pinned bit-identical to standalone sessions.
+TEST_F(ServingTest, ResultsBitIdenticalToDirectExecutorOnSameGrouping) {
+  ManualClock clock;
+  ServingEngine engine(stepped_options(clock));
+  BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.max_delay = microseconds(50);
+  // Global ABFT everywhere: every check defers, so the row-1 fault drains
+  // behind the next layer's GEMM and rewinds inside the formed batch.
+  engine.add_model("dlrm", plan(ProtectionPolicy::global_abft), policy);
+  const auto& session = engine.session("dlrm");
+
+  std::vector<BatchRequest> grouping(4);
+  for (std::size_t r = 0; r < grouping.size(); ++r) {
+    grouping[r].input = session.make_input(40 + r);
+  }
+  grouping[1].faults = {SessionFault{0, big_fault(), 0}};
+
+  std::vector<std::future<ServedResult>> futures;
+  for (auto& req : grouping) {
+    futures.push_back(engine.submit("dlrm", req.input, req.faults));
+  }
+  EXPECT_EQ(engine.pump(), 1u);  // full batch: dispatched as one
+
+  const BatchExecutor executor(session);
+  const BatchResult direct = executor.run(grouping);
+  EXPECT_GE(direct.stats.rewinds, 1);  // the fault really rewound in-batch
+  for (std::size_t r = 0; r < futures.size(); ++r) {
+    ServedResult served = futures[r].get();
+    EXPECT_EQ(served.batch_size, 4);
+    expect_identical(served.session, direct.requests[r],
+                     "vs direct executor, row " + std::to_string(r));
+    SessionRunOptions run_opts;
+    run_opts.faults = grouping[r].faults;
+    expect_identical(served.session,
+                     session.run(grouping[r].input, run_opts),
+                     "vs standalone session, row " + std::to_string(r));
+  }
+}
+
+TEST_F(ServingTest, ZeroMaxDelayNeverHoldsRequests) {
+  ManualClock clock;
+  ServingEngine engine(stepped_options(clock));
+  BatchPolicy policy;
+  policy.max_batch = 16;
+  policy.max_delay = microseconds(0);
+  engine.add_model("dlrm", plan(), policy);
+  const auto& session = engine.session("dlrm");
+  auto a = engine.submit("dlrm", session.make_input(1));
+  auto b = engine.submit("dlrm", session.make_input(2));
+  EXPECT_EQ(engine.pump(), 1u);  // both pending requests leave together
+  EXPECT_EQ(a.get().batch_size, 2);
+  EXPECT_EQ(b.get().batch_size, 2);
+}
+
+TEST_F(ServingTest, MultiModelShardingRoutesEachRequestToItsPlan) {
+  ManualClock clock;
+  ServingEngine engine(stepped_options(clock));
+  BatchPolicy policy;
+  policy.max_batch = 2;
+  policy.max_delay = microseconds(0);
+  engine.add_model("bottom", plan(), policy);
+  engine.add_model("top", pipe_.plan(zoo::dlrm_mlp_top(1),
+                                     ProtectionPolicy::intensity_guided),
+                   policy);
+  EXPECT_EQ(engine.models(), (std::vector<std::string>{"bottom", "top"}));
+  EXPECT_EQ(engine.session("bottom").plan().model_name, "MLP-Bottom");
+  EXPECT_EQ(engine.session("top").plan().model_name, "MLP-Top");
+
+  std::vector<std::future<ServedResult>> bottom, top;
+  for (int r = 0; r < 2; ++r) {
+    bottom.push_back(engine.submit(
+        "bottom", engine.session("bottom").make_input(60 + r)));
+    top.push_back(engine.submit("top",
+                                engine.session("top").make_input(70 + r)));
+  }
+  EXPECT_EQ(engine.pump(), 2u);  // one batch per model
+  for (int r = 0; r < 2; ++r) {
+    expect_identical(
+        bottom[static_cast<std::size_t>(r)].get().session,
+        engine.session("bottom").run(
+            engine.session("bottom").make_input(60 + r)),
+        "bottom row " + std::to_string(r));
+    expect_identical(
+        top[static_cast<std::size_t>(r)].get().session,
+        engine.session("top").run(engine.session("top").make_input(70 + r)),
+        "top row " + std::to_string(r));
+  }
+}
+
+TEST_F(ServingTest, DrainFlushesBelowThresholdQueues) {
+  ManualClock clock;
+  ServingEngine engine(stepped_options(clock));
+  BatchPolicy policy;
+  policy.max_batch = 16;
+  policy.max_delay = microseconds(60'000'000);  // would hold for a minute
+  engine.add_model("dlrm", plan(), policy);
+  const auto& session = engine.session("dlrm");
+  auto f = engine.submit("dlrm", session.make_input(5));
+  EXPECT_EQ(engine.pump(), 0u);  // not due under the policy
+  engine.drain();                // drain waives max_delay
+  EXPECT_EQ(f.get().batch_size, 1);
+  EXPECT_EQ(engine.stats().queue_depth, 0);
+}
+
+TEST_F(ServingTest, LatencyStatsComeFromTheInjectedClock) {
+  ManualClock clock;
+  ServingEngine engine(stepped_options(clock));
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.max_delay = microseconds(200);
+  engine.add_model("dlrm", plan(), policy);
+  const auto& session = engine.session("dlrm");
+  auto f = engine.submit("dlrm", session.make_input(3));
+  clock.advance(microseconds(300));
+  EXPECT_EQ(engine.pump(), 1u);
+  // The fake clock never moved between dispatch and completion, so the
+  // numbers are exact: 300us queued, 0us executing.
+  const ServedResult served = f.get();
+  EXPECT_DOUBLE_EQ(served.queue_us, 300.0);
+  EXPECT_DOUBLE_EQ(served.execute_us, 0.0);
+  const ServingStats stats = engine.stats();
+  EXPECT_DOUBLE_EQ(stats.queue_us_total, 300.0);
+  EXPECT_DOUBLE_EQ(stats.queue_us_max, 300.0);
+  EXPECT_DOUBLE_EQ(stats.mean_queue_us(), 300.0);
+  EXPECT_DOUBLE_EQ(stats.execute_us_total, 0.0);
+}
+
+TEST_F(ServingTest, ThreadedEngineServesABurstBitIdentically) {
+  ServingEngine::Options opts;  // threaded, real clock
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.max_delay = microseconds(500);
+  ServingEngine engine(opts);
+  engine.add_model("dlrm", plan(ProtectionPolicy::intensity_guided), policy);
+  const auto& session = engine.session("dlrm");
+
+  constexpr int kRequests = 32;
+  std::vector<std::future<ServedResult>> futures;
+  std::vector<std::vector<SessionFault>> faults(kRequests);
+  faults[5] = {SessionFault{1, big_fault(), 0}};
+  faults[17] = {SessionFault{0, big_fault(1, 2), 0}};
+  for (int r = 0; r < kRequests; ++r) {
+    futures.push_back(engine.submit(
+        "dlrm", session.make_input(static_cast<std::uint64_t>(100 + r)),
+        faults[static_cast<std::size_t>(r)]));
+  }
+  engine.drain();
+  for (int r = 0; r < kRequests; ++r) {
+    SessionRunOptions run_opts;
+    run_opts.faults = faults[static_cast<std::size_t>(r)];
+    expect_identical(
+        futures[static_cast<std::size_t>(r)].get().session,
+        session.run(session.make_input(static_cast<std::uint64_t>(100 + r)),
+                    run_opts),
+        "threaded row " + std::to_string(r));
+  }
+  const ServingStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, kRequests);
+  EXPECT_EQ(stats.completed, kRequests);
+  EXPECT_EQ(stats.queue_depth, 0);
+  std::int64_t hist_total = 0, hist_requests = 0;
+  for (std::size_t b = 0; b < stats.batch_size_hist.size(); ++b) {
+    hist_total += stats.batch_size_hist[b];
+    hist_requests += stats.batch_size_hist[b] * static_cast<std::int64_t>(b);
+  }
+  EXPECT_EQ(hist_total, stats.batches);
+  EXPECT_EQ(hist_requests, stats.completed);
+  engine.shutdown();  // idempotent with the destructor
+}
+
+TEST_F(ServingTest, ShutdownDrainsPendingRequests) {
+  ManualClock clock;
+  ServingEngine engine(stepped_options(clock));
+  engine.add_model("dlrm", plan());
+  const auto& session = engine.session("dlrm");
+  auto f = engine.submit("dlrm", session.make_input(9));
+  engine.shutdown();
+  EXPECT_EQ(f.get().batch_size, 1);  // served, not abandoned
+  EXPECT_THROW((void)engine.submit("dlrm", session.make_input(1)),
+               std::logic_error);
+}
+
+TEST_F(ServingTest, AddModelFromPersistedPlanArtifact) {
+  const std::string path = testing::TempDir() + "aift_serving_test.plan";
+  save_plan(plan(), path);
+  ManualClock clock;
+  ServingEngine engine(stepped_options(clock));
+  BatchPolicy policy;
+  policy.max_delay = microseconds(0);
+  engine.add_model_from_file("dlrm", path, policy);
+  std::remove(path.c_str());
+  const auto& session = engine.session("dlrm");
+  auto f = engine.submit("dlrm", session.make_input(11));
+  EXPECT_EQ(engine.pump(), 1u);
+  expect_identical(f.get().session, session.run(session.make_input(11)),
+                   "loaded-plan shard");
+}
+
+TEST_F(ServingTest, SubmitValidatesEagerly) {
+  ManualClock clock;
+  ServingEngine engine(stepped_options(clock));
+  engine.add_model("dlrm", plan());
+  const auto& session = engine.session("dlrm");
+
+  // Unknown model.
+  EXPECT_THROW((void)engine.submit("nope", session.make_input(1)),
+               std::logic_error);
+  // Misshapen input.
+  EXPECT_THROW((void)engine.submit(
+                   "dlrm", Matrix<half_t>(session.input_rows(),
+                                          session.input_cols() + 1)),
+               std::logic_error);
+  // Fault addressed past the last layer.
+  EXPECT_THROW(
+      (void)engine.submit("dlrm", session.make_input(1),
+                          {SessionFault{session.num_layers(), big_fault(), 0}}),
+      std::logic_error);
+  // Fault addressed past the retry budget.
+  EXPECT_THROW(
+      (void)engine.submit(
+          "dlrm", session.make_input(1),
+          {SessionFault{0, big_fault(), session.options().max_retries + 1}}),
+      std::logic_error);
+  // Nothing leaked into the queue.
+  EXPECT_EQ(engine.stats().submitted, 0);
+  EXPECT_EQ(engine.stats().queue_depth, 0);
+}
+
+TEST_F(ServingTest, RejectsBadConfigurations) {
+  ManualClock clock;
+  ServingEngine engine(stepped_options(clock));
+  engine.add_model("dlrm", plan());
+  // Duplicate shard name.
+  EXPECT_THROW(engine.add_model("dlrm", plan()), std::logic_error);
+  // Degenerate policies.
+  BatchPolicy zero_batch;
+  zero_batch.max_batch = 0;
+  EXPECT_THROW(engine.add_model("bad", plan(), zero_batch), std::logic_error);
+  BatchPolicy negative_delay;
+  negative_delay.max_delay = microseconds(-1);
+  EXPECT_THROW(engine.add_model("bad", plan(), negative_delay),
+               std::logic_error);
+
+  // pump() is the stepped-mode driver only.
+  ServingEngine threaded;
+  EXPECT_THROW((void)threaded.pump(), std::logic_error);
+}
+
+TEST_F(ServingTest, EmptyEngineIsInert) {
+  ManualClock clock;
+  ServingEngine engine(stepped_options(clock));
+  EXPECT_EQ(engine.pump(), 0u);
+  engine.drain();
+  EXPECT_TRUE(engine.models().empty());
+  engine.shutdown();
+}
+
+}  // namespace
+}  // namespace aift
