@@ -1,8 +1,9 @@
 #include "common/table.hpp"
 
 #include <algorithm>
-#include <cstdio>
+#include <charconv>
 #include <sstream>
+#include <system_error>
 
 #include "common/check.hpp"
 
@@ -68,9 +69,20 @@ std::string Table::to_csv() const {
 }
 
 std::string fmt_double(double v, int digits) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
-  return buf;
+  // snprintf("%.*f") honors the C locale's decimal separator: under a
+  // comma locale it corrupts every report table and collides with
+  // to_csv's delimiter. std::to_chars is locale-independent by
+  // specification (same reasoning as plan_io's hexfloat round trip) and
+  // rounds identically to printf.
+  // Fixed-notation worst case: ~309 integral digits for DBL_MAX, plus
+  // sign, point and the requested fraction digits.
+  char buf[384];
+  AIFT_CHECK_MSG(digits >= 0 && digits < 32,
+                 "fmt_double digits out of range: " << digits);
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v,
+                                       std::chars_format::fixed, digits);
+  AIFT_CHECK_MSG(ec == std::errc(), "fixed-notation formatting failed");
+  return std::string(buf, ptr);
 }
 
 std::string fmt_pct(double fraction_times_100, int digits) {

@@ -1,6 +1,8 @@
 #include "runtime/serving.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <tuple>
 #include <utility>
 
 #include "common/check.hpp"
@@ -14,11 +16,55 @@ double us_between(ServingEngine::Clock::time_point from,
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
+std::string describe_shed(const std::string& model, Priority priority,
+                          double queued_us, double late_us) {
+  std::ostringstream os;
+  os << "deadline exceeded: " << priority_name(priority) << " request for '"
+     << model << "' shed " << late_us << "us past its deadline after "
+     << queued_us << "us queued";
+  return os.str();
+}
+
 }  // namespace
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::interactive:
+      return "interactive";
+    case Priority::standard:
+      return "standard";
+    case Priority::bulk:
+      return "bulk";
+  }
+  return "unknown";
+}
+
+const char* scheduler_name(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::fifo:
+      return "fifo";
+    case SchedulerKind::edf:
+      return "edf";
+  }
+  return "unknown";
+}
+
+DeadlineExceeded::DeadlineExceeded(std::string model, Priority priority,
+                                   double queued_us, double late_us)
+    : std::runtime_error(describe_shed(model, priority, queued_us, late_us)),
+      model_(std::move(model)),
+      priority_(priority),
+      queued_us_(queued_us),
+      late_us_(late_us) {}
 
 ServingEngine::ServingEngine() : ServingEngine(Options{}) {}
 
 ServingEngine::ServingEngine(Options opts) : opts_(std::move(opts)) {
+  AIFT_CHECK_MSG(
+      !(opts_.threaded && opts_.clock),
+      "an injected clock requires stepped mode (Options::threaded = false): "
+      "the batcher thread sleeps in real time, so fake timestamps would "
+      "silently turn every due/deadline decision into nonsense");
   if (!opts_.clock) opts_.clock = [] { return Clock::now(); };
   if (opts_.threaded) batcher_ = std::thread([this] { batcher_loop(); });
 }
@@ -33,6 +79,10 @@ void ServingEngine::add_model(const std::string& name, InferencePlan plan,
                            << policy.max_batch);
   AIFT_CHECK_MSG(policy.max_delay.count() >= 0,
                  "model '" << name << "': max_delay must be >= 0");
+  AIFT_CHECK_MSG(policy.default_slo.count() > 0,
+                 "model '" << name << "': default_slo must be > 0");
+  AIFT_CHECK_MSG(policy.dispatch_margin.count() >= 0,
+                 "model '" << name << "': dispatch_margin must be >= 0");
   // Session instantiation (weight sampling, offline checksums) is the
   // expensive part — do it outside the engine lock.
   auto shard = std::make_unique<Shard>(name, std::move(plan), policy,
@@ -67,7 +117,14 @@ const InferenceSession& ServingEngine::session(const std::string& name) const {
 
 std::future<ServedResult> ServingEngine::submit(
     const std::string& model, Matrix<half_t> input,
-    std::vector<SessionFault> faults) {
+    std::vector<SessionFault> faults, const RequestOptions& req) {
+  AIFT_CHECK_MSG(priority_index(req.priority) < kNumPriorityClasses,
+                 "invalid priority class "
+                     << static_cast<int>(req.priority));
+  AIFT_CHECK_MSG(req.deadline.count() >= 0,
+                 "deadline must be >= 0 (0 = the model's default_slo), got "
+                     << req.deadline.count() << "us");
+
   std::unique_lock<std::mutex> lock(mu_);
   AIFT_CHECK_MSG(accepting_, "submit after shutdown");
   const auto it = shards_.find(model);
@@ -100,10 +157,30 @@ std::future<ServedResult> ServingEngine::submit(
   pending.input = std::move(input);
   pending.faults = std::move(faults);
   pending.enqueued = now();
+  pending.deadline =
+      pending.enqueued + (req.deadline.count() > 0 ? req.deadline
+                                                   : shard.policy.default_slo);
+  pending.priority = req.priority;
+  pending.seq = next_seq_++;
   std::future<ServedResult> future = pending.promise.get_future();
-  shard.queue.push_back(std::move(pending));
+  shard.arrivals.emplace(pending.seq, pending.enqueued);
+
+  if (shard.policy.scheduler == SchedulerKind::edf) {
+    // Keep the queue most-urgent-first. upper_bound keeps equal keys in
+    // submit order — though seq already makes every key unique.
+    const auto more_urgent = [](const Pending& a, const Pending& b) {
+      return std::tie(a.deadline, a.priority, a.seq) <
+             std::tie(b.deadline, b.priority, b.seq);
+    };
+    const auto pos = std::upper_bound(shard.queue.begin(), shard.queue.end(),
+                                      pending, more_urgent);
+    shard.queue.insert(pos, std::move(pending));
+  } else {
+    shard.queue.push_back(std::move(pending));
+  }
 
   ++stats_.submitted;
+  ++stats_.by_priority[priority_index(req.priority)].submitted;
   ++stats_.queue_depth;
   stats_.max_queue_depth = std::max(stats_.max_queue_depth,
                                     stats_.queue_depth);
@@ -120,30 +197,81 @@ std::int64_t ServingEngine::pending_locked() const {
   return n;
 }
 
+ServingEngine::Clock::time_point ServingEngine::next_due_locked(
+    const Shard& shard) const {
+  // max_delay is the batching hold knob under both schedulers, measured
+  // from the *oldest* pending request — under edf that is not the front
+  // (the queue is deadline-sorted, so a loose-deadline early request can
+  // sit behind a younger urgent one), hence the arrivals index. edf
+  // additionally dispatches *earlier* when the most urgent request nears
+  // its deadline; holding until deadline - margin alone would
+  // procrastinate at low load and convert hold time into misses.
+  const Clock::time_point oldest = shard.arrivals.begin()->second;
+  Clock::time_point due = oldest + shard.policy.max_delay;
+  if (shard.policy.scheduler == SchedulerKind::edf) {
+    due = std::min(
+        due, shard.queue.front().deadline - shard.policy.dispatch_margin);
+  }
+  return due;
+}
+
 ServingEngine::Formed ServingEngine::form_due_locked(Clock::time_point at,
                                                      bool force) {
-  // Among all due shards, serve the one whose head request has waited
-  // longest (ties broken by model-name order, keeping stepped-mode
-  // dispatch deterministic). Picking the first due shard instead would
-  // let sustained traffic on one model starve another model's aged
-  // requests past their max_delay indefinitely.
+  Formed formed;
+
+  // Shedding pass: on an edf shard the queue is deadline-sorted, so the
+  // expired requests are exactly a prefix. They are popped even under
+  // force — drain/shutdown resolve them as DeadlineExceeded rather than
+  // spending executor time on requests that already missed. Their stats
+  // are recorded here, under the lock, so a waiter that wakes on the
+  // future sees them counted; the promises resolve later, off-lock.
+  for (auto& [name, shard] : shards_) {
+    if (shard->policy.scheduler != SchedulerKind::edf) continue;
+    auto& queue = shard->queue;
+    while (!queue.empty() && queue.front().deadline < at) {
+      Shed shed;
+      shed.model = shard->name;
+      shed.queued_us = us_between(queue.front().enqueued, at);
+      shed.late_us = us_between(queue.front().deadline, at);
+      shed.pending = std::move(queue.front());
+      queue.pop_front();
+      shard->arrivals.erase(shed.pending.seq);
+      --stats_.queue_depth;
+      ++stats_.shed;
+      ++stats_.by_priority[priority_index(shed.pending.priority)].shed;
+      ++shed_unresolved_;  // promise resolves off-lock; drain() must wait
+      formed.shed.push_back(std::move(shed));
+    }
+  }
+
+  // Among all due shards, serve the one that had to dispatch earliest
+  // (next_due_locked — commensurable across schedulers, where comparing
+  // a fifo head's enqueue time against an edf head's deadline would let
+  // any due fifo shard outrank an arbitrarily urgent edf shard), the
+  // head's priority class and then submit order breaking ties.
+  // Deterministic: seq is engine-wide and unique, and the shard map's
+  // name order fixes the iteration. Picking the first due shard instead
+  // would let sustained traffic on one model starve another model's
+  // urgent requests indefinitely.
+  const auto urgency = [this](const Shard& s) {
+    const Pending& head = s.queue.front();
+    return std::make_tuple(next_due_locked(s), head.priority, head.seq);
+  };
   Shard* chosen = nullptr;
   for (auto& [name, shard] : shards_) {
-    auto& queue = shard->queue;
+    const auto& queue = shard->queue;
     if (queue.empty()) continue;
     const BatchPolicy& policy = shard->policy;
     const bool full = static_cast<std::int64_t>(queue.size()) >=
                       policy.max_batch;
-    const bool aged = at - queue.front().enqueued >= policy.max_delay;
-    if (!(force || full || aged)) continue;
-    if (chosen == nullptr ||
-        queue.front().enqueued < chosen->queue.front().enqueued) {
+    const bool due = at >= next_due_locked(*shard);
+    if (!(force || full || due)) continue;
+    if (chosen == nullptr || urgency(*shard) < urgency(*chosen)) {
       chosen = shard.get();
     }
   }
-  if (chosen == nullptr) return {};
+  if (chosen == nullptr) return formed;
 
-  Formed formed;
   formed.shard = chosen;
   auto& queue = chosen->queue;
   const std::size_t n = std::min(
@@ -152,9 +280,40 @@ ServingEngine::Formed ServingEngine::form_due_locked(Clock::time_point at,
   for (std::size_t i = 0; i < n; ++i) {
     formed.requests.push_back(std::move(queue.front()));
     queue.pop_front();
+    chosen->arrivals.erase(formed.requests.back().seq);
   }
   stats_.queue_depth -= static_cast<std::int64_t>(n);
   return formed;
+}
+
+void ServingEngine::resolve_shed(std::vector<Shed> shed) {
+  if (shed.empty()) return;
+  for (auto& s : shed) {
+    s.pending.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+        std::move(s.model), s.pending.priority, s.queued_us, s.late_us)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shed_unresolved_ -= static_cast<std::int64_t>(shed.size());
+  }
+  idle_cv_.notify_all();
+}
+
+ServingEngine::DispatchOutcome ServingEngine::dispatch_due(
+    std::unique_lock<std::mutex>& lock, bool force) {
+  DispatchOutcome outcome;
+  Formed formed = form_due_locked(now(), force);
+  outcome.batch = formed.shard != nullptr;
+  outcome.any = outcome.batch || !formed.shed.empty();
+  if (!outcome.any) return outcome;
+  if (outcome.batch) ++in_flight_;
+  lock.unlock();
+  std::vector<Shed> shed = std::move(formed.shed);
+  formed.shed.clear();
+  resolve_shed(std::move(shed));
+  if (outcome.batch) execute_batch(std::move(formed));
+  lock.lock();
+  return outcome;
 }
 
 void ServingEngine::execute_batch(Formed formed) {
@@ -166,55 +325,77 @@ void ServingEngine::execute_batch(Formed formed) {
   }
 
   const Clock::time_point dispatched = now();
-  bool failed = false;
+  std::exception_ptr error;
   BatchResult result;
   try {
+    if (opts_.on_dispatch) opts_.on_dispatch(formed.shard->name, batch_size);
     result = formed.shard->executor.run(batch, opts_.batch);
   } catch (...) {
-    // submit() validation makes this unreachable short of an engine bug;
-    // deliver it to the waiters rather than losing their futures.
-    failed = true;
-    const auto error = std::current_exception();
-    for (auto& pending : formed.requests) {
-      pending.promise.set_exception(error);
-    }
+    // submit() validation makes an executor throw unreachable short of an
+    // engine bug (or a throwing on_dispatch hook); deliver it to the
+    // waiters rather than losing their futures — and account for it, so
+    // `submitted` reconciles with completed + failed + shed + queue_depth
+    // whenever the engine is quiescent.
+    error = std::current_exception();
   }
   const Clock::time_point finished = now();
 
-  if (!failed) {
-    const double execute_us = us_between(dispatched, finished);
-    std::vector<double> queue_us(formed.requests.size(), 0.0);
-    for (std::size_t r = 0; r < formed.requests.size(); ++r) {
-      queue_us[r] = us_between(formed.requests[r].enqueued, dispatched);
-    }
+  const double execute_us = us_between(dispatched, finished);
+  std::vector<double> queue_us(formed.requests.size(), 0.0);
+  for (std::size_t r = 0; r < formed.requests.size(); ++r) {
+    queue_us[r] = us_between(formed.requests[r].enqueued, dispatched);
+  }
 
-    // Record stats BEFORE fulfilling the promises: a caller that wakes on
-    // future.get() and immediately reads stats() must see this batch
-    // counted.
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.batches;
-      stats_.completed += batch_size;
-      if (static_cast<std::int64_t>(stats_.batch_size_hist.size()) <=
-          batch_size) {
-        stats_.batch_size_hist.resize(
-            static_cast<std::size_t>(batch_size) + 1, 0);
+  // Record stats BEFORE fulfilling the promises: a caller that wakes on
+  // future.get() and immediately reads stats() must see this batch
+  // counted — including a failed one.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    if (static_cast<std::int64_t>(stats_.batch_size_hist.size()) <=
+        batch_size) {
+      stats_.batch_size_hist.resize(
+          static_cast<std::size_t>(batch_size) + 1, 0);
+    }
+    ++stats_.batch_size_hist[static_cast<std::size_t>(batch_size)];
+    if (error) {
+      stats_.failed += batch_size;
+      for (const auto& pending : formed.requests) {
+        ++stats_.by_priority[priority_index(pending.priority)].failed;
       }
-      ++stats_.batch_size_hist[static_cast<std::size_t>(batch_size)];
-      for (const double q : queue_us) {
-        stats_.queue_us_total += q;
-        stats_.queue_us_max = std::max(stats_.queue_us_max, q);
+    } else {
+      stats_.completed += batch_size;
+      for (std::size_t r = 0; r < formed.requests.size(); ++r) {
+        const Pending& pending = formed.requests[r];
+        const double latency = queue_us[r] + execute_us;
+        const bool met = finished <= pending.deadline;
+        (met ? ++stats_.deadline_hits : ++stats_.deadline_misses);
+        stats_.queue_us_total += queue_us[r];
+        stats_.queue_us_max = std::max(stats_.queue_us_max, queue_us[r]);
+        auto& cls = stats_.by_priority[priority_index(pending.priority)];
+        ++cls.completed;
+        (met ? ++cls.deadline_hits : ++cls.deadline_misses);
+        cls.latency_us_total += latency;
+        cls.latency_us_max = std::max(cls.latency_us_max, latency);
       }
       stats_.execute_us_total += execute_us * static_cast<double>(batch_size);
       stats_.execute_us_max = std::max(stats_.execute_us_max, execute_us);
     }
+  }
 
+  if (error) {
+    for (auto& pending : formed.requests) {
+      pending.promise.set_exception(error);
+    }
+  } else {
     for (std::size_t r = 0; r < formed.requests.size(); ++r) {
       ServedResult served;
       served.session = std::move(result.requests[r]);
       served.queue_us = queue_us[r];
       served.execute_us = execute_us;
       served.batch_size = batch_size;
+      served.priority = formed.requests[r].priority;
+      served.deadline_met = finished <= formed.requests[r].deadline;
       formed.requests[r].promise.set_value(std::move(served));
     }
   }
@@ -231,33 +412,30 @@ std::size_t ServingEngine::pump() {
                  "pump() drives stepped engines only; a threaded engine's "
                  "batcher dispatches on its own");
   std::size_t dispatched = 0;
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
-    Formed formed = form_due_locked(now(), /*force=*/false);
-    if (formed.shard == nullptr) break;
-    ++in_flight_;
-    lock.unlock();
-    execute_batch(std::move(formed));
-    ++dispatched;
+    const DispatchOutcome outcome = dispatch_due(lock, /*force=*/false);
+    if (outcome.batch) ++dispatched;
+    if (!outcome.any) return dispatched;
   }
-  return dispatched;
 }
 
 void ServingEngine::drain() {
   // Mode-independent: steal force-flushed batches onto the calling thread
-  // (max_delay waived, max_batch still caps each batch), then wait for any
-  // batch another thread still has in flight.
+  // (the hold policy is waived, max_batch still caps each batch; expired
+  // edf requests shed), then wait for any batch another thread still has
+  // in flight — or any shed another thread popped but has not yet
+  // resolved (shed_unresolved_: those futures are no longer pending but
+  // not yet settled either).
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
-    Formed formed = form_due_locked(now(), /*force=*/true);
-    if (formed.shard == nullptr) {
-      if (in_flight_ == 0 && pending_locked() == 0) return;
+    if (!dispatch_due(lock, /*force=*/true).any) {
+      if (in_flight_ == 0 && shed_unresolved_ == 0 &&
+          pending_locked() == 0) {
+        return;
+      }
       idle_cv_.wait(lock);
-      continue;
     }
-    ++in_flight_;
-    lock.unlock();
-    execute_batch(std::move(formed));
   }
 }
 
@@ -288,24 +466,19 @@ ServingStats ServingEngine::stats() const {
 void ServingEngine::batcher_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    Formed formed = form_due_locked(now(), /*force=*/stop_);
-    if (formed.shard != nullptr) {
-      ++in_flight_;
-      lock.unlock();
-      execute_batch(std::move(formed));
-      lock.lock();
-      continue;
-    }
+    if (dispatch_due(lock, /*force=*/stop_).any) continue;
     if (stop_) return;
 
-    // Sleep until the oldest pending request's max_delay deadline (or a
-    // submit/shutdown notification, whichever comes first).
+    // Sleep until the next scheduling event (next_due_locked: the oldest
+    // request aging past max_delay, or — edf — the most urgent request
+    // nearing its deadline; shedding needs no separate wake, an expired
+    // request is popped by the formation pass that follows any wake). A
+    // submit/shutdown notification cuts the sleep short.
     bool have_deadline = false;
     Clock::time_point deadline{};
     for (const auto& [name, shard] : shards_) {
       if (shard->queue.empty()) continue;
-      const Clock::time_point d =
-          shard->queue.front().enqueued + shard->policy.max_delay;
+      const Clock::time_point d = next_due_locked(*shard);
       if (!have_deadline || d < deadline) {
         have_deadline = true;
         deadline = d;

@@ -6,31 +6,55 @@
 // had to hand-assemble batches; a serving process sees a *stream* of
 // single requests. ServingEngine closes that gap: it owns one thread-safe
 // RequestQueue per registered model (multi-session sharding: model name ->
-// InferencePlan -> InferenceSession -> BatchExecutor) and a batcher that
-// forms batches under a per-model BatchPolicy — dispatch as soon as
-// `max_batch` requests wait, or when the oldest pending request has waited
-// `max_delay` (the classic dynamic-batching latency/throughput knob).
-// Every submit() returns a future whose SessionResult is exactly — bit for
-// bit — what a standalone InferenceSession::run of that request would
-// produce, because batches are dispatched unmodified to BatchExecutor,
-// whose batch-invariance is already CTest-pinned.
+// InferencePlan -> InferenceSession -> BatchExecutor) and a scheduler that
+// forms batches under a per-model BatchPolicy.
+//
+// Two scheduling policies (BatchPolicy::scheduler):
+//   - SchedulerKind::edf (default): every request carries an absolute
+//     deadline — submit time plus its RequestOptions::deadline SLO, or the
+//     model's BatchPolicy::default_slo when the request doesn't set one.
+//     Pending requests are kept earliest-deadline-first (priority class
+//     breaks ties, submit order breaks those); a shard dispatches when
+//     max_batch requests wait, when the oldest request has aged max_delay
+//     (the batching hold knob, same as fifo), or — earlier — when its
+//     most urgent request reaches `deadline - dispatch_margin` (the
+//     margin reserves execution time out of the SLO budget). A request
+//     whose deadline has already passed at batch-formation time is
+//     *shed*: its future resolves to a typed DeadlineExceeded instead of
+//     occupying a batch that could still make other deadlines.
+//   - SchedulerKind::fifo: the legacy max_delay batcher — dispatch at
+//     max_batch or when the oldest request has aged max_delay, strict
+//     submit order, never sheds. Kept as the comparison baseline for the
+//     SLO-attainment bench; deadlines are still *tracked* (for the
+//     hit/miss statistics) but never influence scheduling.
+//
+// Either way, every submit() returns a future whose SessionResult is
+// exactly — bit for bit — what a standalone InferenceSession::run of that
+// request would produce, because batches are dispatched unmodified to
+// BatchExecutor, whose batch- and order-invariance is already CTest-pinned.
+// EDF reordering, shedding and priority classes change only *which*
+// requests share a batch and *when*, never any request's result.
 //
 // Two driving modes:
 //   - threaded (default): a background batcher thread waits on the queues
 //     and dispatches due batches; shutdown() stops intake, drains every
-//     pending request and joins the thread.
+//     pending request and joins the thread. An injected clock is rejected
+//     in this mode (the batcher sleeps in real time; fake timestamps would
+//     turn every due/deadline decision into nonsense).
 //   - stepped (Options::threaded = false): nothing runs until the caller
-//     invokes pump(), which dispatches every batch due at the injected
-//     clock's current time, synchronously, in a deterministic order
-//     (oldest head request first, model name breaking ties, FIFO within
-//     a model). With a fake clock this makes batch-formation decisions
-//     — "3 waiting, max_batch 4, delay not yet expired → no batch" —
+//     invokes pump(), which sheds every expired request and dispatches
+//     every batch due at the injected clock's current time, synchronously,
+//     in a deterministic order (most urgent head request first, model name
+//     breaking ties). With a fake clock this makes scheduling decisions
+//     — "3 waiting, max_batch 4, deadline not yet close → no batch" —
 //     unit-testable without real threads or real time.
 //
 // The engine also keeps serving statistics: queue depth (current/peak), a
-// batch-size histogram, and per-request queue + execute latency, measured
+// batch-size histogram, per-request queue + execute latency, a deadline
+// hit/miss/shed breakdown, and per-priority-class aggregates — measured
 // with the injected clock so stepped tests see deterministic numbers.
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -40,6 +64,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,18 +73,85 @@
 
 namespace aift {
 
+/// Priority classes, most to least urgent. Under EDF a class breaks ties
+/// between equal deadlines; statistics are aggregated per class either way.
+enum class Priority : int {
+  interactive = 0,  ///< latency-sensitive foreground traffic
+  standard = 1,     ///< the default class
+  bulk = 2,         ///< throughput traffic with loose deadlines
+};
+
+inline constexpr std::size_t kNumPriorityClasses = 3;
+
+[[nodiscard]] constexpr std::size_t priority_index(Priority p) {
+  return static_cast<std::size_t>(p);
+}
+[[nodiscard]] const char* priority_name(Priority p);
+
+/// How a model's pending requests become executor batches.
+enum class SchedulerKind {
+  fifo,  ///< submit order; dispatch at max_batch or max_delay; never sheds
+  edf,   ///< earliest deadline first; dispatch at max_batch or
+         ///< deadline - dispatch_margin; sheds expired requests
+};
+
+[[nodiscard]] const char* scheduler_name(SchedulerKind k);
+
 /// When a model's pending requests become an executor batch.
 struct BatchPolicy {
   /// Dispatch as soon as this many requests wait (also the cap on any
   /// dynamically formed batch, including drain/shutdown flushes).
   std::int64_t max_batch = 16;
-  /// Dispatch whatever is pending (up to max_batch) once the oldest
-  /// pending request has waited this long. Zero means "never hold a
-  /// request": every pump/batcher pass dispatches everything pending.
+  /// Which scheduler forms batches for this model.
+  SchedulerKind scheduler = SchedulerKind::edf;
+  /// The batching hold knob (both schedulers): dispatch whatever is
+  /// pending (up to max_batch) once the oldest pending request has waited
+  /// this long. Zero means "never hold a request". Under edf an urgent
+  /// deadline (below) can trigger dispatch earlier than this.
   std::chrono::microseconds max_delay{2000};
+  /// The SLO assigned to requests whose RequestOptions leave the deadline
+  /// unset: the request's absolute deadline is submit time + default_slo.
+  /// Under fifo the deadline is tracked for the hit/miss statistics only.
+  std::chrono::microseconds default_slo{10'000};
+  /// edf only: the slice of the SLO budget reserved for execution. A
+  /// pending request becomes due no later than deadline - dispatch_margin
+  /// even when max_delay has not expired. A margin >= the SLO means
+  /// "dispatch immediately".
+  std::chrono::microseconds dispatch_margin{2000};
 };
 
-/// What a request's future resolves to.
+/// Per-request scheduling inputs accepted by submit().
+struct RequestOptions {
+  Priority priority = Priority::standard;
+  /// Relative deadline (the request's SLO), measured from submit time.
+  /// Zero means "use the model's BatchPolicy::default_slo"; negative is
+  /// rejected.
+  std::chrono::microseconds deadline{0};
+};
+
+/// The typed outcome a shed request's future resolves to: the scheduler
+/// determined the deadline was already unmeetable at batch-formation time
+/// and refused to spend executor capacity on it.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded(std::string model, Priority priority, double queued_us,
+                   double late_us);
+
+  [[nodiscard]] const std::string& model() const { return model_; }
+  [[nodiscard]] Priority priority() const { return priority_; }
+  /// submit -> shed decision, by the engine clock.
+  [[nodiscard]] double queued_us() const { return queued_us_; }
+  /// How far past the absolute deadline the shed decision happened.
+  [[nodiscard]] double late_us() const { return late_us_; }
+
+ private:
+  std::string model_;
+  Priority priority_;
+  double queued_us_;
+  double late_us_;
+};
+
+/// What a served request's future resolves to.
 struct ServedResult {
   /// Exactly what InferenceSession::run(input, {faults}) would return for
   /// this request, bit for bit — output, traces, digests.
@@ -67,25 +159,69 @@ struct ServedResult {
   double queue_us = 0.0;    ///< submit -> batch dispatch
   double execute_us = 0.0;  ///< dispatch -> batch completion
   std::int64_t batch_size = 0;  ///< size of the dynamically formed batch
+  Priority priority = Priority::standard;
+  /// Completion (by the engine clock) happened at or before the request's
+  /// absolute deadline.
+  bool deadline_met = true;
+};
+
+/// Per-priority-class slice of the serving statistics.
+struct PriorityClassStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;  ///< futures fulfilled with an executor error
+  std::int64_t shed = 0;    ///< futures resolved DeadlineExceeded, unexecuted
+  std::int64_t deadline_hits = 0;    ///< completed at or before the deadline
+  std::int64_t deadline_misses = 0;  ///< completed late
+  /// queue + execute latency of completed requests.
+  double latency_us_total = 0.0;
+  double latency_us_max = 0.0;
+
+  [[nodiscard]] double mean_latency_us() const {
+    return completed > 0 ? latency_us_total / static_cast<double>(completed)
+                         : 0.0;
+  }
+  /// Fraction of finished (completed or shed) requests that met their
+  /// deadline. Shed requests count against attainment: the SLO was missed
+  /// even though no executor time was spent.
+  [[nodiscard]] double deadline_attainment() const {
+    const std::int64_t finished = deadline_hits + deadline_misses + shed;
+    return finished > 0
+               ? static_cast<double>(deadline_hits) /
+                     static_cast<double>(finished)
+               : 0.0;
+  }
 };
 
 /// Snapshot of engine-level serving statistics (stats()).
 struct ServingStats {
   std::int64_t submitted = 0;  ///< requests accepted by submit()
-  std::int64_t completed = 0;  ///< requests whose future was fulfilled
+  std::int64_t completed = 0;  ///< requests whose future carries a result
+  std::int64_t failed = 0;  ///< requests whose future carries an executor
+                            ///< error (the batch dispatched but its run
+                            ///< threw; counted in batches + histogram)
+  std::int64_t shed = 0;    ///< requests resolved DeadlineExceeded without
+                            ///< ever joining a batch
   std::int64_t batches = 0;    ///< batches dispatched to executors
   std::int64_t queue_depth = 0;      ///< pending right now, all models
   std::int64_t max_queue_depth = 0;  ///< high-water mark of queue_depth
+  std::int64_t deadline_hits = 0;    ///< completions at or before deadline
+  std::int64_t deadline_misses = 0;  ///< late completions
   /// batch_size_hist[b] = number of dispatched batches of size b (index 0
   /// is always 0; the vector is just long enough for the largest batch).
+  /// Failed batches are counted too — a dispatched batch never vanishes.
   std::vector<std::int64_t> batch_size_hist;
-  double queue_us_total = 0.0;
+  double queue_us_total = 0.0;  ///< completed requests only
   double queue_us_max = 0.0;
-  double execute_us_total = 0.0;
+  double execute_us_total = 0.0;  ///< completed requests only
   double execute_us_max = 0.0;
+  std::array<PriorityClassStats, kNumPriorityClasses> by_priority{};
 
+  /// Mean size of dispatched batches. Failed batches carried requests too,
+  /// so they count: completed + failed is every request that entered a
+  /// batch (shed requests never do).
   [[nodiscard]] double mean_batch_size() const {
-    return batches > 0 ? static_cast<double>(completed) /
+    return batches > 0 ? static_cast<double>(completed + failed) /
                              static_cast<double>(batches)
                        : 0.0;
   }
@@ -96,6 +232,14 @@ struct ServingStats {
   [[nodiscard]] double mean_execute_us() const {
     return completed > 0 ? execute_us_total / static_cast<double>(completed)
                          : 0.0;
+  }
+  /// Engine-wide SLO attainment (see PriorityClassStats).
+  [[nodiscard]] double deadline_attainment() const {
+    const std::int64_t finished = deadline_hits + deadline_misses + shed;
+    return finished > 0
+               ? static_cast<double>(deadline_hits) /
+                     static_cast<double>(finished)
+               : 0.0;
   }
 };
 
@@ -108,13 +252,21 @@ class ServingEngine {
     /// Run the background batcher thread. When false the engine is in
     /// stepped mode: the caller drives it with pump()/drain().
     bool threaded = true;
-    /// Time source for enqueue stamps, due decisions and latency stats.
-    /// Defaults to Clock::now. A non-default clock only makes sense in
-    /// stepped mode (the batcher thread sleeps in real time).
+    /// Time source for enqueue stamps, due/deadline decisions and latency
+    /// stats. Defaults to Clock::now. Setting it together with
+    /// threaded = true is rejected at construction: the batcher thread
+    /// sleeps in real time, so fake timestamps would silently produce
+    /// nonsense scheduling.
     ClockFn clock;
     /// Forwarded to every BatchExecutor::run (parallel execution with
     /// deferred, overlapped verification by default).
     BatchOptions batch;
+    /// Observability / admission hook, invoked off-lock just before each
+    /// formed batch executes. An exception thrown here follows the
+    /// executor-failure path: the batch's futures carry the exception and
+    /// its requests count as `failed`. Tests use it to exercise that path.
+    std::function<void(const std::string& model, std::int64_t batch_size)>
+        on_dispatch;
   };
 
   ServingEngine();  ///< default Options: threaded, steady clock
@@ -126,7 +278,8 @@ class ServingEngine {
 
   /// Registers a model shard: the plan is instantiated into an
   /// InferenceSession (weights + offline checksums) fronted by its own
-  /// BatchExecutor and RequestQueue. Rejects duplicate names.
+  /// BatchExecutor and RequestQueue. Rejects duplicate names and
+  /// degenerate policies.
   void add_model(const std::string& name, InferencePlan plan,
                  const BatchPolicy& policy = {},
                  const SessionOptions& session_opts = {});
@@ -142,31 +295,33 @@ class ServingEngine {
   [[nodiscard]] const InferenceSession& session(const std::string& name) const;
 
   /// Enqueues one request for `model` and returns its future. Validates
-  /// the input shape and fault sites (layer and execution attempt) up
-  /// front, so one malformed
-  /// request throws here instead of poisoning a whole batch's futures.
-  /// Throws after shutdown() and for unregistered models.
+  /// the input shape, fault sites (layer and execution attempt) and
+  /// request options up front, so one malformed request throws here
+  /// instead of poisoning a whole batch's futures. Throws after
+  /// shutdown() and for unregistered models. The future resolves to a
+  /// ServedResult, or to DeadlineExceeded when the scheduler sheds the
+  /// request (edf only).
   [[nodiscard]] std::future<ServedResult> submit(
       const std::string& model, Matrix<half_t> input,
-      std::vector<SessionFault> faults = {});
+      std::vector<SessionFault> faults = {}, const RequestOptions& req = {});
 
-  /// Stepped mode only: dispatches every batch due at clock() now —
-  /// oldest head request first (name order breaks ties), requests FIFO
-  /// within a model — synchronously on the calling thread. Returns the
-  /// number of batches dispatched.
+  /// Stepped mode only: sheds every expired request and dispatches every
+  /// batch due at clock() now — most urgent head request first (name
+  /// order breaks ties) — synchronously on the calling thread. Returns
+  /// the number of batches dispatched (sheds are not batches).
   std::size_t pump();
 
-  /// Blocks until every pending request has been served, force-flushing
-  /// in either mode: max_delay is waived (a below-threshold queue is
-  /// dispatched immediately, possibly as an undersized batch), max_batch
+  /// Blocks until every pending request has been resolved — served, or
+  /// (edf, deadline already passed) shed — force-flushing in either mode:
+  /// the hold policy (max_delay / dispatch_margin) is waived, max_batch
   /// still caps each batch. Flushed batches execute on the calling
   /// thread; in threaded mode the batcher keeps dispatching concurrently
   /// and drain() additionally waits for its in-flight batches.
   void drain();
 
-  /// Stops intake (further submits throw), serves everything still
-  /// pending, and joins the batcher thread. Idempotent; the destructor
-  /// calls it.
+  /// Stops intake (further submits throw), resolves everything still
+  /// pending (like drain()), and joins the batcher thread. Idempotent;
+  /// the destructor calls it.
   void shutdown();
 
   [[nodiscard]] ServingStats stats() const;
@@ -177,6 +332,9 @@ class ServingEngine {
     std::vector<SessionFault> faults;
     std::promise<ServedResult> promise;
     Clock::time_point enqueued;
+    Clock::time_point deadline;  ///< absolute: enqueued + SLO
+    Priority priority = Priority::standard;
+    std::uint64_t seq = 0;  ///< engine-wide submit order, the final tie-break
   };
 
   struct Shard {
@@ -184,7 +342,15 @@ class ServingEngine {
     BatchPolicy policy;
     InferenceSession session;
     BatchExecutor executor;
+    /// fifo: submit order. edf: kept sorted most-urgent-first by
+    /// (deadline, priority, seq), so the expired prefix and the next batch
+    /// are both pops from the front.
     std::deque<Pending> queue;
+    /// seq -> enqueued for every queued request. seq is engine-wide
+    /// monotone, so begin() is the oldest pending request — which under
+    /// edf is *not* the deadline-sorted queue's front. Keeps the
+    /// max_delay aging check O(1) instead of a queue scan.
+    std::map<std::uint64_t, Clock::time_point> arrivals;
 
     Shard(std::string model_name, InferencePlan plan, const BatchPolicy& p,
           const SessionOptions& sopts)
@@ -194,17 +360,53 @@ class ServingEngine {
           executor(session) {}
   };
 
-  /// One formed batch, popped from a shard's queue and ready to execute.
+  /// One expired request popped by the shedding pass, with its outcome
+  /// computed under the lock so the promise can resolve outside it.
+  struct Shed {
+    std::string model;
+    double queued_us = 0.0;
+    double late_us = 0.0;
+    Pending pending;
+  };
+
+  /// One scheduling pass's output: at most one formed batch, plus every
+  /// request shed (possibly from several shards) during the pass.
   struct Formed {
     Shard* shard = nullptr;
     std::vector<Pending> requests;
+    std::vector<Shed> shed;
   };
 
   [[nodiscard]] Clock::time_point now() const { return opts_.clock(); }
 
-  /// Pops the next due batch in (model-name, FIFO) order, or an empty
-  /// Formed. `force` waives max_delay (drain/shutdown). Caller holds mu_.
+  /// When the shard's pending work becomes due absent new arrivals: the
+  /// oldest request aging past max_delay (note: under edf the oldest is
+  /// not the front — the queue is deadline-sorted), or, edf, the most
+  /// urgent request reaching deadline - dispatch_margin, whichever is
+  /// earlier. Caller holds mu_; the queue must be non-empty.
+  [[nodiscard]] Clock::time_point next_due_locked(const Shard& shard) const;
+
+  /// Sheds every expired request on every edf shard, then pops the next
+  /// due batch in urgency order (edf: earliest deadline, priority, seq;
+  /// fifo: oldest head request), or leaves Formed::shard null. `force`
+  /// waives the hold policy (drain/shutdown). Caller holds mu_.
   Formed form_due_locked(Clock::time_point at, bool force);
+
+  struct DispatchOutcome {
+    bool any = false;    ///< something happened (a batch and/or sheds)
+    bool batch = false;  ///< a batch was executed
+  };
+
+  /// One scheduling pass shared by pump()/drain()/batcher_loop(): forms
+  /// under the lock, then releases it to resolve sheds and execute the
+  /// batch, reacquiring before returning. `lock` must hold mu_.
+  DispatchOutcome dispatch_due(std::unique_lock<std::mutex>& lock,
+                               bool force);
+
+  /// Resolves shed promises to DeadlineExceeded. Called with mu_ released
+  /// (their stats were already recorded under the lock in
+  /// form_due_locked, so a waiter that wakes sees them counted).
+  void resolve_shed(std::vector<Shed> shed);
 
   /// Executes a formed batch and fulfills its promises. Called with mu_
   /// released; takes mu_ only to update stats.
@@ -219,7 +421,12 @@ class ServingEngine {
   std::condition_variable idle_cv_;  ///< drain(): queue empty + not busy
   std::map<std::string, std::unique_ptr<Shard>> shards_;
   ServingStats stats_;
+  std::uint64_t next_seq_ = 0;
   std::int64_t in_flight_ = 0;  ///< batches currently executing
+  /// Sheds popped from a queue whose DeadlineExceeded promise has not
+  /// been set yet (resolution happens off-lock): drain() counts them as
+  /// outstanding work, or it could return before a shed future settles.
+  std::int64_t shed_unresolved_ = 0;
   bool accepting_ = true;
   bool stop_ = false;
   std::thread batcher_;

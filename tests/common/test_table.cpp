@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <locale>
 #include <stdexcept>
+#include <string>
 
 namespace aift {
 namespace {
@@ -71,6 +74,56 @@ TEST(Format, TimeUnits) {
   EXPECT_EQ(fmt_time_us(12.3), "12.30 us");
   EXPECT_EQ(fmt_time_us(1234.5), "1.234 ms");
   EXPECT_EQ(fmt_time_us(2.5e6), "2.5000 s");
+}
+
+// Comma decimal point + dot thousands grouping, as a custom facet so the
+// test needs no system locale installed (the plan_io suite's idiom).
+class CommaNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+TEST(Format, LocaleIndependentRendering) {
+  // Regression: fmt_double used to go through snprintf("%.*f"), which
+  // honors the C locale's decimal separator — a comma-decimal host
+  // corrupted every report table, and the comma collided with to_csv's
+  // delimiter ("3,14" reads as two CSV fields).
+  const std::locale old_global = std::locale::global(
+      std::locale(std::locale::classic(), new CommaNumpunct));
+  // Hostile C locale too, when the host has one installed (this is the
+  // locale snprintf would have read).
+  const std::string old_c = std::setlocale(LC_ALL, nullptr);
+  bool c_switched = false;
+  for (const char* name : {"de_DE.UTF-8", "fr_FR.UTF-8", "de_DE", "fr_FR"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      c_switched = true;
+      break;
+    }
+  }
+
+  const std::string d = fmt_double(3.14159, 2);
+  const std::string big = fmt_double(1234567.5, 1);
+  const std::string pct = fmt_pct(12.345, 1);
+  const std::string t = fmt_time_us(1234.5);
+  Table table({"model", "overhead", "time"});
+  table.add_row({"ResNet-50", pct, t});
+  const std::string csv = table.to_csv();
+  const std::string boxed = table.to_string();
+
+  std::locale::global(old_global);
+  if (c_switched) std::setlocale(LC_ALL, old_c.c_str());
+
+  EXPECT_EQ(d, "3.14");
+  EXPECT_EQ(big, "1234567.5");  // no digit grouping either
+  EXPECT_EQ(pct, "12.3%");
+  EXPECT_EQ(t, "1.234 ms");
+  // The CSV stays three columns wide: a comma decimal point would have
+  // split the overhead cell in two.
+  EXPECT_EQ(csv, "model,overhead,time\nResNet-50,12.3%,1.234 ms\n");
+  EXPECT_NE(boxed.find("12.3%"), std::string::npos);
+  EXPECT_EQ(boxed.find(','), std::string::npos);
 }
 
 }  // namespace

@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <clocale>
+#include <cstddef>
+#include <locale>
+#include <string>
+
 #include "nn/zoo/zoo.hpp"
 #include "runtime/report.hpp"
 
@@ -154,6 +160,63 @@ TEST_F(PipelineTest, ReportTableHasRowPerLayer) {
   const auto summary = plan_summary(plan);
   EXPECT_NE(summary.find("MLP-Bottom"), std::string::npos);
   EXPECT_NE(summary.find("T4"), std::string::npos);
+}
+
+// Comma-decimal facet; no system locale needs to be installed.
+class CommaNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+TEST_F(PipelineTest, ReportTableIsLocaleIndependent) {
+  // Regression: plan_table's cells come from fmt_double/fmt_pct, which
+  // used snprintf("%.*f") — a comma-decimal C locale corrupted every
+  // report table, and the comma collided with to_csv's delimiter.
+  const auto m = zoo::dlrm_mlp_bottom(1);
+  const auto plan = pipe_.plan(m, ProtectionPolicy::intensity_guided);
+  const std::string reference_csv = plan_table(plan).to_csv();
+
+  const std::locale old_global = std::locale::global(
+      std::locale(std::locale::classic(), new CommaNumpunct));
+  const std::string old_c = std::setlocale(LC_ALL, nullptr);
+  bool c_switched = false;
+  for (const char* name : {"de_DE.UTF-8", "fr_FR.UTF-8", "de_DE", "fr_FR"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      c_switched = true;
+      break;
+    }
+  }
+  const std::string hostile_csv = plan_table(plan).to_csv();
+  const std::string hostile_summary = plan_summary(plan);
+
+  std::locale::global(old_global);
+  if (c_switched) std::setlocale(LC_ALL, old_c.c_str());
+
+  EXPECT_EQ(hostile_csv, reference_csv);
+  EXPECT_EQ(hostile_summary, plan_summary(plan));
+  // A comma decimal point would add fields: every CSV row must keep
+  // exactly the header's column count.
+  const std::size_t header_commas =
+      static_cast<std::size_t>(std::count(reference_csv.begin(),
+                                          reference_csv.begin() +
+                                              static_cast<std::ptrdiff_t>(
+                                                  reference_csv.find('\n')),
+                                          ','));
+  std::size_t pos = 0;
+  while (pos < hostile_csv.size()) {
+    const std::size_t next = hostile_csv.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(hostile_csv.begin() +
+                                 static_cast<std::ptrdiff_t>(pos),
+                             hostile_csv.begin() +
+                                 static_cast<std::ptrdiff_t>(next),
+                             ',')),
+              header_commas);
+    pos = next + 1;
+  }
 }
 
 TEST_F(PipelineTest, ReplicationPoliciesCostMoreThanOneSidedOnComputeBound) {
