@@ -1,6 +1,7 @@
 #include "runtime/executor.hpp"
 
 #include <cmath>
+#include <map>
 #include <utility>
 
 #include "common/check.hpp"
@@ -13,8 +14,7 @@ namespace {
 
 // Order-independent digest: any fault that changes a stored output's
 // value — including a bare sign flip, which leaves Σ|x| alone — moves it.
-// Row-windowed so a request's digest is taken directly off its band of the
-// stacked output; iterating the band row-major matches the per-request
+// Iterating the request-local matrix row-major matches the per-request
 // digest of the serial path exactly.
 double digest_rows(const Matrix<half_t>& m, std::int64_t row_begin,
                    std::int64_t row_end) {
@@ -28,10 +28,17 @@ double digest_rows(const Matrix<half_t>& m, std::int64_t row_begin,
   return sum;
 }
 
+void paste_rows(Matrix<half_t>& dst, const Matrix<half_t>& src,
+                std::int64_t dst_row) {
+  for (std::int64_t r = 0; r < src.rows(); ++r) {
+    for (std::int64_t c = 0; c < src.cols(); ++c) {
+      dst(dst_row + r, c) = src(r, c);
+    }
+  }
+}
+
 // Copies `rows` rows of `src` starting at src_row into a fresh matrix —
-// the request-local view of a stacked operand. Checkers consume these, so
-// they see exactly the matrices a standalone run would hand them (row
-// indices, and hence global-ABFT row weights, are request-local).
+// the request-local view of a stacked group output.
 Matrix<half_t> copy_rows(const Matrix<half_t>& src, std::int64_t src_row,
                          std::int64_t rows) {
   Matrix<half_t> out(rows, src.cols());
@@ -43,16 +50,285 @@ Matrix<half_t> copy_rows(const Matrix<half_t>& src, std::int64_t src_row,
   return out;
 }
 
-void paste_rows(Matrix<half_t>& dst, const Matrix<half_t>& src,
-                std::int64_t dst_row) {
-  for (std::int64_t r = 0; r < src.rows(); ++r) {
-    for (std::int64_t c = 0; c < src.cols(); ++c) {
-      dst(dst_row + r, c) = src(r, c);
+}  // namespace
+
+ContinuousBatch::ContinuousBatch(const InferenceSession& session,
+                                 const BatchOptions& opts)
+    : session_(&session), opts_(opts) {}
+
+std::vector<FaultSpec> ContinuousBatch::faults_for(const Row& row,
+                                                   std::size_t layer,
+                                                   int attempt) const {
+  std::vector<FaultSpec> specs;
+  for (const auto& f : row.faults) {
+    if (f.layer == layer && f.execution == attempt) specs.push_back(f.spec);
+  }
+  return specs;
+}
+
+// Detect-and-re-execute after a flagged attempt 0, on the row's
+// request-local matrices. Mirrors the serial retry loop exactly: the
+// caller has already executed attempt 0 and observed its check flag. On
+// return `c_local` holds the accepted — or, after budget exhaustion, the
+// surrendered — output.
+void ContinuousBatch::recover_row(const Row& row, std::size_t layer_index,
+                                  const Matrix<half_t>& a_local,
+                                  Matrix<half_t>& c_local,
+                                  LayerTrace& trace) const {
+  const auto& layer = session_->layers_[layer_index];
+  const SessionOptions& sopts = session_->options();
+  ++trace.detections;
+  int attempt = 0;
+  while (true) {
+    if (attempt >= sopts.max_retries) {
+      // Retry budget exhausted: surrender the flagged output.
+      trace.unrecovered = true;
+      break;
     }
+    ++attempt;
+    FunctionalOptions fopts;
+    fopts.parallel = opts_.parallel;
+    fopts.faults = faults_for(row, layer_index, attempt);
+    functional_gemm(a_local, layer.weights, c_local, layer.entry.exec_tile(),
+                    fopts);
+    ++trace.executions;
+    if (!session_->check_layer(layer, a_local, c_local)) break;
+    ++trace.detections;
   }
 }
 
-}  // namespace
+std::int64_t ContinuousBatch::admit(BatchRequest request,
+                                    std::size_t first_layer) {
+  const auto& layers = session_->layers_;
+  const SessionOptions& sopts = session_->options();
+  const std::size_t num_layers = layers.size();
+  AIFT_CHECK(first_layer < num_layers);
+  const GemmShape& first = layers[first_layer].entry.layer.gemm;
+  AIFT_CHECK_MSG(request.input.rows() == first.m &&
+                     request.input.cols() == first.k,
+                 "request " << next_id_ << ": layer " << first_layer
+                            << " input is " << request.input.rows() << "x"
+                            << request.input.cols() << ", plan expects "
+                            << first.m << "x" << first.k);
+  // A fault addressed to a layer this row never executes — or to an
+  // execution attempt past the retry budget, which can never occur —
+  // would silently inject nothing and report as "masked"; reject the
+  // mistyped site instead.
+  for (const auto& f : request.faults) {
+    AIFT_CHECK_MSG(f.layer >= first_layer && f.layer < num_layers,
+                   "request " << next_id_ << ": fault targets layer "
+                              << f.layer << ", but this row executes layers ["
+                              << first_layer << ", " << num_layers << ")");
+    AIFT_CHECK_MSG(f.execution >= 0 && f.execution <= sopts.max_retries,
+                   "request " << next_id_ << ": fault targets execution "
+                              << "attempt " << f.execution
+                              << ", but attempts are 0.." << sopts.max_retries
+                              << " under the retry budget");
+  }
+  Row row;
+  row.id = next_id_++;
+  row.first_layer = first_layer;
+  row.cursor = first_layer;
+  row.a = std::move(request.input);
+  row.faults = std::move(request.faults);
+  row.res.layers.reserve(num_layers - first_layer);
+  rows_.push_back(std::move(row));
+  return rows_.back().id;
+}
+
+std::vector<std::pair<std::int64_t, SessionResult>>
+ContinuousBatch::take_finished() {
+  return std::move(finished_);
+}
+
+void ContinuousBatch::step() {
+  if (rows_.empty()) return;
+  const auto& layers = session_->layers_;
+  const SessionOptions& sopts = session_->options();
+  const std::size_t num_layers = layers.size();
+
+  // Rows grouped by layer cursor (ascending layer, admission order within
+  // a group — mid-flight joins put rows at heterogeneous cursors), plus
+  // the rows whose deferred check of the previous boundary must drain.
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  std::vector<std::size_t> drain;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].cursor < num_layers) groups[rows_[i].cursor].push_back(i);
+    if (rows_[i].pending) drain.push_back(i);
+  }
+
+  // Drains row `drain[t]`'s deferred check against its retained operands.
+  // Runs co-scheduled with this step's first GEMM (disjoint slots per row).
+  const auto drain_check = [&](std::int64_t t) {
+    Row& row = rows_[drain[static_cast<std::size_t>(t)]];
+    const auto& layer = layers[row.cursor - 1];
+    row.flagged = session_->check_layer(layer, row.prev_a, row.prev_c) ? 1 : 0;
+    row.drained_digest =
+        digest_rows(row.prev_c, 0, layer.entry.layer.gemm.m);
+  };
+
+  // Phase 1 — one stacked GEMM per cursor group, the previous boundary's
+  // deferred verifications co-scheduled into the first group's parallel
+  // region: the checksum reductions of one layer hide behind the next
+  // layer's compute (§2.5 step 5). Checks of already-retired rows drain
+  // behind GEMMs of rows admitted after them — the cross-batch overlap.
+  std::vector<Matrix<half_t>> outputs(rows_.size());
+  bool checks_scheduled = drain.empty();
+  for (const auto& [li, members] : groups) {
+    const auto& layer = layers[li];
+    const GemmShape& shape = layer.entry.layer.gemm;
+    BatchedGemmOptions gopts;
+    gopts.parallel = opts_.parallel;
+    gopts.faults.resize(members.size());
+    for (std::size_t g = 0; g < members.size(); ++g) {
+      gopts.faults[g] = faults_for(rows_[members[g]], li, 0);
+    }
+    if (!checks_scheduled) {
+      gopts.extra_tasks = static_cast<std::int64_t>(drain.size());
+      gopts.extra_task = drain_check;
+      checks_scheduled = true;
+    }
+    if (members.size() == 1) {
+      // A group of one needs no band stacking: the row's matrices feed the
+      // batched kernel directly (keeps the facade path cheap).
+      Row& row = rows_[members.front()];
+      Matrix<half_t> c(shape.m, shape.n);
+      functional_gemm_batched(row.a, layer.weights, c, shape.m,
+                              layer.entry.exec_tile(), gopts);
+      outputs[members.front()] = std::move(c);
+    } else {
+      const auto b = static_cast<std::int64_t>(members.size());
+      Matrix<half_t> stacked_a(b * shape.m, shape.k);
+      for (std::int64_t g = 0; g < b; ++g) {
+        paste_rows(stacked_a, rows_[members[static_cast<std::size_t>(g)]].a,
+                   g * shape.m);
+      }
+      Matrix<half_t> stacked_c(b * shape.m, shape.n);
+      functional_gemm_batched(stacked_a, layer.weights, stacked_c, shape.m,
+                              layer.entry.exec_tile(), gopts);
+      for (std::int64_t g = 0; g < b; ++g) {
+        outputs[members[static_cast<std::size_t>(g)]] =
+            copy_rows(stacked_c, g * shape.m, shape.m);
+      }
+    }
+  }
+  if (!checks_scheduled) {
+    // Retirement-only step: every row is past its last layer, so the final
+    // checks have no GEMM to hide behind (the closed-batch final drain).
+    const auto n = static_cast<std::int64_t>(drain.size());
+    if (opts_.parallel) {
+      parallel_for(0, n, drain_check);
+    } else {
+      serial_for(0, n, drain_check);
+    }
+  }
+  stats_.deferred_checks += static_cast<std::int64_t>(drain.size());
+  if (!groups.empty()) {
+    for (const std::size_t i : drain) {
+      if (rows_[i].cursor >= num_layers) ++stats_.cross_batch_overlapped;
+    }
+  }
+
+  // Phase 2 — resolve the drained checks strictly in admission order. A
+  // clean check commits the digest; a flagged one rewinds only that row:
+  // synchronous recovery from its retained input, and — when the row
+  // already executed this step's layer speculatively — that execution is
+  // flushed and redone from the recovered activation.
+  for (const std::size_t i : drain) {
+    Row& row = rows_[i];
+    row.pending = false;
+    const std::size_t checked = row.cursor - 1;
+    LayerTrace& trace = row.res.layers[checked - row.first_layer];
+    if (row.flagged == 0) {
+      trace.output_digest = row.drained_digest;
+      continue;
+    }
+    ++stats_.rewinds;
+    recover_row(row, checked, row.prev_a, row.prev_c, trace);
+    trace.output_digest =
+        digest_rows(row.prev_c, 0, layers[checked].entry.layer.gemm.m);
+    if (row.cursor < num_layers) {
+      ++stats_.flushed_executions;
+      const auto& layer = layers[row.cursor];
+      const GemmShape& shape = layer.entry.layer.gemm;
+      row.a = activate_and_repack(row.prev_c, sopts.activation, shape.m,
+                                  shape.k);
+      Matrix<half_t> c(shape.m, shape.n);
+      FunctionalOptions fopts;
+      fopts.parallel = opts_.parallel;
+      fopts.faults = faults_for(row, row.cursor, 0);  // architectural attempt 0
+      functional_gemm(row.a, layer.weights, c, layer.entry.exec_tile(), fopts);
+      outputs[i] = std::move(c);
+    }
+  }
+
+  // Phase 3 — this step's own verification, per executed row in admission
+  // order. Global ABFT defers into the next boundary (or the final drain);
+  // the in-kernel schemes check synchronously, exactly like the serial
+  // path.
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    Row& row = rows_[i];
+    if (row.cursor >= num_layers) continue;  // retirement-only row
+    const auto& layer = layers[row.cursor];
+    const GemmShape& shape = layer.entry.layer.gemm;
+    Matrix<half_t>& c = outputs[i];
+    LayerTrace trace;
+    trace.name = layer.entry.layer.name;
+    trace.scheme = layer.entry.scheme();
+    trace.executions = 1;
+    if (opts_.defer_verification &&
+        layer.entry.scheme() == Scheme::global_abft) {
+      row.pending = true;
+    } else if (layer.entry.scheme() == Scheme::none) {
+      trace.output_digest = digest_rows(c, 0, shape.m);
+    } else {
+      ++stats_.synchronous_checks;
+      if (session_->check_layer(layer, row.a, c)) {
+        recover_row(row, row.cursor, row.a, c, trace);
+      }
+      trace.output_digest = digest_rows(c, 0, shape.m);
+    }
+    row.res.layers.push_back(std::move(trace));
+  }
+
+  // Phase 4 — advance every executed row past the boundary, retaining its
+  // operands one step for the deferred drain, and derive the next layer's
+  // activation (speculative for rows with a pending check). The per-row
+  // activations are independent, so they fan out over the pool.
+  std::vector<std::size_t> activate;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    Row& row = rows_[i];
+    if (row.cursor >= num_layers) continue;
+    row.prev_a = std::move(row.a);
+    row.prev_c = std::move(outputs[i]);
+    ++row.cursor;
+    if (row.cursor < num_layers) activate.push_back(i);
+  }
+  const auto activate_body = [&](std::int64_t t) {
+    Row& row = rows_[activate[static_cast<std::size_t>(t)]];
+    const GemmShape& next = layers[row.cursor].entry.layer.gemm;
+    row.a = activate_and_repack(row.prev_c, sopts.activation, next.m, next.k);
+  };
+  if (opts_.parallel) {
+    parallel_for(0, static_cast<std::int64_t>(activate.size()),
+                 activate_body);
+  } else {
+    serial_for(0, static_cast<std::int64_t>(activate.size()), activate_body);
+  }
+
+  // Retirement — rows past their last layer with no check outstanding
+  // leave the batch. A row whose final check is still deferred stays one
+  // more step, its reduction hiding behind the next step's GEMMs.
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    if (it->cursor >= num_layers && !it->pending) {
+      it->res.output = std::move(it->prev_c);
+      finished_.emplace_back(it->id, std::move(it->res));
+      it = rows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
 
 BatchResult BatchExecutor::run(const std::vector<BatchRequest>& batch,
                                const BatchOptions& opts) const {
@@ -62,279 +338,17 @@ BatchResult BatchExecutor::run(const std::vector<BatchRequest>& batch,
 BatchResult BatchExecutor::run_from(std::size_t first_layer,
                                     const std::vector<BatchRequest>& batch,
                                     const BatchOptions& opts) const {
-  const auto& layers = session_.layers_;
-  const SessionOptions& sopts = session_.options();
-  AIFT_CHECK(first_layer < layers.size());
   AIFT_CHECK_MSG(!batch.empty(), "cannot execute an empty batch");
-  const std::size_t num_layers = layers.size();
-  const auto batch_size = static_cast<std::int64_t>(batch.size());
-
-  const GemmShape& first = layers[first_layer].entry.layer.gemm;
-  for (std::int64_t r = 0; r < batch_size; ++r) {
-    const auto& input = batch[static_cast<std::size_t>(r)].input;
-    AIFT_CHECK_MSG(input.rows() == first.m && input.cols() == first.k,
-                   "request " << r << ": layer " << first_layer
-                              << " input is " << input.rows() << "x"
-                              << input.cols() << ", plan expects " << first.m
-                              << "x" << first.k);
-    // A fault addressed to a layer this run never executes — or to an
-    // execution attempt past the retry budget, which can never occur —
-    // would silently inject nothing and report as "masked"; reject the
-    // mistyped site instead.
-    for (const auto& f : batch[static_cast<std::size_t>(r)].faults) {
-      AIFT_CHECK_MSG(f.layer >= first_layer && f.layer < num_layers,
-                     "request " << r << ": fault targets layer " << f.layer
-                                << ", but this run executes layers ["
-                                << first_layer << ", " << num_layers << ")");
-      AIFT_CHECK_MSG(f.execution >= 0 && f.execution <= sopts.max_retries,
-                     "request " << r << ": fault targets execution attempt "
-                                << f.execution << ", but attempts are 0.."
-                                << sopts.max_retries
-                                << " under the retry budget");
-    }
+  ContinuousBatch cont(session_, opts);
+  for (const auto& request : batch) {
+    (void)cont.admit(request, first_layer);
   }
-
+  while (!cont.idle()) cont.step();
   BatchResult out;
+  out.stats = cont.stats();
   out.requests.resize(batch.size());
-  for (auto& res : out.requests) {
-    res.layers.reserve(num_layers - first_layer);
-  }
-
-  // Faults of request r targeting (layer, execution attempt).
-  const auto faults_for = [&](std::int64_t r, std::size_t layer,
-                              int attempt) {
-    std::vector<FaultSpec> specs;
-    for (const auto& f : batch[static_cast<std::size_t>(r)].faults) {
-      if (f.layer == layer && f.execution == attempt) specs.push_back(f.spec);
-    }
-    return specs;
-  };
-
-  // Detect-and-re-execute after a flagged attempt 0, on request-local
-  // matrices. Mirrors the serial retry loop exactly: the caller has already
-  // executed attempt 0 (in the stacked GEMM) and observed its check flag.
-  // On return `c_local` holds the accepted — or, after budget exhaustion,
-  // the surrendered — output.
-  const auto recover = [&](std::int64_t r, std::size_t li,
-                           const Matrix<half_t>& a_local,
-                           Matrix<half_t>& c_local, LayerTrace& trace) {
-    const auto& layer = layers[li];
-    ++trace.detections;
-    int attempt = 0;
-    while (true) {
-      if (attempt >= sopts.max_retries) {
-        // Retry budget exhausted: surrender the flagged output.
-        trace.unrecovered = true;
-        break;
-      }
-      ++attempt;
-      FunctionalOptions fopts;
-      fopts.parallel = opts.parallel;
-      fopts.faults = faults_for(r, li, attempt);
-      functional_gemm(a_local, layer.weights, c_local, layer.entry.exec_tile(),
-                      fopts);
-      ++trace.executions;
-      if (!session_.check_layer(layer, a_local, c_local)) break;
-      ++trace.detections;
-    }
-  };
-
-  // Stack the batch's inputs into the first layer's activation matrix.
-  Matrix<half_t> cur_a(batch_size * first.m, first.k);
-  for (std::int64_t r = 0; r < batch_size; ++r) {
-    paste_rows(cur_a, batch[static_cast<std::size_t>(r)].input, r * first.m);
-  }
-
-  // Verification queue state: pending[r] marks a deferred global-ABFT
-  // check of prev_layer for request r; the drain writes flagged[r] and
-  // digest[r] (disjoint slots — safe from concurrent drain tasks).
-  std::vector<char> pending(batch.size(), 0);
-  std::vector<char> flagged(batch.size(), 0);
-  std::vector<double> drained_digest(batch.size(), 0.0);
-  Matrix<half_t> prev_a, prev_c;
-  std::size_t prev_layer = first_layer;
-
-  // A batch of one needs no band extraction anywhere below: the stacked
-  // matrices ARE the lone request, so checks, recovery and digests borrow
-  // them directly instead of copying (keeps the facade path as cheap as
-  // the historical serial loop).
-  const bool lone = batch_size == 1;
-
-  // Drains request r's deferred check of prev_layer against the retained
-  // stacked operands. Runs co-scheduled with the next layer's GEMM blocks.
-  const auto drain_check = [&](std::int64_t r) {
-    const auto& layer = layers[prev_layer];
-    const std::int64_t m = layer.entry.layer.gemm.m;
-    const Matrix<half_t> a_band = lone ? Matrix<half_t>()
-                                       : copy_rows(prev_a, r * m, m);
-    const Matrix<half_t> c_band = lone ? Matrix<half_t>()
-                                       : copy_rows(prev_c, r * m, m);
-    const Matrix<half_t>& a_r = lone ? prev_a : a_band;
-    const Matrix<half_t>& c_r = lone ? prev_c : c_band;
-    flagged[static_cast<std::size_t>(r)] =
-        session_.check_layer(layer, a_r, c_r) ? 1 : 0;
-    drained_digest[static_cast<std::size_t>(r)] = digest_rows(c_r, 0, m);
-  };
-
-  // Resolves a drained check, rows strictly in request order. A clean check
-  // commits the digest; a flagged one rewinds the request — synchronous
-  // recovery from its retained input, written back into the retained
-  // stacked output so final outputs (and any later slice) read the
-  // accepted value. Returns whether the request rewound.
-  const auto resolve_drained = [&](std::int64_t r) -> bool {
-    pending[static_cast<std::size_t>(r)] = 0;
-    SessionResult& res = out.requests[static_cast<std::size_t>(r)];
-    LayerTrace& trace = res.layers[prev_layer - first_layer];
-    if (flagged[static_cast<std::size_t>(r)] == 0) {
-      trace.output_digest = drained_digest[static_cast<std::size_t>(r)];
-      return false;
-    }
-    ++out.stats.rewinds;
-    const auto& layer = layers[prev_layer];
-    const std::int64_t m = layer.entry.layer.gemm.m;
-    if (lone) {
-      recover(r, prev_layer, prev_a, prev_c, trace);
-      trace.output_digest = digest_rows(prev_c, 0, m);
-    } else {
-      const auto a_r = copy_rows(prev_a, r * m, m);
-      Matrix<half_t> c_r = copy_rows(prev_c, r * m, m);
-      recover(r, prev_layer, a_r, c_r, trace);
-      trace.output_digest = digest_rows(c_r, 0, m);
-      paste_rows(prev_c, c_r, r * m);
-    }
-    return true;
-  };
-
-  for (std::size_t i = first_layer; i < num_layers; ++i) {
-    const auto& layer = layers[i];
-    const GemmShape& shape = layer.entry.layer.gemm;
-    Matrix<half_t> cur_c(batch_size * shape.m, shape.n);
-
-    // Phase 1 — one stacked GEMM for the whole batch, with the previous
-    // layer's deferred verifications co-scheduled into the same parallel
-    // region: the checksum reductions of layer i-1 hide behind the compute
-    // of layer i (§2.5 step 5).
-    std::vector<std::int64_t> drain;
-    for (std::int64_t r = 0; r < batch_size; ++r) {
-      if (pending[static_cast<std::size_t>(r)] != 0) drain.push_back(r);
-    }
-    BatchedGemmOptions gopts;
-    gopts.parallel = opts.parallel;
-    gopts.faults.resize(batch.size());
-    for (std::int64_t r = 0; r < batch_size; ++r) {
-      gopts.faults[static_cast<std::size_t>(r)] = faults_for(r, i, 0);
-    }
-    gopts.extra_tasks = static_cast<std::int64_t>(drain.size());
-    gopts.extra_task = [&](std::int64_t t) {
-      drain_check(drain[static_cast<std::size_t>(t)]);
-    };
-    functional_gemm_batched(cur_a, layer.weights, cur_c, shape.m,
-                            layer.entry.exec_tile(), gopts);
-    out.stats.deferred_checks += static_cast<std::int64_t>(drain.size());
-
-    // Phase 2 — resolve the drained checks in request order. A rewind
-    // flushes the request's speculative layer-i execution, re-derives its
-    // layer-i input from the recovered output, and re-executes its rows.
-    for (const std::int64_t r : drain) {
-      if (!resolve_drained(r)) continue;
-      ++out.stats.flushed_executions;
-      const std::int64_t pm = layers[prev_layer].entry.layer.gemm.m;
-      const Matrix<half_t> band =
-          lone ? Matrix<half_t>() : copy_rows(prev_c, r * pm, pm);
-      const Matrix<half_t>& recovered_c = lone ? prev_c : band;
-      const Matrix<half_t> a_i = activate_and_repack(
-          recovered_c, sopts.activation, shape.m, shape.k);
-      paste_rows(cur_a, a_i, r * shape.m);
-      Matrix<half_t> c_i(shape.m, shape.n);
-      FunctionalOptions fopts;
-      fopts.parallel = opts.parallel;
-      fopts.faults = faults_for(r, i, 0);  // the architectural attempt 0
-      functional_gemm(a_i, layer.weights, c_i, layer.entry.exec_tile(),
-                      fopts);
-      paste_rows(cur_c, c_i, r * shape.m);
-    }
-
-    // Phase 3 — layer i's own verification, per request in order. Global
-    // ABFT defers into the queue (drained during layer i+1, or in the
-    // final drain); the in-kernel schemes check synchronously, exactly
-    // like the serial path.
-    const bool defer_i = opts.defer_verification &&
-                         layer.entry.scheme() == Scheme::global_abft;
-    for (std::int64_t r = 0; r < batch_size; ++r) {
-      SessionResult& res = out.requests[static_cast<std::size_t>(r)];
-      LayerTrace trace;
-      trace.name = layer.entry.layer.name;
-      trace.scheme = layer.entry.scheme();
-      trace.executions = 1;
-      if (defer_i) {
-        pending[static_cast<std::size_t>(r)] = 1;
-      } else if (layer.entry.scheme() == Scheme::none) {
-        trace.output_digest = digest_rows(cur_c, r * shape.m,
-                                          (r + 1) * shape.m);
-      } else if (lone) {
-        ++out.stats.synchronous_checks;
-        if (session_.check_layer(layer, cur_a, cur_c)) {
-          recover(r, i, cur_a, cur_c, trace);
-        }
-        trace.output_digest = digest_rows(cur_c, 0, shape.m);
-      } else {
-        ++out.stats.synchronous_checks;
-        const auto a_r = copy_rows(cur_a, r * shape.m, shape.m);
-        Matrix<half_t> c_r = copy_rows(cur_c, r * shape.m, shape.m);
-        if (session_.check_layer(layer, a_r, c_r)) {
-          recover(r, i, a_r, c_r, trace);
-          paste_rows(cur_c, c_r, r * shape.m);
-        }
-        trace.output_digest = digest_rows(c_r, 0, shape.m);
-      }
-      res.layers.push_back(std::move(trace));
-    }
-
-    // Phase 4 — inter-layer flow for the whole batch (speculative for
-    // requests with a pending check). The previous stacked operands stay
-    // retained one step for the drains.
-    prev_layer = i;
-    if (i + 1 < num_layers) {
-      const GemmShape& next = layers[i + 1].entry.layer.gemm;
-      Matrix<half_t> next_a = activate_and_repack_stacked(
-          cur_c, batch_size, sopts.activation, next.m, next.k, opts.parallel);
-      prev_a = std::move(cur_a);
-      prev_c = std::move(cur_c);
-      cur_a = std::move(next_a);
-    } else {
-      prev_a = std::move(cur_a);
-      prev_c = std::move(cur_c);
-    }
-  }
-
-  // Final drain: checks of the last layer have no GEMM to hide behind.
-  std::vector<std::int64_t> drain;
-  for (std::int64_t r = 0; r < batch_size; ++r) {
-    if (pending[static_cast<std::size_t>(r)] != 0) drain.push_back(r);
-  }
-  if (!drain.empty()) {
-    const auto body = [&](std::int64_t t) {
-      drain_check(drain[static_cast<std::size_t>(t)]);
-    };
-    if (opts.parallel) {
-      parallel_for(0, static_cast<std::int64_t>(drain.size()), body);
-    } else {
-      serial_for(0, static_cast<std::int64_t>(drain.size()), body);
-    }
-    out.stats.deferred_checks += static_cast<std::int64_t>(drain.size());
-    for (const std::int64_t r : drain) (void)resolve_drained(r);
-  }
-
-  // Unstack: request r's output is its band of the final stacked C (any
-  // rewound band was pasted back by resolve_drained).
-  if (lone) {
-    out.requests.front().output = std::move(prev_c);
-  } else {
-    const std::int64_t last_m = layers[num_layers - 1].entry.layer.gemm.m;
-    for (std::int64_t r = 0; r < batch_size; ++r) {
-      out.requests[static_cast<std::size_t>(r)].output =
-          copy_rows(prev_c, r * last_m, last_m);
-    }
+  for (auto& [id, res] : cont.take_finished()) {
+    out.requests[static_cast<std::size_t>(id)] = std::move(res);
   }
   return out;
 }

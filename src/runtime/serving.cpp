@@ -1,11 +1,12 @@
 #include "runtime/serving.hpp"
 
 #include <algorithm>
-#include <sstream>
+#include <limits>
 #include <tuple>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/table.hpp"
 #include "runtime/plan_io.hpp"
 
 namespace aift {
@@ -18,11 +19,14 @@ double us_between(ServingEngine::Clock::time_point from,
 
 std::string describe_shed(const std::string& model, Priority priority,
                           double queued_us, double late_us) {
-  std::ostringstream os;
-  os << "deadline exceeded: " << priority_name(priority) << " request for '"
-     << model << "' shed " << late_us << "us past its deadline after "
-     << queued_us << "us queued";
-  return os.str();
+  // fmt_double, not a default-locale stream: DeadlineExceeded::what() is
+  // user-facing text, and a comma-decimal locale would turn "250.5us"
+  // into "250,5us" (or group digits) the moment the host process imbues
+  // the global locale.
+  return std::string("deadline exceeded: ") + priority_name(priority) +
+         " request for '" + model + "' shed " + fmt_double(late_us) +
+         "us past its deadline after " + fmt_double(queued_us) +
+         "us queued";
 }
 
 }  // namespace
@@ -253,19 +257,40 @@ ServingEngine::Formed ServingEngine::form_due_locked(Clock::time_point at,
   // name order fixes the iteration. Picking the first due shard instead
   // would let sustained traffic on one model starve another model's
   // urgent requests indefinitely.
-  const auto urgency = [this](const Shard& s) {
+  //
+  // A continuous shard with rows in flight is *always* due — it must keep
+  // stepping so its rows retire — ranked at `at` so an overdue closed
+  // batch elsewhere still goes first; its queued head joins at the next
+  // boundary regardless of the hold policy, which only governs starting
+  // an idle continuous shard.
+  const auto urgency = [this, at](const Shard& s) {
+    if (s.queue.empty()) {
+      // Step-only continuous round: no head to compare, least urgent at
+      // this instant.
+      return std::make_tuple(at, Priority::bulk,
+                             std::numeric_limits<std::uint64_t>::max());
+    }
     const Pending& head = s.queue.front();
-    return std::make_tuple(next_due_locked(s), head.priority, head.seq);
+    Clock::time_point due = next_due_locked(s);
+    if (s.policy.continuous && !s.live.empty()) due = std::min(due, at);
+    return std::make_tuple(due, head.priority, head.seq);
   };
   Shard* chosen = nullptr;
   for (auto& [name, shard] : shards_) {
+    // A thread is mid-round on this shard; its queue will be looked at
+    // again when the round completes and re-notifies the batcher.
+    if (shard->stepping) continue;
+    const bool streaming = shard->policy.continuous &&
+                           !shard->live.empty();
     const auto& queue = shard->queue;
-    if (queue.empty()) continue;
-    const BatchPolicy& policy = shard->policy;
-    const bool full = static_cast<std::int64_t>(queue.size()) >=
-                      policy.max_batch;
-    const bool due = at >= next_due_locked(*shard);
-    if (!(force || full || due)) continue;
+    if (queue.empty() && !streaming) continue;
+    if (!streaming) {
+      const BatchPolicy& policy = shard->policy;
+      const bool full = static_cast<std::int64_t>(queue.size()) >=
+                        policy.max_batch;
+      const bool due = at >= next_due_locked(*shard);
+      if (!(force || full || due)) continue;
+    }
     if (chosen == nullptr || urgency(*shard) < urgency(*chosen)) {
       chosen = shard.get();
     }
@@ -273,9 +298,18 @@ ServingEngine::Formed ServingEngine::form_due_locked(Clock::time_point at,
   if (chosen == nullptr) return formed;
 
   formed.shard = chosen;
+  formed.continuous = chosen->policy.continuous;
   auto& queue = chosen->queue;
-  const std::size_t n = std::min(
-      queue.size(), static_cast<std::size_t>(chosen->policy.max_batch));
+  // Continuous admission respects the in-flight cap: the wave tops the
+  // open batch back up to max_batch rows (possibly an empty, step-only
+  // wave when the batch is full or nothing is queued).
+  const auto capacity = static_cast<std::size_t>(
+      formed.continuous ? std::max<std::int64_t>(
+                              0, chosen->policy.max_batch -
+                                     static_cast<std::int64_t>(
+                                         chosen->live.size()))
+                        : chosen->policy.max_batch);
+  const std::size_t n = std::min(queue.size(), capacity);
   formed.requests.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     formed.requests.push_back(std::move(queue.front()));
@@ -283,6 +317,7 @@ ServingEngine::Formed ServingEngine::form_due_locked(Clock::time_point at,
     chosen->arrivals.erase(formed.requests.back().seq);
   }
   stats_.queue_depth -= static_cast<std::int64_t>(n);
+  if (formed.continuous) chosen->stepping = true;
   return formed;
 }
 
@@ -303,15 +338,24 @@ ServingEngine::DispatchOutcome ServingEngine::dispatch_due(
     std::unique_lock<std::mutex>& lock, bool force) {
   DispatchOutcome outcome;
   Formed formed = form_due_locked(now(), force);
-  outcome.batch = formed.shard != nullptr;
-  outcome.any = outcome.batch || !formed.shed.empty();
+  const bool execute = formed.shard != nullptr;
+  // A step-only continuous round advances in-flight rows but dispatches
+  // nothing new — progress (any), not a batch.
+  outcome.batch = execute && !formed.requests.empty();
+  outcome.any = execute || !formed.shed.empty();
   if (!outcome.any) return outcome;
-  if (outcome.batch) ++in_flight_;
+  if (execute) ++in_flight_;
   lock.unlock();
   std::vector<Shed> shed = std::move(formed.shed);
   formed.shed.clear();
   resolve_shed(std::move(shed));
-  if (outcome.batch) execute_batch(std::move(formed));
+  if (execute) {
+    if (formed.continuous) {
+      continuous_round(std::move(formed));
+    } else {
+      execute_batch(std::move(formed));
+    }
+  }
   lock.lock();
   return outcome;
 }
@@ -360,8 +404,15 @@ void ServingEngine::execute_batch(Formed formed) {
     ++stats_.batch_size_hist[static_cast<std::size_t>(batch_size)];
     if (error) {
       stats_.failed += batch_size;
-      for (const auto& pending : formed.requests) {
-        ++stats_.by_priority[priority_index(pending.priority)].failed;
+      for (std::size_t r = 0; r < formed.requests.size(); ++r) {
+        ++stats_.by_priority[priority_index(formed.requests[r].priority)]
+              .failed;
+        // The wait was real even though the batch failed: skipping the
+        // queue aggregates here would under-report queue pressure
+        // exactly when batches fail (mean_queue_us averages over
+        // completed + failed to match).
+        stats_.queue_us_total += queue_us[r];
+        stats_.queue_us_max = std::max(stats_.queue_us_max, queue_us[r]);
       }
     } else {
       stats_.completed += batch_size;
@@ -407,6 +458,171 @@ void ServingEngine::execute_batch(Formed formed) {
   idle_cv_.notify_all();
 }
 
+void ServingEngine::continuous_round(Formed formed) {
+  Shard& shard = *formed.shard;
+  const auto wave_size = static_cast<std::int64_t>(formed.requests.size());
+
+  // The admission hook mirrors execute_batch's dispatch hook; a throw
+  // here fails only this wave — nothing has been admitted yet, so the
+  // rows already in flight are untouched.
+  std::exception_ptr wave_error;
+  if (wave_size > 0 && opts_.on_dispatch) {
+    try {
+      opts_.on_dispatch(shard.name, wave_size);
+    } catch (...) {
+      wave_error = std::current_exception();
+    }
+  }
+  if (wave_error) {
+    const Clock::time_point at = now();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.batches;
+      if (static_cast<std::int64_t>(stats_.batch_size_hist.size()) <=
+          wave_size) {
+        stats_.batch_size_hist.resize(static_cast<std::size_t>(wave_size) + 1,
+                                      0);
+      }
+      ++stats_.batch_size_hist[static_cast<std::size_t>(wave_size)];
+      stats_.failed += wave_size;
+      for (const auto& pending : formed.requests) {
+        ++stats_.by_priority[priority_index(pending.priority)].failed;
+        const double q = us_between(pending.enqueued, at);
+        stats_.queue_us_total += q;
+        stats_.queue_us_max = std::max(stats_.queue_us_max, q);
+      }
+      shard.stepping = false;
+      --in_flight_;
+    }
+    for (auto& pending : formed.requests) {
+      pending.promise.set_exception(wave_error);
+    }
+    work_cv_.notify_one();
+    idle_cv_.notify_all();
+    return;
+  }
+
+  // Admit the wave at the current layer boundary and advance the open
+  // batch one step. `stepping` gives this thread exclusive ownership of
+  // cont/live until it is cleared under the lock below.
+  const Clock::time_point admitted_at = now();
+  std::exception_ptr error;
+  std::vector<std::pair<std::int64_t, SessionResult>> retired;
+  try {
+    if (!shard.cont) shard.cont.emplace(shard.executor.begin(opts_.batch));
+    std::vector<std::int64_t> wave_ids;
+    wave_ids.reserve(formed.requests.size());
+    for (auto& pending : formed.requests) {
+      BatchRequest request;
+      request.input = std::move(pending.input);
+      request.faults = std::move(pending.faults);
+      const std::int64_t id = shard.cont->admit(std::move(request));
+      Shard::LiveRow row;
+      row.request = std::move(pending);
+      row.admitted = admitted_at;
+      shard.live.emplace(id, std::move(row));
+      wave_ids.push_back(id);
+    }
+    const auto cohort = static_cast<std::int64_t>(shard.live.size());
+    for (const std::int64_t id : wave_ids) shard.live[id].cohort = cohort;
+    if (!shard.cont->idle()) shard.cont->step();
+    retired = shard.cont->take_finished();
+  } catch (...) {
+    // submit() validation makes this unreachable short of an engine bug,
+    // but an open batch whose step threw is not safely resumable: fail
+    // every in-flight row rather than losing their futures, and reset
+    // the shard's batch.
+    error = std::current_exception();
+  }
+  const Clock::time_point finished_at = now();
+
+  struct Settled {
+    Shard::LiveRow row;
+    SessionResult session;
+  };
+  std::vector<Settled> settled;
+  if (error) {
+    settled.reserve(shard.live.size());
+    for (auto& [id, row] : shard.live) {
+      settled.push_back(Settled{std::move(row), SessionResult{}});
+    }
+    shard.live.clear();
+    shard.cont.reset();
+  } else {
+    settled.reserve(retired.size());
+    for (auto& [id, session] : retired) {
+      auto it = shard.live.find(id);
+      AIFT_CHECK_MSG(it != shard.live.end(),
+                     "retired row " << id << " has no live bookkeeping");
+      settled.push_back(Settled{std::move(it->second), std::move(session)});
+      shard.live.erase(it);
+    }
+  }
+
+  // Record stats BEFORE fulfilling the promises (same contract as
+  // execute_batch): a caller that wakes on future.get() and immediately
+  // reads stats() must see its request counted.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wave_size > 0) {
+      ++stats_.batches;
+      if (static_cast<std::int64_t>(stats_.batch_size_hist.size()) <=
+          wave_size) {
+        stats_.batch_size_hist.resize(static_cast<std::size_t>(wave_size) + 1,
+                                      0);
+      }
+      ++stats_.batch_size_hist[static_cast<std::size_t>(wave_size)];
+    }
+    for (const auto& s : settled) {
+      const Pending& pending = s.row.request;
+      const double queue_us = us_between(pending.enqueued, s.row.admitted);
+      auto& cls = stats_.by_priority[priority_index(pending.priority)];
+      if (error) {
+        ++stats_.failed;
+        ++cls.failed;
+        stats_.queue_us_total += queue_us;
+        stats_.queue_us_max = std::max(stats_.queue_us_max, queue_us);
+        continue;
+      }
+      const double execute_us = us_between(s.row.admitted, finished_at);
+      const double latency = queue_us + execute_us;
+      const bool met = finished_at <= pending.deadline;
+      ++stats_.completed;
+      (met ? ++stats_.deadline_hits : ++stats_.deadline_misses);
+      stats_.queue_us_total += queue_us;
+      stats_.queue_us_max = std::max(stats_.queue_us_max, queue_us);
+      stats_.execute_us_total += execute_us;
+      stats_.execute_us_max = std::max(stats_.execute_us_max, execute_us);
+      ++cls.completed;
+      (met ? ++cls.deadline_hits : ++cls.deadline_misses);
+      cls.latency_us_total += latency;
+      cls.latency_us_max = std::max(cls.latency_us_max, latency);
+    }
+    shard.stepping = false;
+    --in_flight_;
+  }
+
+  for (auto& s : settled) {
+    if (error) {
+      s.row.request.promise.set_exception(error);
+      continue;
+    }
+    ServedResult served;
+    served.session = std::move(s.session);
+    served.queue_us = us_between(s.row.request.enqueued, s.row.admitted);
+    served.execute_us = us_between(s.row.admitted, finished_at);
+    served.batch_size = s.row.cohort;
+    served.priority = s.row.request.priority;
+    served.deadline_met = finished_at <= s.row.request.deadline;
+    s.row.request.promise.set_value(std::move(served));
+  }
+
+  // The round is over: wake the batcher (it skipped this shard while
+  // stepping) and any drain()/shutdown() waiter.
+  work_cv_.notify_one();
+  idle_cv_.notify_all();
+}
+
 std::size_t ServingEngine::pump() {
   AIFT_CHECK_MSG(!opts_.threaded,
                  "pump() drives stepped engines only; a threaded engine's "
@@ -418,6 +634,19 @@ std::size_t ServingEngine::pump() {
     if (outcome.batch) ++dispatched;
     if (!outcome.any) return dispatched;
   }
+}
+
+std::int64_t ServingEngine::pump_step() {
+  AIFT_CHECK_MSG(!opts_.threaded,
+                 "pump_step() drives stepped engines only; a threaded "
+                 "engine's batcher dispatches on its own");
+  std::unique_lock<std::mutex> lock(mu_);
+  (void)dispatch_due(lock, /*force=*/false);
+  std::int64_t live = 0;
+  for (const auto& [name, shard] : shards_) {
+    live += static_cast<std::int64_t>(shard->live.size());
+  }
+  return live;
 }
 
 void ServingEngine::drain() {
@@ -477,7 +706,13 @@ void ServingEngine::batcher_loop() {
     bool have_deadline = false;
     Clock::time_point deadline{};
     for (const auto& [name, shard] : shards_) {
-      if (shard->queue.empty()) continue;
+      // A stepping shard's queue cannot be served until its round ends —
+      // the round's completion notifies work_cv_, so it needs no timed
+      // wake here. Counting it would spin: its head is already due (the
+      // dispatch pass skipped it only because of the round in flight), so
+      // `remaining <= 0 -> continue` would loop WITHOUT RELEASING mu_,
+      // and the round thread could never relock to clear `stepping`.
+      if (shard->queue.empty() || shard->stepping) continue;
       const Clock::time_point d = next_due_locked(*shard);
       if (!have_deadline || d < deadline) {
         have_deadline = true;

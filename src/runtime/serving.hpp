@@ -28,12 +28,22 @@
 //     SLO-attainment bench; deadlines are still *tracked* (for the
 //     hit/miss statistics) but never influence scheduling.
 //
+// Orthogonal to the scheduler, BatchPolicy::continuous switches a shard
+// from closed batches to continuous batching: the shard keeps one open
+// ContinuousBatch and admits queued requests into it at layer boundaries
+// (scheduler order, up to max_batch rows in flight) instead of waiting for
+// the previous batch to retire. Retiring rows leave at a boundary too, so
+// their final deferred ABFT reduction hides behind the next admission
+// wave's first GEMM — the cross-batch overlap that closed batches lose at
+// every batch tail.
+//
 // Either way, every submit() returns a future whose SessionResult is
 // exactly — bit for bit — what a standalone InferenceSession::run of that
 // request would produce, because batches are dispatched unmodified to
-// BatchExecutor, whose batch- and order-invariance is already CTest-pinned.
-// EDF reordering, shedding and priority classes change only *which*
-// requests share a batch and *when*, never any request's result.
+// BatchExecutor / ContinuousBatch, whose batch-, order- and
+// admission-invariance is already CTest-pinned. EDF reordering, shedding,
+// priority classes and mid-flight admission change only *which* requests
+// share executor steps and *when*, never any request's result.
 //
 // Two driving modes:
 //   - threaded (default): a background batcher thread waits on the queues
@@ -64,6 +74,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -118,6 +129,15 @@ struct BatchPolicy {
   /// even when max_delay has not expired. A margin >= the SLO means
   /// "dispatch immediately".
   std::chrono::microseconds dispatch_margin{2000};
+  /// Continuous batching: keep one open ContinuousBatch per shard and
+  /// admit queued requests into it at layer boundaries, up to max_batch
+  /// rows in flight. The hold policy (max_delay / dispatch_margin / full)
+  /// governs only *starting* an idle shard; once rows are in flight,
+  /// queued requests join at the very next boundary capacity allows —
+  /// that immediacy is the point. Retiring rows hand their final deferred
+  /// check to the next wave's first GEMM (cross-batch overlap). Admission
+  /// never changes a served row's SessionResult.
+  bool continuous = false;
 };
 
 /// Per-request scheduling inputs accepted by submit().
@@ -156,9 +176,13 @@ struct ServedResult {
   /// Exactly what InferenceSession::run(input, {faults}) would return for
   /// this request, bit for bit — output, traces, digests.
   SessionResult session;
-  double queue_us = 0.0;    ///< submit -> batch dispatch
-  double execute_us = 0.0;  ///< dispatch -> batch completion
-  std::int64_t batch_size = 0;  ///< size of the dynamically formed batch
+  double queue_us = 0.0;    ///< submit -> batch dispatch (continuous:
+                            ///< submit -> admission into the open batch)
+  double execute_us = 0.0;  ///< dispatch -> batch completion (continuous:
+                            ///< admission -> the request's retirement)
+  /// Size of the dynamically formed batch; continuous: rows in flight
+  /// just after this request's admission wave.
+  std::int64_t batch_size = 0;
   Priority priority = Priority::standard;
   /// Completion (by the engine clock) happened at or before the request's
   /// absolute deadline.
@@ -203,6 +227,7 @@ struct ServingStats {
   std::int64_t shed = 0;    ///< requests resolved DeadlineExceeded without
                             ///< ever joining a batch
   std::int64_t batches = 0;    ///< batches dispatched to executors
+                               ///< (continuous: non-empty admission waves)
   std::int64_t queue_depth = 0;      ///< pending right now, all models
   std::int64_t max_queue_depth = 0;  ///< high-water mark of queue_depth
   std::int64_t deadline_hits = 0;    ///< completions at or before deadline
@@ -211,7 +236,11 @@ struct ServingStats {
   /// is always 0; the vector is just long enough for the largest batch).
   /// Failed batches are counted too — a dispatched batch never vanishes.
   std::vector<std::int64_t> batch_size_hist;
-  double queue_us_total = 0.0;  ///< completed requests only
+  /// Queue-side totals cover completed AND failed requests: a request
+  /// that waited and then entered a failing batch still waited, and
+  /// dropping it would under-report queue pressure exactly when batches
+  /// fail. Shed requests never dispatch and are excluded.
+  double queue_us_total = 0.0;
   double queue_us_max = 0.0;
   double execute_us_total = 0.0;  ///< completed requests only
   double execute_us_max = 0.0;
@@ -225,9 +254,13 @@ struct ServingStats {
                              static_cast<double>(batches)
                        : 0.0;
   }
+  /// Mean queue latency over every dispatched request (completed +
+  /// failed — the population queue_us_total covers).
   [[nodiscard]] double mean_queue_us() const {
-    return completed > 0 ? queue_us_total / static_cast<double>(completed)
-                         : 0.0;
+    const std::int64_t dispatched = completed + failed;
+    return dispatched > 0
+               ? queue_us_total / static_cast<double>(dispatched)
+               : 0.0;
   }
   [[nodiscard]] double mean_execute_us() const {
     return completed > 0 ? execute_us_total / static_cast<double>(completed)
@@ -307,9 +340,21 @@ class ServingEngine {
 
   /// Stepped mode only: sheds every expired request and dispatches every
   /// batch due at clock() now — most urgent head request first (name
-  /// order breaks ties) — synchronously on the calling thread. Returns
-  /// the number of batches dispatched (sheds are not batches).
+  /// order breaks ties) — synchronously on the calling thread. A
+  /// continuous shard with rows in flight is stepped round by round until
+  /// it quiesces (its queue drained and every row retired). Returns the
+  /// number of batches (continuous: non-empty admission waves)
+  /// dispatched; sheds and step-only rounds are not batches.
   std::size_t pump();
+
+  /// Stepped mode only: performs exactly ONE scheduling round — the shed
+  /// pass plus at most one formed batch or continuous round (admission
+  /// wave + single layer step) — and returns the number of rows left in
+  /// flight inside continuous shards. Lets tests interleave submit()
+  /// with layer boundaries deterministically: a request submitted
+  /// between two pump_step() calls joins mid-flight at the next
+  /// boundary, exactly like a late arrival against a threaded engine.
+  std::int64_t pump_step();
 
   /// Blocks until every pending request has been resolved — served, or
   /// (edf, deadline already passed) shed — force-flushing in either mode:
@@ -352,6 +397,23 @@ class ServingEngine {
     /// max_delay aging check O(1) instead of a queue scan.
     std::map<std::uint64_t, Clock::time_point> arrivals;
 
+    /// Continuous mode (BatchPolicy::continuous): the shard's open
+    /// ContinuousBatch — created at its first admission wave — plus the
+    /// bookkeeping of its in-flight rows, keyed by executor row id.
+    struct LiveRow {
+      Pending request;             ///< promise + deadline bookkeeping
+      Clock::time_point admitted;  ///< its admission wave's timestamp
+      std::int64_t cohort = 0;     ///< rows in flight just after that wave
+    };
+    std::optional<ContinuousBatch> cont;
+    std::map<std::int64_t, LiveRow> live;
+    /// A thread is running this shard's round (admit + step + settle)
+    /// off-lock and exclusively owns `cont` and `live` until it clears
+    /// the flag; scheduling passes skip the shard meanwhile. The flag is
+    /// only read/written under mu_, which supplies the happens-before
+    /// between consecutive owners.
+    bool stepping = false;
+
     Shard(std::string model_name, InferencePlan plan, const BatchPolicy& p,
           const SessionOptions& sopts)
         : name(std::move(model_name)),
@@ -369,10 +431,13 @@ class ServingEngine {
     Pending pending;
   };
 
-  /// One scheduling pass's output: at most one formed batch, plus every
-  /// request shed (possibly from several shards) during the pass.
+  /// One scheduling pass's output: at most one formed batch — or, for a
+  /// continuous shard, one admission wave (possibly empty: a step-only
+  /// round that advances the in-flight rows) — plus every request shed
+  /// (possibly from several shards) during the pass.
   struct Formed {
     Shard* shard = nullptr;
+    bool continuous = false;
     std::vector<Pending> requests;
     std::vector<Shed> shed;
   };
@@ -411,6 +476,12 @@ class ServingEngine {
   /// Executes a formed batch and fulfills its promises. Called with mu_
   /// released; takes mu_ only to update stats.
   void execute_batch(Formed formed);
+
+  /// Runs one continuous round: admits the wave into the shard's open
+  /// ContinuousBatch, advances it one layer step, and settles every row
+  /// that retired (fulfilling promises + stats). Called with mu_
+  /// released and the shard's `stepping` flag held.
+  void continuous_round(Formed formed);
 
   [[nodiscard]] std::int64_t pending_locked() const;
   void batcher_loop();

@@ -133,9 +133,11 @@ class InferenceSession {
   };
 
   // The batched serving engine executes the session's layers directly;
-  // it is the single definition of the execution semantics that run(),
-  // run_from() and layer_inputs() must stay bit-identical to.
+  // its streaming core (ContinuousBatch) is the single definition of the
+  // execution semantics that run(), run_from() and layer_inputs() must
+  // stay bit-identical to.
   friend class BatchExecutor;
+  friend class ContinuousBatch;
 
   [[nodiscard]] bool check_layer(const Layer& layer, const Matrix<half_t>& a,
                                  const Matrix<half_t>& c) const;

@@ -31,7 +31,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <clocale>
 #include <cstdio>
+#include <locale>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -648,6 +650,80 @@ TEST_F(ServingTest, FailedBatchIsCountedAndDeliversTheError) {
   EXPECT_DOUBLE_EQ(stats.mean_execute_us(), 0.0);
   EXPECT_DOUBLE_EQ(stats.deadline_attainment(), 0.0);
   expect_reconciled(stats);
+}
+
+TEST_F(ServingTest, FailedBatchStillRecordsQueuePressure) {
+  ManualClock clock;
+  ServingEngine::Options opts = stepped_options(clock);
+  opts.on_dispatch = [](const std::string&, std::int64_t) {
+    throw std::runtime_error("injected executor failure");
+  };
+  ServingEngine engine(std::move(opts));
+  BatchPolicy policy;
+  policy.scheduler = SchedulerKind::fifo;
+  policy.max_delay = microseconds(0);
+  engine.add_model("dlrm", plan(), policy);
+  const auto& session = engine.session("dlrm");
+
+  auto a = engine.submit("dlrm", session.make_input(1));
+  auto b = engine.submit("dlrm", session.make_input(2));
+  clock.advance(microseconds(500));  // the wait is real before the failure
+  EXPECT_EQ(engine.pump(), 1u);
+  EXPECT_THROW((void)a.get(), std::runtime_error);
+  EXPECT_THROW((void)b.get(), std::runtime_error);
+
+  // Regression: the error path used to skip the queue aggregates, so queue
+  // pressure was under-reported exactly when batches failed. Both failed
+  // requests waited 500us; the aggregates must say so, and mean_queue_us
+  // averages over completed + failed to match.
+  const ServingStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.failed, 2);
+  EXPECT_DOUBLE_EQ(stats.queue_us_total, 1000.0);
+  EXPECT_DOUBLE_EQ(stats.queue_us_max, 500.0);
+  EXPECT_DOUBLE_EQ(stats.mean_queue_us(), 500.0);
+  expect_reconciled(stats);
+}
+
+// Comma decimal point + dot thousands grouping, as a custom facet so the
+// test needs no system locale installed (the table suite's idiom).
+class CommaNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+TEST_F(ServingTest, ShedMessageIsLocaleIndependent) {
+  // Regression: DeadlineExceeded::what() used to render its microsecond
+  // figures through a default-locale ostringstream — a comma-decimal host
+  // turned "200.25us" into "200,25us" (and grouped the queued time's
+  // digits) the moment the process imbued the global locale. fmt_double
+  // (std::to_chars) is locale-independent by specification.
+  const std::locale old_global = std::locale::global(
+      std::locale(std::locale::classic(), new CommaNumpunct));
+  // Hostile C locale too, when the host has one installed (this is the
+  // locale a printf-family formatter would have read).
+  const std::string old_c = std::setlocale(LC_ALL, nullptr);
+  bool c_switched = false;
+  for (const char* name : {"de_DE.UTF-8", "fr_FR.UTF-8", "de_DE", "fr_FR"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      c_switched = true;
+      break;
+    }
+  }
+
+  const DeadlineExceeded shed("dlrm", Priority::standard,
+                              /*queued_us=*/1250.5, /*late_us=*/200.25);
+  const std::string what = shed.what();
+
+  std::locale::global(old_global);
+  if (c_switched) std::setlocale(LC_ALL, old_c.c_str());
+
+  EXPECT_EQ(what,
+            "deadline exceeded: standard request for 'dlrm' shed 200.25us "
+            "past its deadline after 1250.50us queued");
+  EXPECT_EQ(what.find(','), std::string::npos);
 }
 
 TEST_F(ServingTest, StatsAccessorsAreSafeOnAnEmptyEngine) {
