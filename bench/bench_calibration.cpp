@@ -1,0 +1,263 @@
+// Measured-calibration bench: calibrates against a deterministic "ground
+// truth" device (a second cost model with perturbed efficiencies standing
+// in for real silicon), then reports per paper shape how the measured
+// roofline disagrees with the analytic model, the bound-classification
+// agreement rate, and what autotuned tile/scheme selection buys over the
+// static analytic sweep when both plans are scored under the truth.
+//
+// Emits JSON (the schema of BENCH_calibration.json at the repo root) to
+// stdout, and to a file when invoked as:
+//   bench_calibration [output.json]
+//
+// Finishes with a real wall-clock smoke: a few tiny shapes through the
+// actual functional executor, proving the measurement path (counters,
+// noise gate, fit) works outside the injected-measurement tests.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gemm/microbench.hpp"
+#include "nn/zoo/zoo.hpp"
+#include "runtime/report.hpp"
+
+using namespace aift;
+
+namespace {
+
+// The "real device": same datasheet peaks as the T4, but the fractions a
+// tuned kernel achieves differ from the static CostParams defaults —
+// memory efficiency much lower, tensor pipes slightly better, a slower
+// dependent mainloop. Deterministic, so the bench is reproducible.
+GemmCostModel ground_truth() {
+  CostParams real;
+  real.mem_efficiency = 0.35;
+  real.tensor_efficiency = 0.95;
+  real.cycles_per_k8_step = 55.0;
+  return GemmCostModel(devices::t4(), real);
+}
+
+// Score a compiled plan under the ground truth: re-estimate every layer's
+// chosen (tile, scheme) with the truth model, under the same standalone
+// GEMM-plus-scheme semantics the microbench sweep measures (per-layer
+// fusion context is a plan-time adjustment no standalone measurement can
+// see — that gap is reported by the divergence table, not scored here).
+// Both plans pay what the "real device" says their choices cost, so the
+// comparison is fair either way it lands.
+double truth_cost_us(const GemmCostModel& truth, const InferencePlan& plan) {
+  double total = 0.0;
+  for (const LayerPlanEntry& e : plan.entries) {
+    const Scheme s = e.profile.scheme;
+    const RedundancyDelta delta =
+        s == Scheme::none
+            ? RedundancyDelta{}
+            : scheme_delta(s, e.layer.gemm, e.exec_tile(), plan.dtype,
+                           truth.device(), plan.abft_options);
+    total += truth.estimate(e.layer.gemm, e.exec_tile(), plan.dtype, delta)
+                 .total_us;
+  }
+  return total;
+}
+
+struct ModelDelta {
+  std::string name;
+  double static_us = 0.0;
+  double autotuned_us = 0.0;
+  double bound_agreement = 1.0;
+  int layers = 0;
+  int bound_divergent = 0;
+  int tile_divergent = 0;
+
+  [[nodiscard]] double win_pct() const {
+    return static_us > 0.0 ? (static_us - autotuned_us) / static_us * 100.0
+                           : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Measured roofline calibration vs the static analytic model, T4, FP16",
+      "Ground truth = perturbed-efficiency cost model (mem 0.35 vs 0.82,\n"
+      "tensor 0.95 vs 0.88, slower mainloop); calibration measures it, the\n"
+      "static model does not. Plans are scored under the truth.");
+
+  const GemmCostModel analytic(devices::t4());
+  const GemmCostModel truth = ground_truth();
+
+  // ---- Per paper shape: measured vs analytic cost and bound class ------
+  const std::vector<int> sizes = {32, 64, 128, 256, 512, 1024, 2048};
+  std::vector<GemmShape> square_shapes;
+  for (const int s : sizes) square_shapes.push_back({s, s, s});
+  const CalibrationTable square_calib = fit_calibration(
+      devices::t4(), run_microbench(sweep_points(square_shapes, all_schemes()),
+                                    cost_model_measure(truth)));
+
+  Table squares({"size", "paper AI", "analytic us", "measured us",
+                 "analytic bound", "measured bound", "agree"});
+  int square_agree = 0;
+  struct SquareRow {
+    int size;
+    double ai, analytic_us, measured_us;
+    bool analytic_bw, measured_bw;
+  };
+  std::vector<SquareRow> square_rows;
+  for (const GemmShape& g : square_shapes) {
+    const ProfiledKernel best = profile_best(analytic, g, DType::f16);
+    const CalibrationEntry* me = square_calib.best_entry(g, DType::f16, -1);
+    const double ai = paper_intensity(g, DType::f16);
+    const bool analytic_bw = is_bandwidth_bound(g, DType::f16, devices::t4());
+    const bool measured_bw =
+        square_calib.memory_bound(me != nullptr ? me->ai : ai);
+    if (analytic_bw == measured_bw) ++square_agree;
+    square_rows.push_back({static_cast<int>(g.m), ai, best.cost.total_us,
+                           me != nullptr ? me->elapsed_us : 0.0, analytic_bw,
+                           measured_bw});
+    squares.add_row(
+        {std::to_string(g.m), fmt_double(ai, 1),
+         fmt_time_us(best.cost.total_us),
+         me != nullptr ? fmt_time_us(me->elapsed_us) : "-",
+         analytic_bw ? "bandwidth" : "compute",
+         measured_bw ? "bandwidth" : "compute",
+         analytic_bw == measured_bw ? "yes" : "NO"});
+  }
+  const double square_rate =
+      static_cast<double>(square_agree) / square_shapes.size();
+  std::printf("%s\nBound-class agreement on Figure 12 squares: %d/%d "
+              "(%.0f%%)\n\n",
+              squares.to_string().c_str(), square_agree,
+              static_cast<int>(square_shapes.size()), square_rate * 100.0);
+
+  // ---- Autotuned vs static plans, scored under the truth ---------------
+  std::vector<ModelDelta> deltas;
+  const std::vector<Model> models = {zoo::dlrm_mlp_bottom(1),
+                                     zoo::resnet50(zoo::hd_input(1))};
+  for (const Model& m : models) {
+    std::vector<GemmShape> shapes;
+    for (const auto& layer : m.layers()) shapes.push_back(layer.gemm);
+    const CalibrationTable calib = fit_calibration(
+        devices::t4(), run_microbench(sweep_points(shapes, all_schemes()),
+                                      cost_model_measure(truth)));
+
+    const InferencePlan statically = compile_plan_serial(
+        analytic, m, ProtectionPolicy::intensity_guided, DType::f16);
+    const InferencePlan autotuned = compile_plan_serial(
+        analytic, m, ProtectionPolicy::intensity_guided, DType::f16, {},
+        nullptr, &calib);
+
+    ModelDelta d;
+    d.name = m.name();
+    d.static_us = truth_cost_us(truth, statically);
+    d.autotuned_us = truth_cost_us(truth, autotuned);
+    const DivergenceReport rep =
+        divergence_report(analytic, autotuned, calib);
+    d.layers = static_cast<int>(rep.rows.size());
+    d.bound_divergent = rep.bound_divergent;
+    d.tile_divergent = rep.tile_divergent;
+    d.bound_agreement = rep.bound_agreement_rate();
+    deltas.push_back(d);
+
+    std::printf("-- %s: divergence report (analytic model vs measured "
+                "truth) --\n%s\n",
+                m.name().c_str(), divergence_table(rep).to_string().c_str());
+  }
+
+  Table wins({"model", "static (truth us)", "autotuned (truth us)",
+              "autotuned win", "bound agree", "tile diverged"});
+  for (const ModelDelta& d : deltas) {
+    wins.add_row({d.name, fmt_time_us(d.static_us),
+                  fmt_time_us(d.autotuned_us), fmt_pct(d.win_pct()),
+                  fmt_pct(d.bound_agreement * 100.0),
+                  std::to_string(d.tile_divergent) + "/" +
+                      std::to_string(d.layers)});
+  }
+  std::printf("%s\n", wins.to_string().c_str());
+
+  // ---- Real wall-clock smoke ------------------------------------------
+  WallClockOptions wc;
+  wc.repeats = 3;
+  wc.max_noise_frac = 10.0;  // the functional simulator is not a GPU; the
+                             // smoke proves the path, not the numbers
+  const auto wall = run_microbench(
+      sweep_points({{64, 48, 32}, {128, 64, 64}}, {Scheme::none}),
+      wall_clock_measure(wc));
+  const CalibrationTable wall_calib = fit_calibration(
+      devices::t4(), wall, CalibrationFitOptions{10.0, 1});
+  int wall_ok = 0;
+  for (const MeasuredPoint& p : wall) wall_ok += p.sample.ok ? 1 : 0;
+  std::printf("Wall-clock smoke: %d/%d points measured, calibrated=%s "
+              "(counter-derived FLOPs, functional executor)\n",
+              wall_ok, static_cast<int>(wall.size()),
+              wall_calib.calibrated ? "true" : "false");
+
+  // ---- JSON ------------------------------------------------------------
+  std::string json = "{\n  \"bench\": \"calibration\",\n";
+  json += "  \"note\": \"ground truth is a deterministic perturbed cost "
+          "model; wall-clock section is host-dependent\",\n";
+  json += "  \"squares\": [\n";
+  for (std::size_t i = 0; i < square_rows.size(); ++i) {
+    const SquareRow& r = square_rows[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"size\": %d, \"paper_ai\": %.1f, "
+                  "\"analytic_us\": %.3f, \"measured_us\": %.3f, "
+                  "\"analytic_bandwidth_bound\": %s, "
+                  "\"measured_memory_bound\": %s}%s\n",
+                  r.size, r.ai, r.analytic_us, r.measured_us,
+                  r.analytic_bw ? "true" : "false",
+                  r.measured_bw ? "true" : "false",
+                  i + 1 < square_rows.size() ? "," : "");
+    json += buf;
+  }
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n  \"square_bound_agreement_rate\": %.3f,\n",
+                square_rate);
+  json += buf;
+  json += "  \"models\": [\n";
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const ModelDelta& d = deltas[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"model\": \"%s\", \"static_truth_us\": %.3f, "
+                  "\"autotuned_truth_us\": %.3f, "
+                  "\"autotuned_win_pct\": %.2f, "
+                  "\"bound_agreement_rate\": %.3f, "
+                  "\"tile_divergent_layers\": %d, \"layers\": %d}%s\n",
+                  d.name.c_str(), d.static_us, d.autotuned_us, d.win_pct(),
+                  d.bound_agreement, d.tile_divergent, d.layers,
+                  i + 1 < deltas.size() ? "," : "");
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n  \"wall_clock_smoke\": {\"points\": %d, "
+                "\"measured_ok\": %d, \"calibrated\": %s}\n}\n",
+                static_cast<int>(wall.size()), wall_ok,
+                wall_calib.calibrated ? "true" : "false");
+  json += buf;
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  std::fputs(json.c_str(), stdout);
+
+  // The autotuned plan must never be worse than the static plan under the
+  // truth it was calibrated against (ties are honest — when the analytic
+  // choice was already optimal, autotuning confirms it).
+  for (const ModelDelta& d : deltas) {
+    if (d.autotuned_us > d.static_us * 1.0000001) {
+      std::fprintf(stderr, "FATAL: autotuned plan worse than static for %s\n",
+                   d.name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

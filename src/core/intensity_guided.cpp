@@ -1,5 +1,7 @@
 #include "core/intensity_guided.hpp"
 
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace aift {
@@ -11,6 +13,13 @@ IntensityGuidedSelector::IntensityGuidedSelector(const GemmCostModel& model,
   AIFT_CHECK(!candidates_.empty());
 }
 
+void IntensityGuidedSelector::set_calibration(const CalibrationTable* calib) {
+  // An uncalibrated table is the fitter's graceful-degradation state
+  // ("roofline: null"): treat it exactly like no table at all.
+  calib_ = (calib != nullptr && calib->calibrated) ? calib : nullptr;
+  calib_fingerprint_ = calib_ != nullptr ? calib_->fingerprint() : 0;
+}
+
 ProfileKey IntensityGuidedSelector::profile_key(Scheme scheme,
                                                 const GemmShape& shape,
                                                 DType dtype) const {
@@ -19,6 +28,7 @@ ProfileKey IntensityGuidedSelector::profile_key(Scheme scheme,
   key.n = shape.n;
   key.k = shape.k;
   key.dtype = dtype;
+  key.calibration = calib_fingerprint_;
   key.device = model_.device().name;
   if (scheme == Scheme::none) {
     // Unprotected baseline: no delta, so no AbftOptions field matters.
@@ -44,10 +54,31 @@ SchemeProfile IntensityGuidedSelector::evaluate(Scheme scheme,
                                                 DType dtype) const {
   const auto profiled = [&](Scheme s) {
     const auto compute = [&]() {
+      const auto delta_of = [&](const TileConfig& tile) {
+        return s == Scheme::none
+                   ? RedundancyDelta{}
+                   : scheme_delta(s, shape, tile, dtype, model_.device(),
+                                  opts_);
+      };
+      // Autotune: when the measured table covers this point, take the
+      // measured-fastest tile instead of sweeping the analytic candidates.
+      // The recorded cost is still the analytic estimate *of that tile* —
+      // plan artifacts keep one consistent cost basis (format v1) and the
+      // measured evidence lives in the calibration artifact. A measured
+      // tile the analytic model says cannot fit this device (infinite
+      // total_us would poison plan totals) falls back to the sweep.
+      if (calib_ != nullptr) {
+        const int tag = s == Scheme::none ? -1 : static_cast<int>(s);
+        if (const CalibrationEntry* me = calib_->best_entry(shape, dtype, tag)) {
+          const KernelCost cost =
+              model_.estimate(shape, me->tile, dtype, delta_of(me->tile));
+          if (std::isfinite(cost.total_us)) {
+            return ProfiledKernel{me->tile, cost};
+          }
+        }
+      }
       if (s == Scheme::none) return profile_best(model_, shape, dtype);
-      return profile_best(model_, shape, dtype, [&](const TileConfig& tile) {
-        return scheme_delta(s, shape, tile, dtype, model_.device(), opts_);
-      });
+      return profile_best(model_, shape, dtype, delta_of);
     };
     return cache_ ? cache_->get_or_compute(profile_key(s, shape, dtype),
                                            compute)
@@ -86,9 +117,21 @@ SchemeChoice IntensityGuidedSelector::select(const GemmShape& shape,
   for (const Scheme s : candidates_) {
     choice.considered.push_back(evaluate(s, shape, dtype));
   }
+  // Rank by measured time where the calibration sweep covers the scheme,
+  // analytic time otherwise. Strict < keeps the first of equals, so the
+  // outcome is a pure function of candidate order, never of traversal.
+  const auto rank_us = [&](const SchemeProfile& p) {
+    if (calib_ != nullptr && p.scheme != Scheme::none) {
+      if (const CalibrationEntry* me =
+              calib_->best_entry(shape, dtype, static_cast<int>(p.scheme))) {
+        return me->elapsed_us;
+      }
+    }
+    return p.redundant.cost.total_us;
+  };
   const SchemeProfile* best = &choice.considered.front();
   for (const auto& p : choice.considered) {
-    if (p.redundant.cost.total_us < best->redundant.cost.total_us) best = &p;
+    if (rank_us(p) < rank_us(*best)) best = &p;
   }
   choice.chosen = *best;
   return choice;

@@ -70,6 +70,19 @@ class IntensityGuidedSelector {
   void set_cache(ProfileCache* cache) { cache_ = cache; }
   [[nodiscard]] ProfileCache* cache() const { return cache_; }
 
+  /// Installs a measured CalibrationTable (gemm/calibration.hpp): when the
+  /// table covers a (shape, dtype, scheme) point, evaluate() autotunes the
+  /// tile to the measured-fastest one (recording the analytic cost of that
+  /// tile, so plans stay comparable) and select() ranks candidate schemes
+  /// by their measured time. Uncovered points and uncalibrated tables
+  /// (calibrated == false, the graceful-degradation state) fall back to
+  /// the analytic sweep unchanged. The table must outlive the selector;
+  /// nullptr restores purely analytic behaviour. The table's fingerprint
+  /// is folded into every ProfileKey so shared caches distinguish
+  /// calibration generations.
+  void set_calibration(const CalibrationTable* calib);
+  [[nodiscard]] const CalibrationTable* calibration() const { return calib_; }
+
   /// Cache identity of one (scheme, shape) profile under this selector's
   /// options. Exposed so planners and tests can probe cache contents.
   [[nodiscard]] ProfileKey profile_key(Scheme scheme, const GemmShape& shape,
@@ -80,6 +93,8 @@ class IntensityGuidedSelector {
   AbftOptions opts_;
   std::vector<Scheme> candidates_;
   ProfileCache* cache_ = nullptr;
+  const CalibrationTable* calib_ = nullptr;
+  std::uint64_t calib_fingerprint_ = 0;  ///< cached; fingerprint() is O(n)
 };
 
 }  // namespace aift

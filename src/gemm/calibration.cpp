@@ -1,0 +1,187 @@
+#include "gemm/calibration.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "gemm/microbench.hpp"
+
+namespace aift {
+namespace {
+
+// Structural FNV-1a: every value is widened to a uint64 and hashed
+// LSB-first, so the fingerprint is identical across platforms regardless
+// of struct padding or host endianness.
+struct StructuralHash {
+  std::uint64_t h = 14695981039346656037ULL;
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<unsigned char>(v >> (8 * i));
+      h *= 1099511628211ULL;
+    }
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    i64(static_cast<std::int64_t>(s.size()));
+    for (const char ch : s) u64(static_cast<unsigned char>(ch));
+  }
+};
+
+void hash_params(StructuralHash& hash, const CostParams& p) {
+  hash.f64(p.mem_efficiency);
+  hash.f64(p.tensor_efficiency);
+  hash.f64(p.alu_efficiency);
+  hash.f64(p.bw_sat_warps_per_sm);
+  hash.f64(p.tensor_sat_warps_per_sm);
+  hash.f64(p.alu_sat_warps_per_sm);
+  hash.f64(p.base_alu_ops_per_thread_k8);
+  hash.f64(p.cycles_per_k8_step);
+  hash.f64(p.kernel_fixed_us);
+  hash.f64(p.thread_check_fixed_us);
+  hash.f64(p.thread_mainloop_dilation);
+  hash.f64(p.register_spill_penalty);
+  hash.f64(p.reduction_kernel_bw_frac);
+}
+
+void hash_entry(StructuralHash& hash, const CalibrationEntry& e) {
+  hash.i64(e.shape.m);
+  hash.i64(e.shape.n);
+  hash.i64(e.shape.k);
+  hash.i64(e.tile.mb);
+  hash.i64(e.tile.nb);
+  hash.i64(e.tile.kb);
+  hash.i64(e.tile.mw);
+  hash.i64(e.tile.nw);
+  hash.i64(e.tile.stages);
+  hash.i64(static_cast<std::int64_t>(e.dtype));
+  hash.i64(e.scheme_tag);
+  hash.i64(e.batch_rows);
+  hash.f64(e.elapsed_us);
+  hash.f64(e.flops);
+  hash.f64(e.bytes);
+  hash.f64(e.ai);
+  hash.i64(e.memory_bound ? 1 : 0);
+}
+
+double clamp_efficiency(double achieved, double peak) {
+  if (!(peak > 0.0) || !std::isfinite(achieved) || achieved <= 0.0) {
+    return 0.0;
+  }
+  return std::clamp(achieved / peak, 0.01, 1.0);
+}
+
+}  // namespace
+
+const CalibrationEntry* CalibrationTable::best_entry(const GemmShape& shape,
+                                                     DType dtype,
+                                                     int scheme_tag) const {
+  const CalibrationEntry* best = nullptr;
+  for (const CalibrationEntry& e : entries) {
+    if (e.batch_rows != 1 || e.shape != shape || e.dtype != dtype ||
+        e.scheme_tag != scheme_tag) {
+      continue;
+    }
+    // Strict < keeps the first of equal-time entries: sweep order is
+    // deterministic, so ties never depend on traversal accidents.
+    if (best == nullptr || e.elapsed_us < best->elapsed_us) best = &e;
+  }
+  return best;
+}
+
+const CalibrationEntry* CalibrationTable::find_entry(
+    const GemmShape& shape, DType dtype, int scheme_tag,
+    const TileConfig& tile) const {
+  for (const CalibrationEntry& e : entries) {
+    if (e.batch_rows == 1 && e.shape == shape && e.dtype == dtype &&
+        e.scheme_tag == scheme_tag && e.tile == tile) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t CalibrationTable::fingerprint() const {
+  StructuralHash hash;
+  hash.str(device_name);
+  hash.i64(calibrated ? 1 : 0);
+  hash.f64(peak_compute_flops);
+  hash.f64(peak_bandwidth_bytes);
+  hash_params(hash, fitted);
+  hash.i64(points_measured);
+  hash.i64(points_rejected);
+  hash.i64(static_cast<std::int64_t>(entries.size()));
+  for (const CalibrationEntry& e : entries) hash_entry(hash, e);
+  return hash.h;
+}
+
+CalibrationTable fit_calibration(const DeviceSpec& dev,
+                                 const std::vector<MeasuredPoint>& points,
+                                 const CalibrationFitOptions& opts) {
+  CalibrationTable table;
+  table.device_name = dev.name;
+  table.points_measured = static_cast<std::int64_t>(points.size());
+
+  // Pass 1: accept points and find the achieved ceilings. The sweep mixes
+  // compute-heavy and streaming-heavy shapes, so the max achieved FLOP/s
+  // and bytes/s across it approximate the two roofline ceilings the way
+  // LARM's dedicated probes do.
+  double peak_flops = 0.0;
+  double peak_bytes = 0.0;
+  for (const MeasuredPoint& mp : points) {
+    const MeasurementSample& s = mp.sample;
+    if (!s.ok || !(s.elapsed_us > 0.0) || !std::isfinite(s.elapsed_us) ||
+        s.noise_frac > opts.max_noise_frac || !std::isfinite(mp.ai)) {
+      ++table.points_rejected;
+      continue;
+    }
+    CalibrationEntry e;
+    e.shape = mp.point.shape;
+    e.tile = mp.point.tile;
+    e.dtype = mp.point.dtype;
+    e.scheme_tag =
+        mp.point.scheme == Scheme::none ? -1 : static_cast<int>(mp.point.scheme);
+    e.batch_rows = mp.point.batch_rows;
+    e.elapsed_us = s.elapsed_us;
+    e.flops = s.flops;
+    e.bytes = s.bytes;
+    e.ai = mp.ai;
+    table.entries.push_back(e);
+    peak_flops = std::max(peak_flops, mp.achieved_flops_per_sec);
+    peak_bytes = std::max(peak_bytes, mp.achieved_bytes_per_sec);
+  }
+
+  table.peak_compute_flops = peak_flops;
+  table.peak_bandwidth_bytes = peak_bytes;
+  table.calibrated = table.entries.size() >= opts.min_points &&
+                     std::isfinite(peak_flops) && peak_flops > 0.0 &&
+                     std::isfinite(peak_bytes) && peak_bytes > 0.0;
+
+  // Pass 2: classify each accepted point against the *measured* roofline.
+  for (CalibrationEntry& e : table.entries) {
+    e.memory_bound = table.memory_bound(e.ai);
+  }
+
+  // Refit the efficiency fractions: achieved ceiling over datasheet peak.
+  // The dtype peak differs per entry, so take the best fraction any entry
+  // achieved (a point can't exceed its own pipe's ceiling, so the max is
+  // the least-pessimistic consistent estimate). Fractions only replace the
+  // analytic defaults when the fit is usable.
+  if (table.calibrated) {
+    double tensor_frac = 0.0;
+    for (const CalibrationEntry& e : table.entries) {
+      if (!(e.elapsed_us > 0.0)) continue;
+      const double achieved = e.flops / (e.elapsed_us * 1.0e-6);
+      tensor_frac = std::max(
+          tensor_frac, clamp_efficiency(achieved, dev.peak_math_flops(e.dtype)));
+    }
+    const double mem_frac =
+        clamp_efficiency(peak_bytes, dev.mem_bytes_per_sec());
+    if (tensor_frac > 0.0) table.fitted.tensor_efficiency = tensor_frac;
+    if (mem_frac > 0.0) table.fitted.mem_efficiency = mem_frac;
+  }
+  return table;
+}
+
+}  // namespace aift

@@ -1,14 +1,40 @@
 #pragma once
-// Calibration constants for the analytic kernel cost model.
+// Calibration of the analytic kernel cost model.
 //
-// These encode achievable-vs-peak efficiencies and fixed costs observed on
-// real inference GPUs (CUTLASS on T4 reaches ~85-90% of tensor peak on
-// large GEMMs; DRAM efficiency ~80%; kernel launch ~4 us in back-to-back
-// measurement loops). The paper-shape test suite
-// (tests/calibration/test_paper_shapes.cpp) pins the qualitative behaviour
-// these constants must reproduce; see DESIGN.md §5.
+// Two layers live here:
+//
+//   1. CostParams — the analytic defaults: achievable-vs-peak efficiencies
+//      and fixed costs observed on real inference GPUs (CUTLASS on T4
+//      reaches ~85-90% of tensor peak on large GEMMs; DRAM efficiency
+//      ~80%; kernel launch ~4 us in back-to-back measurement loops). The
+//      paper-shape test suite (tests/calibration/test_paper_shapes.cpp)
+//      pins the qualitative behaviour these constants must reproduce; see
+//      DESIGN.md §5.
+//
+//   2. CalibrationTable — the *measured* alternative (ROADMAP item 3):
+//      achieved roofline ceilings and per-(shape, tile, scheme) timings
+//      fitted from a gemm/microbench sweep, in the spirit of LARM's
+//      per-topology roofline probes and rocm-perf-lab's counter-derived
+//      FLOP/byte accounting. The table classifies each point memory- vs
+//      compute-bound from its *measured* AI against the *measured* peaks
+//      (peak_bandwidth * AI < peak_compute => memory-bound), carries a
+//      structural fingerprint so caches can tell calibration generations
+//      apart, and degrades gracefully: when measurement is unavailable or
+//      too noisy it reports calibrated == false and every consumer falls
+//      back to the analytic model — the rocm-perf-lab "roofline: null"
+//      failure semantics.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/device.hpp"
+#include "gemm/gemm_shape.hpp"
+#include "gemm/tile_config.hpp"
 
 namespace aift {
+
+struct MeasuredPoint;  // gemm/microbench.hpp
 
 struct CostParams {
   // Fractions of datasheet peak achievable by a well-tuned kernel.
@@ -53,6 +79,106 @@ struct CostParams {
   // Effective bandwidth of the small ABFT reduction/compare kernel
   // (bytes/s as a fraction of peak; it is latency- not bandwidth-bound).
   double reduction_kernel_bw_frac = 0.30;
+
+  friend bool operator==(const CostParams&, const CostParams&) = default;
 };
+
+/// One fitted sweep point: a (shape, tile, scheme) configuration with its
+/// measured time and roofline quantities. Only points the measurement
+/// source accepted (sample.ok, noise within bounds) become entries.
+struct CalibrationEntry {
+  GemmShape shape;
+  TileConfig tile;
+  DType dtype = DType::f16;
+  /// Scheme identity as stored in ProfileKey: -1 = unprotected baseline,
+  /// otherwise static_cast<int>(Scheme).
+  int scheme_tag = -1;
+  std::int64_t batch_rows = 1;
+
+  double elapsed_us = 0.0;  ///< measured best-of-repeats time
+  double flops = 0.0;       ///< FLOPs executed (counter-derived)
+  double bytes = 0.0;       ///< memory traffic, bytes
+  double ai = 0.0;          ///< FLOPs/bytes; 0 when bytes == 0
+  /// Measured-roofline classification of this point:
+  /// peak_bandwidth * AI < peak_compute.
+  bool memory_bound = true;
+
+  friend bool operator==(const CalibrationEntry&,
+                         const CalibrationEntry&) = default;
+};
+
+struct CalibrationFitOptions {
+  /// Points whose repeat spread exceeds this are rejected even if the
+  /// source accepted them (a second, stricter gate for wall-clock data).
+  double max_noise_frac = 0.5;
+  /// Fewer accepted points than this => calibrated == false (the table
+  /// still carries whatever was salvaged, but consumers must fall back).
+  std::size_t min_points = 1;
+};
+
+/// The measured-calibration artifact: achieved roofline ceilings plus the
+/// accepted sweep entries, fitted against a device's datasheet peaks.
+/// `calibrated == false` is the graceful-degradation state — consumers
+/// (selector, planner, serving) treat such a table as absent and use the
+/// analytic model unchanged.
+struct CalibrationTable {
+  std::string device_name;
+  bool calibrated = false;
+
+  /// Achieved ceilings across the accepted sweep (max observed rates) —
+  /// the measured analogue of DeviceSpec::peak_math_flops and
+  /// mem_bytes_per_sec.
+  double peak_compute_flops = 0.0;
+  double peak_bandwidth_bytes = 0.0;
+
+  /// CostParams with efficiency fractions refit from the measured ceilings
+  /// (achieved / datasheet peak, clamped); everything else keeps the
+  /// analytic defaults.
+  CostParams fitted;
+
+  std::vector<CalibrationEntry> entries;
+
+  /// Sweep coverage bookkeeping, reported honestly: how many points were
+  /// offered to the fitter and how many it had to reject.
+  std::int64_t points_measured = 0;
+  std::int64_t points_rejected = 0;
+
+  /// Measured-roofline bound classification (rocm-perf-lab §7): a kernel
+  /// of arithmetic intensity `ai` is memory-bound iff
+  /// peak_bandwidth * ai < peak_compute. AI == 0 is always memory-bound.
+  [[nodiscard]] bool memory_bound(double ai) const {
+    return peak_bandwidth_bytes * ai < peak_compute_flops;
+  }
+
+  /// Fastest measured entry for this (shape, dtype, scheme); single-GEMM
+  /// entries only (batch_rows == 1). nullptr when the sweep did not cover
+  /// the configuration — callers fall back to the analytic profiler.
+  [[nodiscard]] const CalibrationEntry* best_entry(const GemmShape& shape,
+                                                   DType dtype,
+                                                   int scheme_tag) const;
+
+  /// The measured entry for one exact (shape, dtype, scheme, tile) point,
+  /// or nullptr if unmeasured.
+  [[nodiscard]] const CalibrationEntry* find_entry(const GemmShape& shape,
+                                                   DType dtype, int scheme_tag,
+                                                   const TileConfig& tile) const;
+
+  /// Structural FNV-1a fingerprint over every field (doubles hashed by bit
+  /// pattern). Changes whenever recalibration changes anything the
+  /// selector could observe — ProfileKey folds this in so caches never
+  /// serve results fitted against a stale table.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  friend bool operator==(const CalibrationTable&,
+                         const CalibrationTable&) = default;
+};
+
+/// Fits a CalibrationTable from a microbench sweep (gemm/microbench.hpp).
+/// Rejected or non-positive samples are dropped (and counted); if too few
+/// points survive, the table comes back with calibrated == false rather
+/// than throwing — measurement failure must never break planning.
+[[nodiscard]] CalibrationTable fit_calibration(
+    const DeviceSpec& dev, const std::vector<MeasuredPoint>& points,
+    const CalibrationFitOptions& opts = {});
 
 }  // namespace aift

@@ -23,6 +23,7 @@ std::size_t ProfileKeyHash::operator()(const ProfileKey& key) const noexcept {
   h = mix(h, static_cast<std::uint64_t>(key.dtype));
   h = mix(h, static_cast<std::uint64_t>(key.scheme_tag + 1));
   for (const double o : key.opts) h = mix(h, std::bit_cast<std::uint64_t>(o));
+  h = mix(h, key.calibration);
   h = mix(h, std::hash<std::string>{}(key.device));
   return static_cast<std::size_t>(h);
 }

@@ -31,7 +31,11 @@ namespace aift {
 /// Identity of one profiling query. `scheme_tag` is -1 for the unprotected
 /// baseline profile and static_cast<int>(Scheme) for a redundant profile;
 /// `opts` is the caller's fingerprint of every AbftOptions field that can
-/// change the result (all zeros when no scheme is applied).
+/// change the result (all zeros when no scheme is applied); `calibration`
+/// is the structural fingerprint of the installed CalibrationTable (0 when
+/// profiling is purely analytic) — recalibrating a device changes every
+/// key, so a shared cache can never serve results autotuned against a
+/// stale measurement generation.
 struct ProfileKey {
   std::int64_t m = 0;
   std::int64_t n = 0;
@@ -39,6 +43,7 @@ struct ProfileKey {
   DType dtype = DType::f16;
   int scheme_tag = -1;
   std::array<double, 5> opts{};
+  std::uint64_t calibration = 0;
   std::string device;
 
   /// Equality compares `opts` by bit pattern, matching ProfileKeyHash —
@@ -48,7 +53,8 @@ struct ProfileKey {
   [[nodiscard]] friend bool operator==(const ProfileKey& a,
                                        const ProfileKey& b) {
     if (!(a.m == b.m && a.n == b.n && a.k == b.k && a.dtype == b.dtype &&
-          a.scheme_tag == b.scheme_tag && a.device == b.device)) {
+          a.scheme_tag == b.scheme_tag && a.calibration == b.calibration &&
+          a.device == b.device)) {
       return false;
     }
     for (std::size_t i = 0; i < a.opts.size(); ++i) {

@@ -1,0 +1,151 @@
+#include "runtime/artifact_io.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <locale>
+
+#include "common/check.hpp"
+
+namespace aift::artifact {
+
+std::uint64_t fnv1a(const std::string& payload) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char ch : payload) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Doubles are written as C hexfloats: exact bit-for-bit round trip.
+// std::to_chars is locale-independent by specification — snprintf("%a")
+// would write the *current C locale's* decimal separator, producing an
+// artifact another host can't parse. to_chars omits printf's "0x" prefix,
+// so it is restored here to keep the artifact layout printf-compatible.
+std::string hex_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::hex);
+  AIFT_CHECK_MSG(ec == std::errc(), "hexfloat formatting failed");
+  const std::string digits(buf, ptr);
+  // Non-finite values print as "inf"/"-inf"/"nan" with no prefix, exactly
+  // as printf("%a") does (the cost model uses an infinite total_us as its
+  // "does not fit the device" sentinel, so they do occur in artifacts).
+  if (!std::isfinite(v)) return digits;
+  if (!digits.empty() && digits.front() == '-') {
+    return "-0x" + digits.substr(1);
+  }
+  return "0x" + digits;
+}
+
+std::string make_artifact(const std::string& magic, int version,
+                          const std::string& payload) {
+  char header[96];
+  std::snprintf(header, sizeof(header), "%s v%d %016llx\n", magic.c_str(),
+                version, static_cast<unsigned long long>(fnv1a(payload)));
+  return header + payload;
+}
+
+std::string check_artifact_header(const std::string& magic, int version,
+                                  const std::string& text) {
+  const std::size_t eol = text.find('\n');
+  AIFT_CHECK_MSG(eol != std::string::npos,
+                 magic << " artifact: missing header");
+  const std::string header = text.substr(0, eol);
+  std::string payload = text.substr(eol + 1);
+
+  TokenReader tr(header, 1, magic.c_str());
+  AIFT_CHECK_MSG(tr.token() == magic,
+                 magic << " artifact: bad magic in '" << header << "'");
+  const std::string got_version = tr.token();
+  std::string expected = "v";
+  expected += std::to_string(version);
+  AIFT_CHECK_MSG(got_version == expected,
+                 magic << " artifact: unsupported version '" << got_version
+                       << "' (expected " << expected << ")");
+  const std::string fp = tr.token();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a(payload)));
+  AIFT_CHECK_MSG(fp == buf, magic << " artifact: fingerprint mismatch (" << fp
+                                  << " recorded, " << buf
+                                  << " computed) — truncated or corrupted");
+  return payload;
+}
+
+LineReader::LineReader(const std::string& text, const char* kind)
+    : in(text), what(kind) {
+  in.imbue(std::locale::classic());
+}
+
+std::string LineReader::expect(const std::string& keyword) {
+  std::string line;
+  AIFT_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+                 what << " truncated: expected '" << keyword << "'");
+  ++line_no;
+  const std::size_t sp = line.find(' ');
+  const std::string head = line.substr(0, sp);
+  AIFT_CHECK_MSG(head == keyword, what << " line " << line_no
+                                       << ": expected '" << keyword
+                                       << "', got '" << head << "'");
+  return sp == std::string::npos ? std::string() : line.substr(sp + 1);
+}
+
+TokenReader::TokenReader(const std::string& rest, int line, const char* kind)
+    : in(rest), line_no(line), what(kind) {
+  in.imbue(std::locale::classic());
+}
+
+std::string TokenReader::token() {
+  std::string t;
+  AIFT_CHECK_MSG(static_cast<bool>(in >> t),
+                 what << " line " << line_no << ": missing field");
+  return t;
+}
+
+// strtod honors the current C locale's decimal separator — a host set to
+// a comma locale would reject every artifact written elsewhere. from_chars
+// is locale-independent by specification; it takes no "0x" prefix and no
+// sign, so both are handled here.
+double TokenReader::f64() {
+  const std::string t = token();
+  const char* first = t.c_str();
+  const char* last = first + t.size();
+  bool negative = false;
+  if (first != last && (*first == '-' || *first == '+')) {
+    negative = *first == '-';
+    ++first;
+  }
+  if (last - first > 2 && first[0] == '0' &&
+      (first[1] == 'x' || first[1] == 'X')) {
+    first += 2;
+  }
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(first, last, v,
+                                         std::chars_format::hex);
+  AIFT_CHECK_MSG(ec == std::errc() && ptr == last,
+                 what << " line " << line_no << ": bad number '" << t << "'");
+  return negative ? -v : v;
+}
+
+std::int64_t TokenReader::i64() {
+  const std::string t = token();
+  std::int64_t v = 0;
+  const char* first = t.c_str();
+  const auto [ptr, ec] = std::from_chars(first, first + t.size(), v, 10);
+  AIFT_CHECK_MSG(ec == std::errc() && ptr == first + t.size(),
+                 what << " line " << line_no << ": bad integer '" << t << "'");
+  return v;
+}
+
+int TokenReader::i32() { return static_cast<int>(i64()); }
+
+bool TokenReader::flag() {
+  const std::int64_t v = i64();
+  AIFT_CHECK_MSG(v == 0 || v == 1,
+                 what << " line " << line_no << ": bad flag " << v);
+  return v == 1;
+}
+
+}  // namespace aift::artifact

@@ -1,0 +1,80 @@
+#pragma once
+// Shared machinery of the versioned on-disk artifacts (runtime/plan_io,
+// runtime/calibration_io).
+//
+// Every artifact is a line-oriented text format:
+//
+//   <magic> v<version> <fingerprint>
+//   <payload lines>
+//
+// where the fingerprint is an FNV-1a 64 hash of the payload. Doubles are
+// written as C hexfloats through std::to_chars/std::from_chars and every
+// stream is imbued with the classic locale, so artifacts round-trip bit
+// for bit — serialize(deserialize(s)) == s — under any host locale.
+//
+// check_artifact_header *rejects* (std::logic_error via AIFT_CHECK_MSG)
+// artifacts with a wrong magic, an unsupported version, or a fingerprint
+// mismatch (truncation or corruption) — a server must never silently load
+// a damaged artifact.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace aift::artifact {
+
+/// FNV-1a 64 over the payload: cheap, stable across platforms, and any
+/// truncation or bit flip in the artifact moves it.
+[[nodiscard]] std::uint64_t fnv1a(const std::string& payload);
+
+/// One double as a C hexfloat ("0x1.8p+3"-style, printf("%a")-compatible
+/// including the "inf"/"-inf"/"nan" spellings): exact bit-for-bit round
+/// trip, locale-independent by std::to_chars specification.
+[[nodiscard]] std::string hex_double(double v);
+
+/// "<magic> v<version> <fingerprint(payload)>\n" + payload.
+[[nodiscard]] std::string make_artifact(const std::string& magic, int version,
+                                        const std::string& payload);
+
+/// Splits a serialized artifact, validates magic, version and fingerprint,
+/// and returns the payload. Throws std::logic_error on any mismatch.
+[[nodiscard]] std::string check_artifact_header(const std::string& magic,
+                                                int version,
+                                                const std::string& text);
+
+/// Reads an artifact payload line by line, each line introduced by a fixed
+/// keyword. Classic-locale; throws on truncation or a keyword mismatch.
+struct LineReader {
+  std::istringstream in;
+  int line_no = 0;
+  const char* what = "artifact";  ///< artifact kind, for error messages
+
+  explicit LineReader(const std::string& text, const char* kind = "artifact");
+
+  /// Next line split at its first space into (keyword, rest). The keyword
+  /// must match; the rest is returned.
+  [[nodiscard]] std::string expect(const std::string& keyword);
+};
+
+/// Whitespace-tokenizes one line's payload. Classic-locale; every reader
+/// throws on a missing or malformed field.
+struct TokenReader {
+  std::istringstream in;
+  int line_no;
+  const char* what = "artifact";
+
+  TokenReader(const std::string& rest, int line,
+              const char* kind = "artifact");
+
+  [[nodiscard]] std::string token();
+  /// Hexfloat double (inverse of hex_double). from_chars is
+  /// locale-independent by specification; the "0x" prefix and sign are
+  /// handled here because from_chars takes neither.
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] int i32();
+  /// A strict 0/1 flag.
+  [[nodiscard]] bool flag();
+};
+
+}  // namespace aift::artifact

@@ -1,0 +1,163 @@
+#include "runtime/calibration_io.hpp"
+
+#include <fstream>
+#include <locale>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "runtime/artifact_io.hpp"
+
+namespace aift {
+namespace {
+
+using artifact::LineReader;
+using artifact::TokenReader;
+using artifact::hex_double;
+
+constexpr const char* kCalibKind = "calibration artifact";
+
+DType parse_dtype(const std::string& name, int line) {
+  for (const DType t : {DType::f16, DType::f32, DType::i8}) {
+    if (name == dtype_name(t)) return t;
+  }
+  AIFT_CHECK_MSG(false, "calibration artifact line " << line
+                                                     << ": unknown dtype '"
+                                                     << name << "'");
+  return DType::f16;
+}
+
+void write_params(std::ostringstream& os, const CostParams& p) {
+  os << "params " << hex_double(p.mem_efficiency) << ' '
+     << hex_double(p.tensor_efficiency) << ' ' << hex_double(p.alu_efficiency)
+     << ' ' << hex_double(p.bw_sat_warps_per_sm) << ' '
+     << hex_double(p.tensor_sat_warps_per_sm) << ' '
+     << hex_double(p.alu_sat_warps_per_sm) << ' '
+     << hex_double(p.base_alu_ops_per_thread_k8) << ' '
+     << hex_double(p.cycles_per_k8_step) << ' '
+     << hex_double(p.kernel_fixed_us) << ' '
+     << hex_double(p.thread_check_fixed_us) << ' '
+     << hex_double(p.thread_mainloop_dilation) << ' '
+     << hex_double(p.register_spill_penalty) << ' '
+     << hex_double(p.reduction_kernel_bw_frac) << '\n';
+}
+
+CostParams read_params(LineReader& lr) {
+  TokenReader tr(lr.expect("params"), lr.line_no, kCalibKind);
+  CostParams p;
+  p.mem_efficiency = tr.f64();
+  p.tensor_efficiency = tr.f64();
+  p.alu_efficiency = tr.f64();
+  p.bw_sat_warps_per_sm = tr.f64();
+  p.tensor_sat_warps_per_sm = tr.f64();
+  p.alu_sat_warps_per_sm = tr.f64();
+  p.base_alu_ops_per_thread_k8 = tr.f64();
+  p.cycles_per_k8_step = tr.f64();
+  p.kernel_fixed_us = tr.f64();
+  p.thread_check_fixed_us = tr.f64();
+  p.thread_mainloop_dilation = tr.f64();
+  p.register_spill_penalty = tr.f64();
+  p.reduction_kernel_bw_frac = tr.f64();
+  return p;
+}
+
+}  // namespace
+
+std::string serialize_calibration(const CalibrationTable& t) {
+  std::ostringstream os;
+  // Digit-grouping locales would corrupt integer fields; the artifact is
+  // defined in the classic locale (same rule as plan artifacts).
+  os.imbue(std::locale::classic());
+  os << "device " << t.device_name << '\n';
+  os << "calibrated " << (t.calibrated ? 1 : 0) << '\n';
+  os << "peaks " << hex_double(t.peak_compute_flops) << ' '
+     << hex_double(t.peak_bandwidth_bytes) << '\n';
+  write_params(os, t.fitted);
+  os << "coverage " << t.points_measured << ' ' << t.points_rejected << '\n';
+  os << "entries " << t.entries.size() << '\n';
+  for (const CalibrationEntry& e : t.entries) {
+    os << "entry " << e.shape.m << ' ' << e.shape.n << ' ' << e.shape.k << ' '
+       << e.tile.mb << ' ' << e.tile.nb << ' ' << e.tile.kb << ' ' << e.tile.mw
+       << ' ' << e.tile.nw << ' ' << e.tile.stages << ' '
+       << dtype_name(e.dtype) << ' ' << e.scheme_tag << ' ' << e.batch_rows
+       << ' ' << hex_double(e.elapsed_us) << ' ' << hex_double(e.flops) << ' '
+       << hex_double(e.bytes) << ' ' << hex_double(e.ai) << ' '
+       << (e.memory_bound ? 1 : 0) << '\n';
+  }
+  return artifact::make_artifact("aift-calib", kCalibrationFormatVersion,
+                                 os.str());
+}
+
+CalibrationTable deserialize_calibration(const std::string& text) {
+  const std::string payload = artifact::check_artifact_header(
+      "aift-calib", kCalibrationFormatVersion, text);
+
+  LineReader lr(payload, kCalibKind);
+  CalibrationTable t;
+  t.device_name = lr.expect("device");
+  {
+    TokenReader tr(lr.expect("calibrated"), lr.line_no, kCalibKind);
+    t.calibrated = tr.flag();
+  }
+  {
+    TokenReader tr(lr.expect("peaks"), lr.line_no, kCalibKind);
+    t.peak_compute_flops = tr.f64();
+    t.peak_bandwidth_bytes = tr.f64();
+  }
+  t.fitted = read_params(lr);
+  {
+    TokenReader tr(lr.expect("coverage"), lr.line_no, kCalibKind);
+    t.points_measured = tr.i64();
+    t.points_rejected = tr.i64();
+  }
+  std::int64_t entries = 0;
+  {
+    TokenReader tr(lr.expect("entries"), lr.line_no, kCalibKind);
+    entries = tr.i64();
+    AIFT_CHECK_MSG(entries >= 0, "calibration artifact line "
+                                     << lr.line_no << ": bad entry count");
+  }
+  t.entries.reserve(static_cast<std::size_t>(entries));
+  for (std::int64_t i = 0; i < entries; ++i) {
+    TokenReader tr(lr.expect("entry"), lr.line_no, kCalibKind);
+    CalibrationEntry e;
+    e.shape.m = tr.i64();
+    e.shape.n = tr.i64();
+    e.shape.k = tr.i64();
+    e.tile.mb = tr.i32();
+    e.tile.nb = tr.i32();
+    e.tile.kb = tr.i32();
+    e.tile.mw = tr.i32();
+    e.tile.nw = tr.i32();
+    e.tile.stages = tr.i32();
+    e.dtype = parse_dtype(tr.token(), lr.line_no);
+    e.scheme_tag = tr.i32();
+    e.batch_rows = tr.i64();
+    e.elapsed_us = tr.f64();
+    e.flops = tr.f64();
+    e.bytes = tr.f64();
+    e.ai = tr.f64();
+    e.memory_bound = tr.flag();
+    t.entries.push_back(e);
+  }
+  return t;
+}
+
+void save_calibration(const CalibrationTable& t, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  AIFT_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  const std::string text = serialize_calibration(t);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  AIFT_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+CalibrationTable load_calibration(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AIFT_CHECK_MSG(in.good(), "cannot open calibration artifact '" << path
+                                                                 << "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize_calibration(buf.str());
+}
+
+}  // namespace aift

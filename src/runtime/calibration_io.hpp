@@ -1,0 +1,26 @@
+#pragma once
+// Persistence for measured CalibrationTables (sibling of runtime/plan_io).
+//
+// Same artifact discipline as plan artifacts: a line-oriented text format
+// with a `aift-calib v<version> <fnv1a-of-payload>` header, doubles as C
+// hexfloats (exact bit-for-bit round trip), written and parsed in the
+// classic locale so a host configured with comma decimal separators or
+// digit grouping reads artifacts written anywhere. serialize(deserialize(s))
+// reproduces s byte for byte; bad magic, unsupported version, fingerprint
+// mismatch or truncation throw std::logic_error via AIFT_CHECK_MSG.
+
+#include <string>
+
+#include "gemm/calibration.hpp"
+
+namespace aift {
+
+inline constexpr int kCalibrationFormatVersion = 1;
+
+[[nodiscard]] std::string serialize_calibration(const CalibrationTable& t);
+[[nodiscard]] CalibrationTable deserialize_calibration(const std::string& text);
+
+void save_calibration(const CalibrationTable& t, const std::string& path);
+[[nodiscard]] CalibrationTable load_calibration(const std::string& path);
+
+}  // namespace aift

@@ -8,7 +8,7 @@ ProtectedPipeline::ProtectedPipeline(const GemmCostModel& model,
 
 InferencePlan ProtectedPipeline::plan(const Model& m, ProtectionPolicy policy,
                                       DType dtype) const {
-  return compile_plan(model_, m, policy, dtype, opts_, cache_.get());
+  return compile_plan(model_, m, policy, dtype, opts_, cache_.get(), calib_);
 }
 
 ProfileCacheStats ProtectedPipeline::cache_stats() const {

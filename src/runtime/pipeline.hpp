@@ -28,10 +28,19 @@ class ProtectedPipeline {
   [[nodiscard]] ProfileCacheStats cache_stats() const;
   [[nodiscard]] ProfileCache& cache() const { return *cache_; }
 
+  /// Installs a measured CalibrationTable for every subsequent plan()
+  /// call (per-device autotuning; see compile_plan). The table must
+  /// outlive the pipeline; nullptr restores analytic planning. The shared
+  /// cache needs no flush: the table's fingerprint is part of every
+  /// ProfileKey, so pre- and post-calibration results never collide.
+  void set_calibration(const CalibrationTable* calib) { calib_ = calib; }
+  [[nodiscard]] const CalibrationTable* calibration() const { return calib_; }
+
  private:
   const GemmCostModel& model_;
   AbftOptions opts_;
   std::unique_ptr<ProfileCache> cache_;  ///< shared across plan() calls
+  const CalibrationTable* calib_ = nullptr;
 };
 
 }  // namespace aift

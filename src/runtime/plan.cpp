@@ -75,7 +75,7 @@ LayerKey layer_key(const LayerDesc& layer) {
 InferencePlan compile_impl(const GemmCostModel& model, const Model& m,
                            ProtectionPolicy policy, DType dtype,
                            const AbftOptions& opts, ProfileCache* cache,
-                           bool parallel) {
+                           const CalibrationTable* calib, bool parallel) {
   InferencePlan plan;
   plan.model_name = m.name();
   plan.device_name = model.device().name;
@@ -108,6 +108,7 @@ InferencePlan compile_impl(const GemmCostModel& model, const Model& m,
         static_cast<double>(layer.input_elems) * dtype_bytes(dtype);
     IntensityGuidedSelector selector(model, layer_opts);
     selector.set_cache(cache);
+    selector.set_calibration(calib);
     profiles[static_cast<std::size_t>(ci)] =
         policy == ProtectionPolicy::intensity_guided
             ? selector.select(layer.gemm, dtype).chosen
@@ -138,15 +139,17 @@ InferencePlan compile_impl(const GemmCostModel& model, const Model& m,
 
 InferencePlan compile_plan(const GemmCostModel& model, const Model& m,
                            ProtectionPolicy policy, DType dtype,
-                           const AbftOptions& opts, ProfileCache* cache) {
-  return compile_impl(model, m, policy, dtype, opts, cache, /*parallel=*/true);
+                           const AbftOptions& opts, ProfileCache* cache,
+                           const CalibrationTable* calib) {
+  return compile_impl(model, m, policy, dtype, opts, cache, calib,
+                      /*parallel=*/true);
 }
 
 InferencePlan compile_plan_serial(const GemmCostModel& model, const Model& m,
                                   ProtectionPolicy policy, DType dtype,
-                                  const AbftOptions& opts,
-                                  ProfileCache* cache) {
-  return compile_impl(model, m, policy, dtype, opts, cache,
+                                  const AbftOptions& opts, ProfileCache* cache,
+                                  const CalibrationTable* calib) {
+  return compile_impl(model, m, policy, dtype, opts, cache, calib,
                       /*parallel=*/false);
 }
 

@@ -90,12 +90,20 @@ using PipelinePlan = InferencePlan;
 /// non-null) and profiled across the worker pool. Output is bit-identical
 /// to compile_plan_serial with or without a cache — profiling is a pure
 /// function of the key and totals are accumulated in layer order.
+///
+/// `calib` (optional) installs a measured CalibrationTable: layers whose
+/// GEMM the table covers get the measured-fastest tile (and, under the
+/// intensity_guided policy, measured scheme ranking) instead of the
+/// analytic sweep — per-device autotuning. An uncalibrated or null table
+/// changes nothing. Compilation stays bit-identical serial vs parallel:
+/// the table is read-only and its lookups are pure.
 [[nodiscard]] InferencePlan compile_plan(const GemmCostModel& model,
                                          const Model& m,
                                          ProtectionPolicy policy,
                                          DType dtype = DType::f16,
                                          const AbftOptions& opts = {},
-                                         ProfileCache* cache = nullptr);
+                                         ProfileCache* cache = nullptr,
+                                         const CalibrationTable* calib = nullptr);
 
 /// Single-threaded reference compiler (determinism tests, baselines).
 [[nodiscard]] InferencePlan compile_plan_serial(const GemmCostModel& model,
@@ -103,6 +111,7 @@ using PipelinePlan = InferencePlan;
                                                 ProtectionPolicy policy,
                                                 DType dtype = DType::f16,
                                                 const AbftOptions& opts = {},
-                                                ProfileCache* cache = nullptr);
+                                                ProfileCache* cache = nullptr,
+                                                const CalibrationTable* calib = nullptr);
 
 }  // namespace aift

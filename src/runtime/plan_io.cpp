@@ -1,50 +1,20 @@
 #include "runtime/plan_io.hpp"
 
-#include <charconv>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <locale>
 #include <sstream>
-#include <system_error>
 
 #include "common/check.hpp"
+#include "runtime/artifact_io.hpp"
 
 namespace aift {
 namespace {
 
-// FNV-1a 64 over the payload: cheap, stable across platforms, and any
-// truncation or bit flip in the artifact moves it.
-std::uint64_t fingerprint(const std::string& payload) {
-  std::uint64_t h = 14695981039346656037ULL;
-  for (const char ch : payload) {
-    h ^= static_cast<unsigned char>(ch);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+using artifact::LineReader;
+using artifact::TokenReader;
+using artifact::hex_double;
 
-// Doubles are written as C hexfloats: exact bit-for-bit round trip.
-// std::to_chars is locale-independent by specification — snprintf("%a")
-// would write the *current C locale's* decimal separator, producing an
-// artifact another host can't parse. to_chars omits printf's "0x" prefix,
-// so it is restored here to keep the v1 artifact layout unchanged.
-std::string hex_double(double v) {
-  char buf[64];
-  const auto [ptr, ec] =
-      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::hex);
-  AIFT_CHECK_MSG(ec == std::errc(), "hexfloat formatting failed");
-  const std::string digits(buf, ptr);
-  // Non-finite values print as "inf"/"-inf"/"nan" with no prefix, exactly
-  // as printf("%a") did (the cost model uses an infinite total_us as its
-  // "does not fit the device" sentinel, so they do occur in plans).
-  if (!std::isfinite(v)) return digits;
-  if (!digits.empty() && digits.front() == '-') {
-    return "-0x" + digits.substr(1);
-  }
-  return "0x" + digits;
-}
+constexpr const char* kPlanKind = "plan artifact";
 
 // ------------------------------------------------------------- writing ----
 
@@ -70,92 +40,6 @@ void write_cost(std::ostringstream& os, const char* key,
 }
 
 // ------------------------------------------------------------- reading ----
-
-struct LineReader {
-  std::istringstream in;
-  int line_no = 0;
-
-  explicit LineReader(const std::string& text) : in(text) {
-    in.imbue(std::locale::classic());
-  }
-
-  /// Next line split at its first space into (keyword, rest). The keyword
-  /// must match; the rest is returned.
-  std::string expect(const std::string& keyword) {
-    std::string line;
-    AIFT_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
-                   "plan artifact truncated: expected '" << keyword << "'");
-    ++line_no;
-    const std::size_t sp = line.find(' ');
-    const std::string head = line.substr(0, sp);
-    AIFT_CHECK_MSG(head == keyword, "plan artifact line "
-                                        << line_no << ": expected '" << keyword
-                                        << "', got '" << head << "'");
-    return sp == std::string::npos ? std::string() : line.substr(sp + 1);
-  }
-};
-
-struct TokenReader {
-  std::istringstream in;
-  int line_no;
-
-  TokenReader(const std::string& rest, int line)
-      : in(rest), line_no(line) {
-    in.imbue(std::locale::classic());
-  }
-
-  std::string token() {
-    std::string t;
-    AIFT_CHECK_MSG(static_cast<bool>(in >> t),
-                   "plan artifact line " << line_no << ": missing field");
-    return t;
-  }
-
-  // strtod honors the current C locale's decimal separator — a host set to
-  // a comma locale would reject every artifact written elsewhere. from_chars
-  // is locale-independent by specification; it takes no "0x" prefix and no
-  // sign, so both are handled here.
-  double f64() {
-    const std::string t = token();
-    const char* first = t.c_str();
-    const char* last = first + t.size();
-    bool negative = false;
-    if (first != last && (*first == '-' || *first == '+')) {
-      negative = *first == '-';
-      ++first;
-    }
-    if (last - first > 2 && first[0] == '0' &&
-        (first[1] == 'x' || first[1] == 'X')) {
-      first += 2;
-    }
-    double v = 0.0;
-    const auto [ptr, ec] =
-        std::from_chars(first, last, v, std::chars_format::hex);
-    AIFT_CHECK_MSG(ec == std::errc() && ptr == last,
-                   "plan artifact line " << line_no << ": bad number '" << t
-                                         << "'");
-    return negative ? -v : v;
-  }
-
-  std::int64_t i64() {
-    const std::string t = token();
-    std::int64_t v = 0;
-    const char* first = t.c_str();
-    const auto [ptr, ec] = std::from_chars(first, first + t.size(), v, 10);
-    AIFT_CHECK_MSG(ec == std::errc() && ptr == first + t.size(),
-                   "plan artifact line " << line_no << ": bad integer '" << t
-                                         << "'");
-    return v;
-  }
-
-  int i32() { return static_cast<int>(i64()); }
-  bool flag() {
-    const std::int64_t v = i64();
-    AIFT_CHECK_MSG(v == 0 || v == 1,
-                   "plan artifact line " << line_no << ": bad flag " << v);
-    return v == 1;
-  }
-};
 
 Bottleneck parse_bottleneck(const std::string& name, int line) {
   for (const Bottleneck b : {Bottleneck::memory, Bottleneck::tensor,
@@ -188,7 +72,7 @@ DType parse_dtype(const std::string& name, int line) {
 }
 
 TileConfig read_tile(LineReader& lr, const char* key) {
-  TokenReader tr(lr.expect(key), lr.line_no);
+  TokenReader tr(lr.expect(key), lr.line_no, kPlanKind);
   TileConfig t;
   t.mb = tr.i32();
   t.nb = tr.i32();
@@ -200,7 +84,7 @@ TileConfig read_tile(LineReader& lr, const char* key) {
 }
 
 KernelCost read_cost(LineReader& lr, const char* key) {
-  TokenReader tr(lr.expect(key), lr.line_no);
+  TokenReader tr(lr.expect(key), lr.line_no, kPlanKind);
   KernelCost c;
   c.mem_us = tr.f64();
   c.tensor_us = tr.f64();
@@ -260,41 +144,14 @@ std::string serialize_plan(const InferencePlan& plan) {
     write_tile(os, "red_tile", e.profile.redundant.tile);
     write_cost(os, "red_cost", e.profile.redundant.cost);
   }
-
-  const std::string payload = os.str();
-  char header[64];
-  std::snprintf(header, sizeof(header), "aift-plan v%d %016llx\n",
-                kPlanFormatVersion,
-                static_cast<unsigned long long>(fingerprint(payload)));
-  return header + payload;
+  return artifact::make_artifact("aift-plan", kPlanFormatVersion, os.str());
 }
 
 InferencePlan deserialize_plan(const std::string& text) {
-  // Header: "aift-plan v<version> <fingerprint>".
-  const std::size_t eol = text.find('\n');
-  AIFT_CHECK_MSG(eol != std::string::npos, "plan artifact: missing header");
-  const std::string header = text.substr(0, eol);
-  const std::string payload = text.substr(eol + 1);
-  {
-    TokenReader tr(header, 1);
-    AIFT_CHECK_MSG(tr.token() == "aift-plan",
-                   "plan artifact: bad magic in '" << header << "'");
-    const std::string version = tr.token();
-    std::string expected = "v";
-    expected += std::to_string(kPlanFormatVersion);
-    AIFT_CHECK_MSG(version == expected,
-                   "plan artifact: unsupported version '"
-                       << version << "' (expected " << expected << ")");
-    const std::string fp = tr.token();
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(fingerprint(payload)));
-    AIFT_CHECK_MSG(fp == buf, "plan artifact: fingerprint mismatch ("
-                                  << fp << " recorded, " << buf
-                                  << " computed) — truncated or corrupted");
-  }
+  const std::string payload =
+      artifact::check_artifact_header("aift-plan", kPlanFormatVersion, text);
 
-  LineReader lr(payload);
+  LineReader lr(payload, kPlanKind);
   InferencePlan plan;
   plan.model_name = lr.expect("model");
   plan.device_name = lr.expect("device");
@@ -308,7 +165,7 @@ InferencePlan deserialize_plan(const std::string& text) {
   }
   plan.dtype = parse_dtype(lr.expect("dtype"), lr.line_no);
   {
-    TokenReader tr(lr.expect("abft"), lr.line_no);
+    TokenReader tr(lr.expect("abft"), lr.line_no, kPlanKind);
     plan.abft_options.overlap_fraction = tr.f64();
     plan.abft_options.activation_checksum_multiplicity = tr.f64();
     plan.abft_options.num_checksums = tr.i32();
@@ -316,13 +173,13 @@ InferencePlan deserialize_plan(const std::string& text) {
     plan.abft_options.input_feature_bytes = tr.f64();
   }
   {
-    TokenReader tr(lr.expect("totals"), lr.line_no);
+    TokenReader tr(lr.expect("totals"), lr.line_no, kPlanKind);
     plan.total_base_us = tr.f64();
     plan.total_protected_us = tr.f64();
   }
   std::int64_t entries = 0;
   {
-    TokenReader tr(lr.expect("entries"), lr.line_no);
+    TokenReader tr(lr.expect("entries"), lr.line_no, kPlanKind);
     entries = tr.i64();
     AIFT_CHECK_MSG(entries >= 0, "plan artifact line " << lr.line_no
                                                        << ": bad entry count");
@@ -332,7 +189,7 @@ InferencePlan deserialize_plan(const std::string& text) {
     LayerPlanEntry e;
     e.layer.name = lr.expect("name");
     {
-      TokenReader tr(lr.expect("layer"), lr.line_no);
+      TokenReader tr(lr.expect("layer"), lr.line_no, kPlanKind);
       const std::string kind = tr.token();
       AIFT_CHECK_MSG(kind == "conv2d" || kind == "linear",
                      "plan artifact line " << lr.line_no
@@ -349,7 +206,7 @@ InferencePlan deserialize_plan(const std::string& text) {
       e.layer.input_checksum_fusable = tr.flag();
     }
     {
-      TokenReader tr(lr.expect("meta"), lr.line_no);
+      TokenReader tr(lr.expect("meta"), lr.line_no, kPlanKind);
       e.intensity = tr.f64();
       e.bandwidth_bound = tr.flag();
       e.profile.overhead_pct = tr.f64();

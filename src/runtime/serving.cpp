@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/table.hpp"
+#include "runtime/calibration_io.hpp"
 #include "runtime/plan_io.hpp"
 
 namespace aift {
@@ -100,8 +101,18 @@ void ServingEngine::add_model(const std::string& name, InferencePlan plan,
 void ServingEngine::add_model_from_file(const std::string& name,
                                         const std::string& path,
                                         const BatchPolicy& policy,
-                                        const SessionOptions& session_opts) {
-  add_model(name, load_plan(path), policy, session_opts);
+                                        const SessionOptions& session_opts,
+                                        const std::string& calibration_path) {
+  // Load both artifacts before touching the engine, so a corrupt
+  // calibration file cannot leave a half-registered model behind.
+  InferencePlan plan = load_plan(path);
+  std::optional<CalibrationTable> calib;
+  if (!calibration_path.empty()) calib = load_calibration(calibration_path);
+  add_model(name, std::move(plan), policy, session_opts);
+  if (calib.has_value()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.at(name)->calibration = std::move(calib);
+  }
 }
 
 std::vector<std::string> ServingEngine::models() const {
@@ -117,6 +128,15 @@ const InferenceSession& ServingEngine::session(const std::string& name) const {
   const auto it = shards_.find(name);
   AIFT_CHECK_MSG(it != shards_.end(), "unknown model '" << name << "'");
   return it->second->session;
+}
+
+const CalibrationTable* ServingEngine::calibration(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = shards_.find(name);
+  AIFT_CHECK_MSG(it != shards_.end(), "unknown model '" << name << "'");
+  return it->second->calibration.has_value() ? &*it->second->calibration
+                                             : nullptr;
 }
 
 std::future<ServedResult> ServingEngine::submit(

@@ -318,14 +318,26 @@ class ServingEngine {
                  const SessionOptions& session_opts = {});
 
   /// add_model from a persisted plan artifact (runtime/plan_io) — how a
-  /// serving process boots without re-profiling.
+  /// serving process boots without re-profiling. `calibration_path`, when
+  /// non-empty, additionally loads the device's measured CalibrationTable
+  /// artifact (runtime/calibration_io) next to the plan; the table is kept
+  /// on the shard (see calibration()) so operators can audit what the plan
+  /// was autotuned against and re-plan without re-measuring. A missing or
+  /// corrupt calibration artifact throws, exactly like a bad plan — boot
+  /// loudly, not with silently stale tuning.
   void add_model_from_file(const std::string& name, const std::string& path,
                            const BatchPolicy& policy = {},
-                           const SessionOptions& session_opts = {});
+                           const SessionOptions& session_opts = {},
+                           const std::string& calibration_path = {});
 
   [[nodiscard]] std::vector<std::string> models() const;
   /// The shard's session (e.g. for make_input or bit-identity checks).
   [[nodiscard]] const InferenceSession& session(const std::string& name) const;
+  /// The measured CalibrationTable loaded alongside the model's plan, or
+  /// nullptr when the model was registered without one. The pointer stays
+  /// valid until shutdown() (shards are never removed).
+  [[nodiscard]] const CalibrationTable* calibration(
+      const std::string& name) const;
 
   /// Enqueues one request for `model` and returns its future. Validates
   /// the input shape, fault sites (layer and execution attempt) and
@@ -407,6 +419,9 @@ class ServingEngine {
     };
     std::optional<ContinuousBatch> cont;
     std::map<std::int64_t, LiveRow> live;
+    /// Measured calibration loaded next to the plan artifact (optional;
+    /// read-only after registration).
+    std::optional<CalibrationTable> calibration;
     /// A thread is running this shard's round (admit + step + settle)
     /// off-lock and exclusively owns `cont` and `live` until it clears
     /// the flag; scheduling passes skip the shard meanwhile. The flag is

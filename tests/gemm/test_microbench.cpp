@@ -1,0 +1,247 @@
+// Microbench harness + calibration fitter tests: the sweep enumerates the
+// expected cross product, the deterministic cost-model source reports
+// exactly what the analytic model predicts, wall-clock measurement of the
+// real functional executor produces positive counter-derived FLOPs/bytes,
+// AI is 0 (never a division error) when bytes are 0, and fit_calibration
+// builds a classified table — or degrades gracefully to calibrated ==
+// false when measurement fails.
+
+#include "gemm/microbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "gemm/calibration.hpp"
+
+namespace aift {
+namespace {
+
+const GemmShape kSmall{64, 48, 32};
+
+// FLOPs the functional executor actually performs for a shape under a
+// tile: edge blocks run full predicated MMAs over the padded tile grid,
+// exactly like the GPU kernel (and exactly what the MMA counter reports).
+double executed_flops(const GemmShape& g, const TileConfig& t) {
+  const std::int64_t bm = (g.m + t.mb - 1) / t.mb;
+  const std::int64_t bn = (g.n + t.nb - 1) / t.nb;
+  const std::int64_t ks = (g.k + t.kb - 1) / t.kb;
+  const std::int64_t mmas = bm * bn * (t.mb / 16) * (t.nb / 8) *
+                            (ks * t.kb / 8);
+  return static_cast<double>(mmas) * 2.0 * 16 * 8 * 8;
+}
+
+std::vector<MeasuredPoint> measure_small_sweep() {
+  const GemmCostModel model(devices::t4());
+  const auto points = sweep_points({{256, 256, 256}, {64, 2048, 1024}},
+                                   {Scheme::none, Scheme::global_abft,
+                                    Scheme::thread_one_sided});
+  return run_microbench(points, cost_model_measure(model));
+}
+
+TEST(MicrobenchSweep, EnumeratesTheFullCrossProduct) {
+  const auto points = sweep_points({{256, 256, 256}, {64, 2048, 1024}},
+                                   {Scheme::none, Scheme::global_abft});
+  EXPECT_EQ(points.size(), 2 * 2 * candidate_tiles().size());
+  // Deterministic order: shape-major, then scheme, then tile.
+  EXPECT_EQ(points.front().shape, (GemmShape{256, 256, 256}));
+  EXPECT_EQ(points.front().scheme, Scheme::none);
+  EXPECT_EQ(points.front().tile, candidate_tiles().front());
+  EXPECT_EQ(points.back().shape, (GemmShape{64, 2048, 1024}));
+  EXPECT_EQ(points.back().scheme, Scheme::global_abft);
+  EXPECT_EQ(points.back().tile, candidate_tiles().back());
+}
+
+TEST(MicrobenchCostModelSource, ReportsExactlyTheAnalyticPrediction) {
+  const GemmCostModel model(devices::t4());
+  const MeasureFn measure = cost_model_measure(model);
+  const TileConfig tile = candidate_tiles().front();
+  const MeasurementSample s = measure({kSmall, tile, Scheme::none});
+  const KernelCost cost = model.estimate(kSmall, tile, DType::f16, {});
+  ASSERT_TRUE(s.ok);
+  EXPECT_EQ(s.elapsed_us, cost.total_us);
+  EXPECT_EQ(s.flops, cost.tensor_flops);
+  EXPECT_EQ(s.bytes, cost.dram_bytes);
+  EXPECT_EQ(s.noise_frac, 0.0);
+}
+
+TEST(MicrobenchCostModelSource, RejectsConfigurationsThatDoNotFit) {
+  const GemmCostModel model(devices::t4());
+  const MeasureFn measure = cost_model_measure(model);
+  // An invalid tile must come back ok == false, not throw.
+  TileConfig bad;
+  bad.mw = 3;
+  EXPECT_FALSE(measure({kSmall, bad, Scheme::none}).ok);
+  EXPECT_FALSE(measure({{0, 64, 64}, candidate_tiles().front()}).ok);
+}
+
+TEST(MicrobenchWallClock, MeasuresTheRealExecutor) {
+  WallClockOptions opts;
+  opts.repeats = 1;
+  opts.max_noise_frac = std::numeric_limits<double>::infinity();
+  const MeasureFn measure = wall_clock_measure(opts);
+  const TileConfig tile = candidate_tiles().front();
+  const MeasurementSample s = measure({kSmall, tile, Scheme::none});
+  ASSERT_TRUE(s.ok);
+  EXPECT_GT(s.elapsed_us, 0.0);
+  // Counter-derived work accounting matches the executed (padded) tile
+  // grid — achieved FLOP/s must be computed from work performed, not the
+  // logical shape, or small edge-heavy shapes would overstate the roof.
+  EXPECT_EQ(s.flops, executed_flops(kSmall, tile));
+  EXPECT_GT(s.bytes, 0.0);
+}
+
+TEST(MicrobenchWallClock, BatchedPointMeasuresTheStackedProblem) {
+  WallClockOptions opts;
+  opts.repeats = 1;
+  opts.max_noise_frac = std::numeric_limits<double>::infinity();
+  const MeasureFn measure = wall_clock_measure(opts);
+  const TileConfig tile = candidate_tiles().front();
+  // Stack enough requests that the rows spill past one block row of the
+  // tile, so the batched grid is provably bigger than the single one.
+  const std::int64_t batch = tile.mb / kSmall.m + 1;
+  MicrobenchPoint p{kSmall, tile, Scheme::none, DType::f16, batch};
+  const MeasurementSample s = measure(p);
+  ASSERT_TRUE(s.ok);
+  // The batched point measures the stacked problem — batch*64 rows tiled
+  // as one GEMM — not batch copies of the single-request grid.
+  EXPECT_EQ(s.flops,
+            executed_flops({batch * kSmall.m, kSmall.n, kSmall.k}, tile));
+  EXPECT_GT(s.flops, executed_flops(kSmall, tile));
+}
+
+TEST(MicrobenchWallClock, ReportsCannotMeasureForUnsupportedDtypes) {
+  const MeasureFn measure = wall_clock_measure();
+  MicrobenchPoint p{kSmall, candidate_tiles().front(), Scheme::none,
+                    DType::i8};
+  EXPECT_FALSE(measure(p).ok);  // no real INT8 kernel to time
+}
+
+TEST(MicrobenchRun, AiIsZeroWhenBytesAreZero) {
+  // Regression for the AI division guard: a source reporting zero traffic
+  // must produce ai == 0, not inf/nan.
+  const MeasureFn zero_bytes = [](const MicrobenchPoint&) {
+    MeasurementSample s;
+    s.ok = true;
+    s.elapsed_us = 5.0;
+    s.flops = 1.0e9;
+    s.bytes = 0.0;
+    return s;
+  };
+  const auto measured = run_microbench(
+      {{kSmall, candidate_tiles().front(), Scheme::none}}, zero_bytes);
+  ASSERT_EQ(measured.size(), 1u);
+  EXPECT_EQ(measured[0].ai, 0.0);
+  EXPECT_TRUE(std::isfinite(measured[0].ai));
+  EXPECT_EQ(measured[0].achieved_bytes_per_sec, 0.0);
+}
+
+TEST(MicrobenchRun, KeepsRejectedPointsWithZeroedDerivedFields) {
+  const MeasureFn reject = [](const MicrobenchPoint&) {
+    return MeasurementSample{};  // ok == false
+  };
+  const auto measured = run_microbench(
+      {{kSmall, candidate_tiles().front(), Scheme::none}}, reject);
+  ASSERT_EQ(measured.size(), 1u);
+  EXPECT_FALSE(measured[0].sample.ok);
+  EXPECT_EQ(measured[0].achieved_flops_per_sec, 0.0);
+  EXPECT_EQ(measured[0].ai, 0.0);
+}
+
+TEST(CalibrationFit, BuildsAClassifiedTable) {
+  const auto measured = measure_small_sweep();
+  const CalibrationTable table = fit_calibration(devices::t4(), measured);
+  ASSERT_TRUE(table.calibrated);
+  EXPECT_EQ(table.device_name, devices::t4().name);
+  EXPECT_GT(table.peak_compute_flops, 0.0);
+  EXPECT_GT(table.peak_bandwidth_bytes, 0.0);
+  EXPECT_EQ(table.points_measured,
+            static_cast<std::int64_t>(measured.size()));
+  EXPECT_EQ(table.points_rejected +
+                static_cast<std::int64_t>(table.entries.size()),
+            table.points_measured);
+  // Every entry's classification follows the measured roofline rule.
+  for (const CalibrationEntry& e : table.entries) {
+    EXPECT_EQ(e.memory_bound,
+              table.peak_bandwidth_bytes * e.ai < table.peak_compute_flops);
+  }
+  // AI == 0 is always memory-bound (0 < peak_compute).
+  EXPECT_TRUE(table.memory_bound(0.0));
+  // The fitted efficiency fractions stay physical.
+  EXPECT_GT(table.fitted.tensor_efficiency, 0.0);
+  EXPECT_LE(table.fitted.tensor_efficiency, 1.0);
+  EXPECT_GT(table.fitted.mem_efficiency, 0.0);
+  EXPECT_LE(table.fitted.mem_efficiency, 1.0);
+}
+
+TEST(CalibrationFit, BestEntryIsTheMeasuredFastestTile) {
+  const auto measured = measure_small_sweep();
+  const CalibrationTable table = fit_calibration(devices::t4(), measured);
+  const GemmShape shape{256, 256, 256};
+  const CalibrationEntry* best = table.best_entry(shape, DType::f16, -1);
+  ASSERT_NE(best, nullptr);
+  for (const CalibrationEntry& e : table.entries) {
+    if (e.shape == shape && e.scheme_tag == -1 && e.dtype == DType::f16 &&
+        e.batch_rows == 1) {
+      EXPECT_LE(best->elapsed_us, e.elapsed_us);
+    }
+  }
+  // Uncovered configurations return nullptr, never a wrong entry.
+  EXPECT_EQ(table.best_entry({999, 999, 999}, DType::f16, -1), nullptr);
+  EXPECT_EQ(table.best_entry(shape, DType::f32, -1), nullptr);
+}
+
+TEST(CalibrationFit, DegradesGracefullyWithoutMeasurements) {
+  // No points at all.
+  const CalibrationTable empty = fit_calibration(devices::t4(), {});
+  EXPECT_FALSE(empty.calibrated);
+  EXPECT_EQ(empty.entries.size(), 0u);
+
+  // Every point rejected by the source.
+  const MeasureFn reject = [](const MicrobenchPoint&) {
+    return MeasurementSample{};
+  };
+  const auto points = sweep_points({kSmall}, {Scheme::none});
+  const CalibrationTable rejected =
+      fit_calibration(devices::t4(), run_microbench(points, reject));
+  EXPECT_FALSE(rejected.calibrated);
+  EXPECT_EQ(rejected.points_rejected, rejected.points_measured);
+
+  // Too noisy for the fitter's own gate.
+  const MeasureFn noisy = [](const MicrobenchPoint&) {
+    MeasurementSample s;
+    s.ok = true;
+    s.elapsed_us = 10.0;
+    s.flops = 1.0;
+    s.bytes = 1.0;
+    s.noise_frac = 100.0;
+    return s;
+  };
+  CalibrationFitOptions strict;
+  strict.max_noise_frac = 0.1;
+  const CalibrationTable too_noisy =
+      fit_calibration(devices::t4(), run_microbench(points, noisy), strict);
+  EXPECT_FALSE(too_noisy.calibrated);
+}
+
+TEST(CalibrationFit, FingerprintDistinguishesGenerations) {
+  const auto measured = measure_small_sweep();
+  const CalibrationTable a = fit_calibration(devices::t4(), measured);
+  const CalibrationTable b = fit_calibration(devices::t4(), measured);
+  // Same measurements => same table => same fingerprint (pure function).
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  // A recalibration that changes anything observable changes the print.
+  CalibrationTable c = a;
+  ASSERT_FALSE(c.entries.empty());
+  c.entries[0].elapsed_us *= 1.5;
+  EXPECT_NE(c.fingerprint(), a.fingerprint());
+  CalibrationTable d = a;
+  d.peak_bandwidth_bytes *= 2.0;
+  EXPECT_NE(d.fingerprint(), a.fingerprint());
+}
+
+}  // namespace
+}  // namespace aift

@@ -96,5 +96,17 @@ TEST(GemmShape, ZeroBytesGuard) {
   EXPECT_DOUBLE_EQ(s.intensity(DType::f16), 0.0);
 }
 
+TEST(GemmShape, ZeroBytesGuardCoversEveryAiEntryPoint) {
+  // AI is defined as 0 when bytes are 0 — never inf/nan from a division.
+  // The measured-calibration path (gemm/microbench) uses the same
+  // convention, so the classification rule peak_bw * AI < peak_compute
+  // stays well defined for degenerate shapes.
+  const GemmShape s{0, 0, 0};
+  const double paper = paper_intensity(s, DType::f16);
+  EXPECT_DOUBLE_EQ(paper, 0.0);
+  // AI == 0 classifies as bandwidth-bound (0 < CMR), not as an error.
+  EXPECT_TRUE(is_bandwidth_bound(s, DType::f16, devices::t4()));
+}
+
 }  // namespace
 }  // namespace aift

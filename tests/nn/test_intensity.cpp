@@ -70,5 +70,14 @@ TEST(Intensity, AggregateBetweenMinAndMax) {
   }
 }
 
+TEST(Intensity, EmptyModelAggregateIntensityIsZero) {
+  // The aggregate-AI division guard: a model with no layers has zero
+  // total bytes, and its aggregate intensity is defined as 0 (the same
+  // AI-of-zero-bytes convention as GemmShape::intensity and the measured
+  // calibration sweep) — never a division error.
+  const Model empty("empty", {});
+  EXPECT_DOUBLE_EQ(empty.aggregate_intensity(DType::f16), 0.0);
+}
+
 }  // namespace
 }  // namespace aift

@@ -1,0 +1,319 @@
+// Measured-calibration autotuning tests: compile_plan with an installed
+// CalibrationTable must pick tiles and schemes from the measured data,
+// stay bit-identical serial vs parallel (this binary is additionally
+// CTest-pinned under AIFT_NUM_THREADS 1/2/8 as
+// autotune_determinism_threads_N), degrade gracefully to the analytic
+// sweep when the table is uncalibrated or does not cover a layer, and
+// invalidate shared ProfileCache entries across calibration generations
+// via the fingerprint folded into every ProfileKey. Also covers the
+// divergence report and the serving boot path that loads a calibration
+// artifact next to the plan.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gemm/microbench.hpp"
+#include "nn/zoo/zoo.hpp"
+#include "runtime/calibration_io.hpp"
+#include "runtime/plan_io.hpp"
+#include "runtime/report.hpp"
+#include "runtime/serving.hpp"
+
+namespace aift {
+namespace {
+
+std::vector<GemmShape> layer_shapes(const Model& m) {
+  std::vector<GemmShape> shapes;
+  for (const auto& layer : m.layers()) shapes.push_back(layer.gemm);
+  return shapes;
+}
+
+// A deterministic "real device" whose behaviour differs from the static
+// CostParams table: measurement comes from a second cost model with
+// perturbed efficiencies, so the measured-best tile/scheme can disagree
+// with the analytic sweep while everything stays bit-exact.
+GemmCostModel ground_truth_model() {
+  CostParams real;
+  real.mem_efficiency = 0.35;       // badly underachieving DRAM
+  real.tensor_efficiency = 0.95;    // overachieving tensor pipes
+  real.cycles_per_k8_step = 55.0;   // much slower dependent chains
+  return GemmCostModel(devices::t4(), real);
+}
+
+CalibrationTable fit_for_model(const Model& m, const GemmCostModel& truth) {
+  const auto points =
+      sweep_points(layer_shapes(m),
+                   {Scheme::none, Scheme::global_abft,
+                    Scheme::thread_one_sided, Scheme::thread_two_sided,
+                    Scheme::repl_traditional, Scheme::repl_single_acc});
+  return fit_calibration(truth.device(),
+                         run_microbench(points, cost_model_measure(truth)));
+}
+
+class AutotuneTest : public ::testing::Test {
+ protected:
+  GemmCostModel static_model_{devices::t4()};
+  GemmCostModel truth_{ground_truth_model()};
+  Model model_{zoo::dlrm_mlp_bottom(1)};
+};
+
+TEST_F(AutotuneTest, CompilesFromMeasuredData) {
+  const CalibrationTable calib = fit_for_model(model_, truth_);
+  ASSERT_TRUE(calib.calibrated);
+  const InferencePlan plan =
+      compile_plan(static_model_, model_, ProtectionPolicy::intensity_guided,
+                   DType::f16, {}, nullptr, &calib);
+  for (const LayerPlanEntry& e : plan.entries) {
+    // Covered layers must run the measured-fastest tile for their scheme.
+    const int tag = e.scheme() == Scheme::none
+                        ? -1
+                        : static_cast<int>(e.scheme());
+    const CalibrationEntry* measured =
+        calib.best_entry(e.layer.gemm, DType::f16, tag);
+    ASSERT_NE(measured, nullptr) << "sweep should cover every layer";
+    EXPECT_EQ(e.exec_tile(), measured->tile) << "layer " << e.layer.name;
+    const CalibrationEntry* base =
+        calib.best_entry(e.layer.gemm, DType::f16, -1);
+    ASSERT_NE(base, nullptr);
+    EXPECT_EQ(e.profile.base.tile, base->tile);
+    // Recorded costs stay analytic (finite, of the chosen tile): the plan
+    // format keeps one cost basis.
+    EXPECT_TRUE(std::isfinite(e.profile.redundant.cost.total_us));
+  }
+}
+
+TEST_F(AutotuneTest, MeasuredTileOverridesTheAnalyticSweep) {
+  // Force the measured winner to a tile the analytic sweep would NOT pick:
+  // proof that selection really comes from measurement, not a coincidence
+  // of the two models agreeing.
+  const GemmShape shape = model_.layers().front().gemm;
+  const TileConfig analytic_best =
+      profile_best(static_model_, shape, DType::f16).tile;
+  const TileConfig* forced = nullptr;
+  for (const TileConfig& t : candidate_tiles()) {
+    if (!(t == analytic_best) &&
+        std::isfinite(
+            static_model_.estimate(shape, t, DType::f16, {}).total_us)) {
+      forced = &t;
+      break;
+    }
+  }
+  ASSERT_NE(forced, nullptr);
+
+  const TileConfig forced_tile = *forced;
+  const MeasureFn prefers_forced = [forced_tile](const MicrobenchPoint& p) {
+    MeasurementSample s;
+    s.ok = true;
+    s.elapsed_us = p.tile == forced_tile ? 1.0 : 2.0;
+    s.flops = 1.0;
+    s.bytes = 1.0;
+    return s;
+  };
+  const auto points = sweep_points({shape}, {Scheme::none});
+  const CalibrationTable calib = fit_calibration(
+      devices::t4(), run_microbench(points, prefers_forced));
+  ASSERT_TRUE(calib.calibrated);
+
+  IntensityGuidedSelector selector(static_model_);
+  selector.set_calibration(&calib);
+  const SchemeProfile p = selector.evaluate(Scheme::none, shape, DType::f16);
+  EXPECT_EQ(p.base.tile, forced_tile);
+  EXPECT_FALSE(p.base.tile == analytic_best);
+}
+
+TEST_F(AutotuneTest, SelectRanksSchemesByMeasuredTime) {
+  // Make thread-level ABFT measure 100x faster than global ABFT on a layer
+  // and check select() follows the measurement; then invert the bias and
+  // check the decision flips. The analytic profiles (and recorded costs)
+  // are the same in both runs — only the measured ranking changes.
+  const GemmShape shape = model_.layers().front().gemm;
+  const auto biased = [&](Scheme fast) {
+    const GemmCostModel& truth = truth_;
+    const MeasureFn measure = [&truth, fast](const MicrobenchPoint& p) {
+      MeasurementSample s = cost_model_measure(truth)(p);
+      if (p.scheme == fast) s.elapsed_us /= 100.0;
+      return s;
+    };
+    const auto points = sweep_points(
+        {shape}, {Scheme::none, Scheme::global_abft, Scheme::thread_one_sided});
+    return fit_calibration(truth.device(), run_microbench(points, measure));
+  };
+
+  const CalibrationTable thread_fast = biased(Scheme::thread_one_sided);
+  IntensityGuidedSelector selector(static_model_);
+  selector.set_calibration(&thread_fast);
+  EXPECT_EQ(selector.select(shape, DType::f16).chosen.scheme,
+            Scheme::thread_one_sided);
+
+  const CalibrationTable global_fast = biased(Scheme::global_abft);
+  selector.set_calibration(&global_fast);
+  EXPECT_EQ(selector.select(shape, DType::f16).chosen.scheme,
+            Scheme::global_abft);
+}
+
+TEST_F(AutotuneTest, BitIdenticalSerialVsParallelAndWithCache) {
+  const CalibrationTable calib = fit_for_model(model_, truth_);
+  ASSERT_TRUE(calib.calibrated);
+  for (const ProtectionPolicy policy :
+       {ProtectionPolicy::intensity_guided, ProtectionPolicy::global_abft,
+        ProtectionPolicy::thread_level}) {
+    const InferencePlan serial = compile_plan_serial(
+        static_model_, model_, policy, DType::f16, {}, nullptr, &calib);
+    const InferencePlan parallel = compile_plan(
+        static_model_, model_, policy, DType::f16, {}, nullptr, &calib);
+    ProfileCache cache;
+    const InferencePlan cached = compile_plan(
+        static_model_, model_, policy, DType::f16, {}, &cache, &calib);
+    const std::string reference = serialize_plan(serial);
+    EXPECT_EQ(serialize_plan(parallel), reference)
+        << policy_name(policy) << ": parallel diverged from serial";
+    EXPECT_EQ(serialize_plan(cached), reference)
+        << policy_name(policy) << ": cached diverged from serial";
+  }
+}
+
+TEST_F(AutotuneTest, UncalibratedOrUncoveredFallsBackToAnalytic) {
+  const InferencePlan analytic = compile_plan_serial(
+      static_model_, model_, ProtectionPolicy::intensity_guided);
+
+  // The fitter's graceful-degradation state behaves like no table at all.
+  const CalibrationTable uncalibrated = fit_calibration(devices::t4(), {});
+  ASSERT_FALSE(uncalibrated.calibrated);
+  const InferencePlan with_uncalibrated = compile_plan_serial(
+      static_model_, model_, ProtectionPolicy::intensity_guided, DType::f16,
+      {}, nullptr, &uncalibrated);
+  EXPECT_EQ(serialize_plan(with_uncalibrated), serialize_plan(analytic));
+
+  // A calibrated table that covers none of the model's shapes changes
+  // nothing either (per-layer fallback).
+  const auto points = sweep_points({{8192, 8192, 8192}}, {Scheme::none});
+  const CalibrationTable uncovered = fit_calibration(
+      devices::t4(), run_microbench(points, cost_model_measure(truth_)));
+  ASSERT_TRUE(uncovered.calibrated);
+  const InferencePlan with_uncovered = compile_plan_serial(
+      static_model_, model_, ProtectionPolicy::intensity_guided, DType::f16,
+      {}, nullptr, &uncovered);
+  EXPECT_EQ(serialize_plan(with_uncovered), serialize_plan(analytic));
+}
+
+TEST_F(AutotuneTest, RecalibrationInvalidatesSharedCacheEntries) {
+  // Satellite: ProfileKey folds in the calibration fingerprint, so one
+  // shared cache can hold analytic and per-generation autotuned results
+  // side by side — recalibrating can never serve stale hits.
+  const CalibrationTable gen1 = fit_for_model(model_, truth_);
+  CostParams other = truth_.params();
+  other.mem_efficiency = 0.9;
+  const GemmCostModel truth2(devices::t4(), other);
+  const CalibrationTable gen2 = fit_for_model(model_, truth2);
+  ASSERT_NE(gen1.fingerprint(), gen2.fingerprint());
+
+  const GemmShape shape = model_.layers().front().gemm;
+  ProfileCache cache;
+  IntensityGuidedSelector selector(static_model_);
+  selector.set_cache(&cache);
+
+  // Analytic keys carry fingerprint 0.
+  EXPECT_EQ(selector.profile_key(Scheme::none, shape, DType::f16).calibration,
+            0u);
+  (void)selector.evaluate(Scheme::none, shape, DType::f16);
+  const auto after_analytic = cache.stats();
+  EXPECT_EQ(after_analytic.hits, 0);
+
+  // Same query again: pure hit.
+  (void)selector.evaluate(Scheme::none, shape, DType::f16);
+  EXPECT_EQ(cache.stats().hits, after_analytic.hits + 1);
+  EXPECT_EQ(cache.stats().misses, after_analytic.misses);
+
+  // Install generation 1: the key changes, so the next lookup misses.
+  selector.set_calibration(&gen1);
+  EXPECT_EQ(selector.profile_key(Scheme::none, shape, DType::f16).calibration,
+            gen1.fingerprint());
+  (void)selector.evaluate(Scheme::none, shape, DType::f16);
+  EXPECT_EQ(cache.stats().misses, after_analytic.misses + 1);
+  (void)selector.evaluate(Scheme::none, shape, DType::f16);
+  EXPECT_EQ(cache.stats().hits, after_analytic.hits + 2);
+
+  // Recalibrate (generation 2): misses again — no stale reuse.
+  selector.set_calibration(&gen2);
+  (void)selector.evaluate(Scheme::none, shape, DType::f16);
+  EXPECT_EQ(cache.stats().misses, after_analytic.misses + 2);
+
+  // And back to generation 1: its entry is still there, pure hit.
+  selector.set_calibration(&gen1);
+  (void)selector.evaluate(Scheme::none, shape, DType::f16);
+  EXPECT_EQ(cache.stats().hits, after_analytic.hits + 3);
+}
+
+TEST_F(AutotuneTest, DivergenceReportFlagsMeasuredVsAnalyticDisagreement) {
+  const CalibrationTable calib = fit_for_model(model_, truth_);
+  const InferencePlan plan =
+      compile_plan_serial(static_model_, model_,
+                          ProtectionPolicy::intensity_guided, DType::f16, {},
+                          nullptr, &calib);
+  const DivergenceReport rep =
+      divergence_report(static_model_, plan, calib);
+  ASSERT_EQ(rep.rows.size(), plan.entries.size());
+  EXPECT_EQ(rep.covered, static_cast<int>(rep.rows.size()));
+  int bound = 0;
+  int tile = 0;
+  for (const DivergenceRow& r : rep.rows) {
+    EXPECT_TRUE(r.tile_covered);
+    if (r.bound_diverges) ++bound;
+    if (r.tile_diverges) ++tile;
+    // Internal consistency of the flags.
+    EXPECT_EQ(r.bound_diverges,
+              r.measured_memory_bound != r.analytic_bandwidth_bound);
+    EXPECT_EQ(r.tile_diverges, !(r.measured_tile == r.analytic_tile));
+  }
+  EXPECT_EQ(rep.bound_divergent, bound);
+  EXPECT_EQ(rep.tile_divergent, tile);
+  EXPECT_GE(rep.bound_agreement_rate(), 0.0);
+  EXPECT_LE(rep.bound_agreement_rate(), 1.0);
+  // The table renders one row per layer.
+  EXPECT_EQ(divergence_table(rep).num_rows(), rep.rows.size());
+}
+
+TEST_F(AutotuneTest, ServingBootsWithCalibrationArtifact) {
+  const CalibrationTable calib = fit_for_model(model_, truth_);
+  const InferencePlan plan =
+      compile_plan_serial(static_model_, model_,
+                          ProtectionPolicy::intensity_guided, DType::f16, {},
+                          nullptr, &calib);
+  // Unique per process: the *_determinism_threads_N CTest entries run
+  // this binary concurrently, so a fixed name would race.
+  const std::string stem =
+      testing::TempDir() + "aift_autotune." + std::to_string(::getpid());
+  const std::string plan_path = stem + ".plan";
+  const std::string calib_path = stem + ".calib";
+  save_plan(plan, plan_path);
+  save_calibration(calib, calib_path);
+
+  ServingEngine engine;
+  engine.add_model_from_file("tuned", plan_path, {}, {}, calib_path);
+  engine.add_model_from_file("plain", plan_path);
+  const CalibrationTable* loaded = engine.calibration("tuned");
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->fingerprint(), calib.fingerprint());
+  EXPECT_EQ(engine.calibration("plain"), nullptr);
+  EXPECT_THROW((void)engine.calibration("unknown"), std::logic_error);
+
+  // A corrupt calibration artifact fails the registration loudly and
+  // leaves no half-registered shard behind.
+  EXPECT_THROW(
+      engine.add_model_from_file("bad", plan_path, {}, {}, plan_path),
+      std::logic_error);
+  EXPECT_THROW((void)engine.session("bad"), std::logic_error);
+  engine.shutdown();
+
+  std::remove(plan_path.c_str());
+  std::remove(calib_path.c_str());
+}
+
+}  // namespace
+}  // namespace aift

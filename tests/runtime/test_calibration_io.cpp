@@ -1,0 +1,163 @@
+// Calibration persistence tests, mirroring test_plan_io: the artifact must
+// round-trip a fitted CalibrationTable bit for bit (hexfloat doubles, every
+// field), stay byte-identical under a hostile comma/grouping locale, and
+// reject damage — wrong magic, unsupported version, fingerprint mismatch
+// from tampering or truncation — with std::logic_error.
+
+#include "runtime/calibration_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstring>
+#include <limits>
+#include <locale>
+#include <string>
+
+#include "gemm/microbench.hpp"
+
+namespace aift {
+namespace {
+
+class CalibrationIoTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] CalibrationTable make_table() const {
+    const auto points = sweep_points(
+        {{256, 256, 256}, {64, 2048, 1024}},
+        {Scheme::none, Scheme::global_abft, Scheme::thread_one_sided});
+    return fit_calibration(devices::t4(),
+                           run_microbench(points, cost_model_measure(cost_)));
+  }
+
+  GemmCostModel cost_{devices::t4()};
+};
+
+TEST_F(CalibrationIoTest, RoundTripsEveryField) {
+  const CalibrationTable table = make_table();
+  ASSERT_TRUE(table.calibrated);
+  ASSERT_FALSE(table.entries.empty());
+  const CalibrationTable loaded =
+      deserialize_calibration(serialize_calibration(table));
+
+  // CalibrationTable carries defaulted operator== over every field
+  // (doubles compare numerically; hexfloat round-trip makes that exact).
+  EXPECT_EQ(loaded, table);
+  EXPECT_EQ(loaded.fingerprint(), table.fingerprint());
+
+  // The strongest fixed point: re-serializing reproduces the artifact
+  // byte for byte.
+  EXPECT_EQ(serialize_calibration(loaded), serialize_calibration(table));
+}
+
+TEST_F(CalibrationIoTest, UncalibratedTableRoundTrips) {
+  // The graceful-degradation state must persist too — a boot that loads
+  // an uncalibrated artifact falls back to analytic planning, it does not
+  // crash.
+  const CalibrationTable empty = fit_calibration(devices::t4(), {});
+  ASSERT_FALSE(empty.calibrated);
+  const CalibrationTable loaded =
+      deserialize_calibration(serialize_calibration(empty));
+  EXPECT_EQ(loaded, empty);
+}
+
+TEST_F(CalibrationIoTest, NonFiniteValuesRoundTrip) {
+  CalibrationTable table = make_table();
+  table.peak_compute_flops = std::numeric_limits<double>::infinity();
+  table.entries[0].bytes = -std::numeric_limits<double>::infinity();
+  const std::string text = serialize_calibration(table);
+  EXPECT_NE(text.find(" inf"), std::string::npos);
+  const CalibrationTable loaded = deserialize_calibration(text);
+  EXPECT_EQ(loaded.peak_compute_flops,
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(loaded.entries[0].bytes,
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(serialize_calibration(loaded), text);
+}
+
+TEST_F(CalibrationIoTest, SaveAndLoadFile) {
+  const CalibrationTable table = make_table();
+  const std::string path = testing::TempDir() + "aift_calibration_io.calib";
+  save_calibration(table, path);
+  const CalibrationTable loaded = load_calibration(path);
+  EXPECT_EQ(loaded, table);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_calibration(path), std::logic_error);
+}
+
+// A numpunct facet like de_DE's — comma decimal point, dot grouping —
+// without requiring any system locale to be installed.
+class CommaNumpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+TEST_F(CalibrationIoTest, RoundTripIsLocaleIndependent) {
+  const CalibrationTable table = make_table();
+  const std::string reference = serialize_calibration(table);
+
+  // Hostile global C++ locale (always available — it's a custom facet).
+  const std::locale old_global =
+      std::locale::global(std::locale(std::locale::classic(),
+                                      new CommaNumpunct));
+  // Hostile C locale too, when the host has one installed.
+  const std::string old_c = std::setlocale(LC_ALL, nullptr);
+  bool c_switched = false;
+  for (const char* name : {"de_DE.UTF-8", "fr_FR.UTF-8", "de_DE", "fr_FR"}) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      c_switched = true;
+      break;
+    }
+  }
+
+  const std::string under_locale = serialize_calibration(table);
+  const CalibrationTable loaded = deserialize_calibration(reference);
+
+  std::locale::global(old_global);
+  std::setlocale(LC_ALL, old_c.c_str());
+
+  EXPECT_EQ(under_locale, reference)
+      << "serialization changed under a comma-decimal locale"
+      << (c_switched ? " (C locale switched too)" : "");
+  EXPECT_EQ(serialize_calibration(loaded), reference)
+      << "deserialization changed under a comma-decimal locale";
+}
+
+TEST_F(CalibrationIoTest, RejectsWrongMagic) {
+  std::string text = serialize_calibration(make_table());
+  text.replace(0, std::strlen("aift-calib"), "not-acalib");
+  EXPECT_THROW((void)deserialize_calibration(text), std::logic_error);
+  // A plan artifact is not a calibration artifact.
+  EXPECT_THROW((void)deserialize_calibration("aift-plan v1 0\n"),
+               std::logic_error);
+}
+
+TEST_F(CalibrationIoTest, RejectsVersionMismatch) {
+  std::string text = serialize_calibration(make_table());
+  const std::size_t pos = text.find(" v1 ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, " v9 ");
+  EXPECT_THROW((void)deserialize_calibration(text), std::logic_error);
+}
+
+TEST_F(CalibrationIoTest, RejectsTamperedPayload) {
+  const std::string text = serialize_calibration(make_table());
+  std::string tampered = text;
+  // Flip one payload character: the recorded fingerprint no longer matches.
+  const std::size_t pos = tampered.find("entries");
+  ASSERT_NE(pos, std::string::npos);
+  tampered[pos] = 'E';
+  EXPECT_THROW((void)deserialize_calibration(tampered), std::logic_error);
+}
+
+TEST_F(CalibrationIoTest, RejectsTruncatedArtifact) {
+  const std::string text = serialize_calibration(make_table());
+  EXPECT_THROW((void)deserialize_calibration(text.substr(0, text.size() / 2)),
+               std::logic_error);
+  EXPECT_THROW((void)deserialize_calibration(""), std::logic_error);
+  EXPECT_THROW((void)deserialize_calibration("aift-calib"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace aift
