@@ -162,6 +162,49 @@ int run(int argc, char** argv) {
     batched.push_back(time_batched(session, b, kBatchedRequests));
   }
 
+  // Packed-operand hot path at the serving batch size: the same B=16
+  // request stream through the construction-time weight packs (the
+  // default) and through a pack_weights=false session — the pre-packing
+  // per-call conversion baseline. Outputs must agree byte for byte (the
+  // identity the CTest suites pin), and the steady-state speedup is
+  // asserted so the hot path cannot silently regress.
+  SessionOptions unpacked_opts;
+  unpacked_opts.pack_weights = false;
+  const InferenceSession unpacked_session(
+      pipe.plan(mlp, ProtectionPolicy::intensity_guided), unpacked_opts);
+  {
+    const auto input = session.make_input(7);
+    const auto packed_out = session.run(input);
+    const auto unpacked_out = unpacked_session.run(input);
+    if (!(packed_out.output == unpacked_out.output)) {
+      std::fprintf(stderr, "FATAL: packed and unpacked outputs diverged\n");
+      return 1;
+    }
+  }
+  constexpr int kPackedBatch = 16;
+  // Best-of-3 steady-state rounds per path, after an untimed warm-up round
+  // (first-touch scratch growth and pack construction stay outside the
+  // timed region on both sides).
+  const auto time_b16 = [&](const InferenceSession& s) {
+    (void)time_batched(s, kPackedBatch, kBatchedRequests);  // warm-up
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const BatchTiming t = time_batched(s, kPackedBatch, kBatchedRequests);
+      const double per_s = t.deferred_per_s();
+      if (per_s > best) best = per_s;
+    }
+    return best;
+  };
+  const double unpacked_b16_per_s = time_b16(unpacked_session);
+  const double packed_b16_per_s = time_b16(session);
+  const double packed_speedup_b16 = packed_b16_per_s / unpacked_b16_per_s;
+  if (packed_speedup_b16 < 1.15) {
+    std::fprintf(stderr,
+                 "FATAL: packed hot path speedup %.3f < 1.15 at B=%d\n",
+                 packed_speedup_b16, kPackedBatch);
+    return 1;
+  }
+
   // Model-level campaign throughput: trial-parallel vs batched engines.
   ModelCampaignConfig cfg;
   cfg.trials = 64;
@@ -243,6 +286,17 @@ int run(int argc, char** argv) {
     json += buf;
   }
   json += "    ]\n  },\n";
+  {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"packed_hot_path\": {\"batch\": %d, \"requests\": %d, "
+                  "\"unpacked_requests_per_s\": %.1f, "
+                  "\"packed_requests_per_s\": %.1f, "
+                  "\"packed_speedup_b16\": %.2f},\n",
+                  kPackedBatch, kBatchedRequests, unpacked_b16_per_s,
+                  packed_b16_per_s, packed_speedup_b16);
+    json += buf;
+  }
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "  \"model_campaign\": {\"trials\": %lld, \"elapsed_s\": "

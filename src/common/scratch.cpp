@@ -1,0 +1,48 @@
+#include "common/scratch.hpp"
+
+#include <array>
+#include <atomic>
+#include <memory>
+
+namespace aift {
+namespace {
+
+struct Buffer {
+  std::unique_ptr<float[]> data;
+  std::size_t capacity = 0;
+};
+
+std::atomic<std::int64_t> g_hits{0};
+std::atomic<std::int64_t> g_misses{0};
+
+thread_local std::array<Buffer, kNumScratchSlots> t_buffers;
+
+}  // namespace
+
+float* scratch_floats(ScratchSlot slot, std::size_t count) {
+  Buffer& buf = t_buffers[static_cast<std::size_t>(slot)];
+  if (buf.capacity >= count) {
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // new[] rather than make_unique: the contents are overwritten by the
+    // caller, so value-initializing the whole buffer would be pure waste.
+    buf.data.reset(new float[count]);
+    buf.capacity = count;
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  return buf.data.get();
+}
+
+ScratchStats scratch_stats() {
+  ScratchStats s;
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.misses = g_misses.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_scratch_stats() {
+  g_hits.store(0, std::memory_order_relaxed);
+  g_misses.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace aift

@@ -14,6 +14,41 @@ ThreadLevelAbft::ThreadLevelAbft(TileConfig tile, ThreadAbftSide side,
   AIFT_CHECK_MSG(tile_.valid(), "invalid tile " << tile_.name());
 }
 
+void ThreadLevelAbft::prepare(const Matrix<half_t>& b) {
+  const std::int64_t k = b.rows(), n = b.cols();
+  const std::int64_t bn = (n + tile_.nb - 1) / tile_.nb;
+  const int warps_n = tile_.nb / tile_.nw;
+
+  prepared_checksums_.assign(
+      static_cast<std::size_t>(bn * warps_n * 32), {});
+  for (std::int64_t bj = 0; bj < bn; ++bj) {
+    for (int wn = 0; wn < warps_n; ++wn) {
+      const std::int64_t wc0 = bj * tile_.nb + wn * tile_.nw;
+      if (wc0 >= n) continue;  // fully out-of-range warp column
+      for (int lane = 0; lane < 32; ++lane) {
+        std::vector<std::int64_t> cols;
+        for (int col : tile_.lane_cols(lane)) {
+          if (wc0 + col < n) cols.push_back(wc0 + col);
+        }
+        if (cols.empty()) continue;
+        // Summed in exactly the order the online path sums — ascending
+        // owned column per k row — so a prepared check reproduces the
+        // online residuals bit for bit.
+        std::vector<double> s(static_cast<std::size_t>(k), 0.0);
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          double acc = 0.0;
+          for (const auto col : cols) acc += b(kk, col).to_float();
+          s[static_cast<std::size_t>(kk)] = acc;
+        }
+        prepared_checksums_[static_cast<std::size_t>(
+            (bj * warps_n + wn) * 32 + lane)] = std::move(s);
+      }
+    }
+  }
+  prepared_k_ = k;
+  prepared_n_ = n;
+}
+
 ThreadLevelResult ThreadLevelAbft::check(const Matrix<half_t>& a,
                                          const Matrix<half_t>& b,
                                          const Matrix<half_t>& c) const {
@@ -25,6 +60,17 @@ ThreadLevelResult ThreadLevelAbft::check(const Matrix<half_t>& a,
   const std::int64_t bn = (n + tile_.nb - 1) / tile_.nb;
   const int warps_m = tile_.mb / tile_.mw;
   const int warps_n = tile_.nb / tile_.nw;
+  const bool use_table = prepared_k_ == k && prepared_n_ == n;
+
+  // One decode of A for the whole check: every lane's redundant dot reads
+  // A through this buffer instead of re-decoding the FP16 element (same
+  // value, so the checksum arithmetic is unchanged).
+  std::vector<float> af(static_cast<std::size_t>(m * k));
+  for (std::int64_t r = 0; r < m; ++r) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      af[static_cast<std::size_t>(r * k + kk)] = a(r, kk).to_float();
+    }
+  }
 
   ThreadLevelResult result;
   std::mutex result_mu;
@@ -34,6 +80,8 @@ ThreadLevelResult ThreadLevelAbft::check(const Matrix<half_t>& a,
     const std::int64_t bj = block % bn;
     std::vector<ThreadCheckFailure> local_failures;
     std::int64_t local_threads = 0;
+    std::vector<std::int64_t> rows, cols;
+    std::vector<double> s_local;
 
     for (int wm = 0; wm < warps_m; ++wm) {
       for (int wn = 0; wn < warps_n; ++wn) {
@@ -43,7 +91,8 @@ ThreadLevelResult ThreadLevelAbft::check(const Matrix<half_t>& a,
 
         for (int lane = 0; lane < 32; ++lane) {
           // The thread's owned rows/columns, clipped to the problem.
-          std::vector<std::int64_t> rows, cols;
+          rows.clear();
+          cols.clear();
           for (int r : tile_.lane_rows(lane)) {
             if (wr0 + r < m) rows.push_back(wr0 + r);
           }
@@ -53,21 +102,31 @@ ThreadLevelResult ThreadLevelAbft::check(const Matrix<half_t>& a,
           if (rows.empty() || cols.empty()) continue;
           ++local_threads;
 
-          // Online Bt row checksum over the thread's columns (§5.2.1:
-          // recomputed alongside the matmul, never loaded).
-          std::vector<double> s(static_cast<std::size_t>(k), 0.0);
-          for (std::int64_t kk = 0; kk < k; ++kk) {
-            double acc = 0.0;
-            for (const auto col : cols) acc += b(kk, col).to_float();
-            s[static_cast<std::size_t>(kk)] = acc;
+          // Bt row checksum over the thread's columns (§5.2.1): served
+          // from the prepared weight table when the session built one,
+          // recomputed online (identical order, identical bits) when not.
+          const std::vector<double>* s = nullptr;
+          if (use_table) {
+            s = &prepared_checksums_[static_cast<std::size_t>(
+                (bj * warps_n + wn) * 32 + lane)];
+          } else {
+            s_local.assign(static_cast<std::size_t>(k), 0.0);
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+              double acc = 0.0;
+              for (const auto col : cols) acc += b(kk, col).to_float();
+              s_local[static_cast<std::size_t>(kk)] = acc;
+            }
+            s = &s_local;
           }
+          const double* sd = s->data();
 
           if (side_ == ThreadAbftSide::one_sided) {
             // abft[r] = sum_k A[r][k] * s[k]; compare per owned row.
             for (const auto row : rows) {
+              const float* arow = af.data() + row * k;
               double abft = 0.0;
               for (std::int64_t kk = 0; kk < k; ++kk) {
-                abft += a(row, kk).to_float() * s[static_cast<std::size_t>(kk)];
+                abft += arow[kk] * sd[kk];
               }
               double out_sum = 0.0, out_abs = 0.0;
               for (const auto col : cols) {
@@ -90,8 +149,10 @@ ThreadLevelResult ThreadLevelAbft::check(const Matrix<half_t>& a,
             double abft = 0.0;
             for (std::int64_t kk = 0; kk < k; ++kk) {
               double a_sum = 0.0;
-              for (const auto row : rows) a_sum += a(row, kk).to_float();
-              abft += a_sum * s[static_cast<std::size_t>(kk)];
+              for (const auto row : rows) {
+                a_sum += af[static_cast<std::size_t>(row * k + kk)];
+              }
+              abft += a_sum * sd[kk];
             }
             double out_sum = 0.0, out_abs = 0.0;
             for (const auto row : rows) {

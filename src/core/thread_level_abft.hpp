@@ -56,6 +56,21 @@ class ThreadLevelAbft {
                                         const Matrix<half_t>& b,
                                         const Matrix<half_t>& c) const;
 
+  /// Precomputes every lane's Bt row checksum for the immutable operand
+  /// `b` — the per-lane s[k] vectors are pure functions of (b, tile), so a
+  /// session checking the same weights every request builds them once at
+  /// construction instead of once per check. Each table entry is summed in
+  /// exactly the order check() sums it online, so a prepared check is
+  /// bit-identical to an unprepared one. After prepare(b), check() must
+  /// only be given that same `b` (it matches on dimensions alone, like a
+  /// PackedOperand, and the session's per-layer checker only ever sees its
+  /// own layer's weights).
+  void prepare(const Matrix<half_t>& b);
+
+  /// Whether prepare() has been called (the table serves any b with the
+  /// prepared dimensions).
+  [[nodiscard]] bool prepared() const { return prepared_k_ >= 0; }
+
   [[nodiscard]] const TileConfig& tile() const { return tile_; }
   [[nodiscard]] ThreadAbftSide side() const { return side_; }
 
@@ -63,6 +78,13 @@ class ThreadLevelAbft {
   TileConfig tile_;
   ThreadAbftSide side_;
   ErrorBoundParams bound_;
+  /// Per-(block column, warp column, lane) Bt row checksums, indexed
+  /// (bj * warps_n + wn) * 32 + lane; empty where the lane owns no
+  /// in-range column. The sums do not depend on the block row or warp row,
+  /// so the table covers the whole grid.
+  std::vector<std::vector<double>> prepared_checksums_;
+  std::int64_t prepared_k_ = -1;
+  std::int64_t prepared_n_ = -1;
 };
 
 }  // namespace aift

@@ -1,23 +1,35 @@
 #include "gemm/functional.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstring>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "common/scratch.hpp"
 #include "gemm/mma.hpp"
 
 namespace aift {
 namespace {
 
-// Converts an FP16 matrix to FP32 once up front (exact), so the inner
-// loops run on floats. Zero padding is materialized to the tile grid.
-Matrix<float> to_f32_padded(const Matrix<half_t>& m, std::int64_t rows,
-                            std::int64_t cols) {
-  Matrix<float> out(rows, cols, 0.0f);
-  for (std::int64_t r = 0; r < m.rows(); ++r)
-    for (std::int64_t c = 0; c < m.cols(); ++c) out(r, c) = m(r, c).to_float();
+// Stages the padded FP32 conversion of `m` into the calling thread's
+// scratch slot (rows x cols, row-major, zero padding materialized to the
+// tile grid). The buffer is read by the whole parallel region; only the
+// calling thread writes it, and only before the region starts.
+float* stage_f32_padded(ScratchSlot slot, const Matrix<half_t>& m,
+                        std::int64_t rows, std::int64_t cols) {
+  float* out = scratch_floats(slot, static_cast<std::size_t>(rows * cols));
+  std::fill(out, out + rows * cols, 0.0f);
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    float* row = out + r * cols;
+    for (std::int64_t c = 0; c < m.cols(); ++c) row[c] = m(r, c).to_float();
+  }
   return out;
 }
 
@@ -26,28 +38,164 @@ struct BlockFault {
   std::uint32_t xor_bits;
 };
 
+// The one fault-free inner kernel both B layouts execute: eight
+// independent FP32 chains (one per column of the MMA group), each
+// accumulating its K products in ascending k with a separate multiply and
+// add per product — exactly the scalar chain faulty_dot walks, so the
+// fast path is bit-identical to the fault path by construction. `brow`
+// points at {B(0, col0..col0+7)} and advances `stride` floats per k (the
+// padded row width for the raw layout, kN for a packed panel).
+//
+// Written with SSE2 intrinsics rather than left to the autovectorizer
+// because GCC, seeing the packed panel's contiguous 32-byte-per-k stream,
+// vectorizes this loop *across k* — a storm of cross-lane permutes to
+// keep each chain's adds in strict ascending-k order (no -ffast-math, so
+// it cannot reassociate instead), several times slower than lane-per-
+// column broadcast+multiply+add. A lane of _mm_mul_ps/_mm_add_ps is the
+// same IEEE single-precision operation as the scalar form, so the
+// intrinsic and fallback bodies are bit-identical.
+inline void dot8_lanes(const float* arow, std::int64_t kpad,
+                       const float* brow, std::int64_t stride, float* out) {
+#if defined(__SSE2__)
+  __m128 s0 = _mm_setzero_ps();
+  __m128 s1 = _mm_setzero_ps();
+  for (std::int64_t kx = 0; kx < kpad; ++kx, brow += stride) {
+    const __m128 av = _mm_set1_ps(arow[kx]);
+    s0 = _mm_add_ps(s0, _mm_mul_ps(av, _mm_loadu_ps(brow)));
+    s1 = _mm_add_ps(s1, _mm_mul_ps(av, _mm_loadu_ps(brow + 4)));
+  }
+  _mm_storeu_ps(out, s0);
+  _mm_storeu_ps(out + 4, s1);
+#else
+  float sums[MmaShape::kN] = {};
+  for (std::int64_t kx = 0; kx < kpad; ++kx, brow += stride) {
+    const float av = arow[kx];
+    for (int c = 0; c < MmaShape::kN; ++c) sums[c] += av * brow[c];
+  }
+  for (int c = 0; c < MmaShape::kN; ++c) out[c] = sums[c];
+#endif
+}
+
 void apply_fault(float& acc, std::uint32_t xor_bits) {
   acc = std::bit_cast<float>(std::bit_cast<std::uint32_t>(acc) ^ xor_bits);
 }
 
-template <typename StoreFn>
-void run_blocks(const Matrix<half_t>& a, const Matrix<half_t>& b,
-                std::int64_t m, std::int64_t n, std::int64_t k,
-                const TileConfig& tile, const FunctionalOptions& opts,
-                const StoreFn& store, std::int64_t extra_tasks = 0,
-                const std::function<void(std::int64_t)>* extra_task = nullptr) {
-  AIFT_CHECK_MSG(tile.valid(), "invalid tile config " << tile.name());
+// The two B-operand layouts the executor reads through. strip(col) yields
+// the column's K values indexed by absolute k row; the layouts differ only
+// in where those values live, never in their numeric content, so the core
+// below is bit-identical across views by construction.
+//
+// Raw: the per-call padded FP32 copy, row-major kpad x npad — consecutive
+// k8 reads stride by the padded row width (the pre-pack access pattern).
+struct RawBView {
+  const float* data;
+  std::int64_t npad;
+
+  struct Strip {
+    const float* base;
+    std::int64_t stride;
+    float operator[](std::int64_t krow) const { return base[krow * stride]; }
+  };
+  [[nodiscard]] Strip strip(std::int64_t col) const {
+    return Strip{data + col, npad};
+  }
+  // Fault-free column-group kernel: the row fragment {B(k, col0..col0+7)}
+  // is contiguous and its k+1 neighbour sits npad floats on.
+  void dot8(const float* arow, std::int64_t kpad, std::int64_t col0,
+            float* out) const {
+    dot8_lanes(arow, kpad, data + col0, npad, out);
+  }
+};
+
+// Panel: a PackedOperand — k-major 8-column group panels, so a strip's
+// k-th value sits a fixed 8 floats after its (k-1)-th and the eight
+// strips of a column group are adjacent per k row. The column-group loop
+// below therefore reads one contiguous 8-float row per k, and advances
+// 32 bytes per k step: a sequential stream the SIMD kernel loads with two
+// unstrided 16-byte moves and the prefetcher sees through.
+struct PanelBView {
+  const float* panels;
+  std::int64_t kpad;
+
+  struct Strip {
+    const float* base;
+    float operator[](std::int64_t krow) const {
+      return base[krow * MmaShape::kN];
+    }
+  };
+  [[nodiscard]] Strip strip(std::int64_t col) const {
+    return Strip{panels + (col / MmaShape::kN) * kpad * MmaShape::kN +
+                 col % MmaShape::kN};
+  }
+  // Fault-free column-group kernel: each k consumes one contiguous
+  // 8-float panel row, 32 bytes from its k-1 neighbour, so the whole K
+  // extent streams sequentially.
+  void dot8(const float* arow, std::int64_t kpad_a, std::int64_t col0,
+            float* out) const {
+    dot8_lanes(arow, kpad_a,
+               panels + (col0 / MmaShape::kN) * kpad * MmaShape::kN,
+               MmaShape::kN, out);
+  }
+};
+
+// Per-element K chain with injected faults: identical add order to the
+// fault-free fast loop (k ascending, i.e. the k8 steps of the blocked
+// schedule in order), with each fault's XOR applied at its step boundary —
+// exactly where the step-blocked schedule applied it to the accumulator.
+template <typename Strip>
+float faulty_dot(const float* arow, const Strip& bcol,
+                 std::int64_t k8_per_block,
+                 const std::vector<BlockFault>& faults, std::int64_t row,
+                 std::int64_t col) {
+  float sum = 0.0f;
+  for (std::int64_t step = 0; step < k8_per_block; ++step) {
+    const std::int64_t kk = step * MmaShape::kK;
+    for (int kx = 0; kx < MmaShape::kK; ++kx) {
+      sum += arow[kk + kx] * bcol[kk + kx];
+    }
+    for (const auto& f : faults) {
+      if (f.local_row == row && f.local_col == col && f.k8_step == step) {
+        apply_fault(sum, f.xor_bits);
+      }
+    }
+  }
+  for (const auto& f : faults) {
+    if (f.local_row == row && f.local_col == col &&
+        (f.k8_step < 0 || f.k8_step >= k8_per_block)) {
+      apply_fault(sum, f.xor_bits);
+    }
+  }
+  return sum;
+}
+
+// The single definition of the threadblock execution: each output element
+// accumulates its K products in ascending k — byte-identical to kb slabs
+// of k8-step MMAs walked in order, because both visit an element's
+// products in the same sequence. Rows stream in 8-column groups (the MMA
+// kN) so eight independent FP32 chains stay in registers, the accumulator
+// is written exactly once per element, and B is read through `bview`
+// (contiguous panels when packed, the strided padded copy otherwise).
+// Any change here must keep an element's accumulation order a function of
+// the K decomposition only — the stacking and packing invariants both
+// rest on that property.
+template <typename BView, typename StoreFn>
+void run_blocks_on(const float* af, std::int64_t kpad, const BView& bview,
+                   std::int64_t m, std::int64_t n, const TileConfig& tile,
+                   std::int64_t k8_per_block, const FunctionalOptions& opts,
+                   const StoreFn& store, std::int64_t extra_tasks,
+                   const std::function<void(std::int64_t)>* extra_task) {
   const std::int64_t bm = (m + tile.mb - 1) / tile.mb;
   const std::int64_t bn = (n + tile.nb - 1) / tile.nb;
-  const std::int64_t k_slabs = (k + tile.kb - 1) / tile.kb;
-  const std::int64_t k8_per_block = k_slabs * (tile.kb / MmaShape::kK);
-  const std::int64_t kpad = k_slabs * tile.kb;
-
-  // Pre-convert operands (padded to the executed tile grid).
-  const Matrix<float> af = to_f32_padded(a, bm * tile.mb, kpad);
-  const Matrix<float> bf = to_f32_padded(b, kpad, bn * tile.nb);
 
   std::atomic<std::int64_t> mma_count{0};
+  // Fault fast path: the entire serving path injects nothing, so blocks
+  // skip fault bookkeeping wholesale when the global list is empty — and
+  // once every listed fault has been claimed by its (unique) home block,
+  // remaining blocks stop rescanning the list. Claiming is monotone
+  // bookkeeping only: a stale read merely causes one redundant scan of a
+  // list that cannot match, never a missed or double-applied fault.
+  std::atomic<std::int64_t> unclaimed{
+      static_cast<std::int64_t>(opts.faults.size())};
 
   auto body = [&](std::int64_t block) {
     if (block >= bm * bn) {
@@ -63,54 +211,57 @@ void run_blocks(const Matrix<half_t>& a, const Matrix<half_t>& b,
 
     // Faults landing in this block, in local accumulator coordinates.
     std::vector<BlockFault> faults;
-    for (const auto& f : opts.faults) {
-      if (f.row >= r0 && f.row < r0 + tile.mb && f.col >= c0 &&
-          f.col < c0 + tile.nb) {
-        faults.push_back(BlockFault{f.row - r0, f.col - c0, f.k8_step,
-                                    f.xor_bits});
+    if (unclaimed.load(std::memory_order_relaxed) > 0) {
+      for (const auto& f : opts.faults) {
+        if (f.row >= r0 && f.row < r0 + tile.mb && f.col >= c0 &&
+            f.col < c0 + tile.nb) {
+          faults.push_back(
+              BlockFault{f.row - r0, f.col - c0, f.k8_step, f.xor_bits});
+        }
+      }
+      if (!faults.empty()) {
+        unclaimed.fetch_sub(static_cast<std::int64_t>(faults.size()),
+                            std::memory_order_relaxed);
       }
     }
 
-    std::vector<float> acc(static_cast<std::size_t>(tile.mb) * tile.nb, 0.0f);
-    std::int64_t mmas_here = 0;
+    // No zero-fill: every tile element is written exactly once below
+    // (padded elements included — the full predicated tile executes, which
+    // is what the MMA counters account).
+    float* acc = scratch_floats(
+        ScratchSlot::gemm_accumulator,
+        static_cast<std::size_t>(tile.mb) * static_cast<std::size_t>(tile.nb));
 
-    for (std::int64_t step = 0; step < k8_per_block; ++step) {
-      const std::int64_t kk = step * MmaShape::kK;
-      for (int mi = 0; mi < tile.mb; mi += MmaShape::kM) {
-        for (int nj = 0; nj < tile.nb; nj += MmaShape::kN) {
-          // One m16n8k8 MMA on the padded FP32 copies.
-          for (int r = 0; r < MmaShape::kM; ++r) {
-            const float* arow = &af(r0 + mi + r, kk);
-            float* crow = &acc[static_cast<std::size_t>((mi + r)) * tile.nb + nj];
-            for (int c = 0; c < MmaShape::kN; ++c) {
-              float sum = crow[c];
-              for (int kx = 0; kx < MmaShape::kK; ++kx) {
-                sum += arow[kx] * bf(kk + kx, c0 + nj + c);
-              }
-              crow[c] = sum;
-            }
+    for (std::int64_t r = 0; r < tile.mb; ++r) {
+      const float* arow = af + (r0 + r) * kpad;
+      float* crow = acc + static_cast<std::size_t>(r) * tile.nb;
+      for (std::int64_t nj = 0; nj < tile.nb; nj += MmaShape::kN) {
+        bool group_faulty = false;
+        for (const auto& f : faults) {
+          if (f.local_row == r && f.local_col >= nj &&
+              f.local_col < nj + MmaShape::kN) {
+            group_faulty = true;
           }
-          ++mmas_here;
         }
-      }
-      for (const auto& f : faults) {
-        if (f.k8_step == step) {
-          apply_fault(acc[static_cast<std::size_t>(f.local_row) * tile.nb +
-                          f.local_col],
-                      f.xor_bits);
+        if (!group_faulty) {
+          // Eight independent chains, each in ascending k — the same add
+          // sequence per element as the step-blocked MMA schedule. The
+          // view's dot8 kernel turns the chains into lane-per-column
+          // broadcast+FMA without reassociating any single chain.
+          bview.dot8(arow, kpad, c0 + nj, crow + nj);
+        } else {
+          for (int c = 0; c < MmaShape::kN; ++c) {
+            crow[nj + c] = faulty_dot(arow, bview.strip(c0 + nj + c),
+                                      k8_per_block, faults, r, nj + c);
+          }
         }
-      }
-    }
-    for (const auto& f : faults) {
-      if (f.k8_step < 0 || f.k8_step >= k8_per_block) {
-        apply_fault(
-            acc[static_cast<std::size_t>(f.local_row) * tile.nb + f.local_col],
-            f.xor_bits);
       }
     }
 
     store(r0, c0, acc);
-    mma_count.fetch_add(mmas_here, std::memory_order_relaxed);
+    mma_count.fetch_add(
+        k8_per_block * (tile.mb / MmaShape::kM) * (tile.nb / MmaShape::kN),
+        std::memory_order_relaxed);
   };
 
   if (opts.parallel) {
@@ -127,14 +278,84 @@ void run_blocks(const Matrix<half_t>& a, const Matrix<half_t>& b,
   }
 }
 
+// Unpacked entry: A is staged into scratch like every path, but B is
+// materialized afresh per call — allocation, zero fill, conversion —
+// exactly what every GEMM paid before operand packing existed. This path
+// serves identity tests and pack_weights=false sessions only (sessions,
+// campaigns and the microbench all pre-pack), and deliberately stays the
+// pre-packing execution so benches measuring packed-vs-unpacked compare
+// the fast path against the honest historical baseline.
+template <typename StoreFn>
+void run_blocks(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                std::int64_t m, std::int64_t n, std::int64_t k,
+                const TileConfig& tile, const FunctionalOptions& opts,
+                const StoreFn& store, std::int64_t extra_tasks = 0,
+                const std::function<void(std::int64_t)>* extra_task = nullptr) {
+  AIFT_CHECK_MSG(tile.valid(), "invalid tile config " << tile.name());
+  const std::int64_t bm = (m + tile.mb - 1) / tile.mb;
+  const std::int64_t bn = (n + tile.nb - 1) / tile.nb;
+  const std::int64_t k_slabs = (k + tile.kb - 1) / tile.kb;
+  const std::int64_t k8_per_block = k_slabs * (tile.kb / MmaShape::kK);
+  const std::int64_t kpad = k_slabs * tile.kb;
+  const std::int64_t npad = bn * tile.nb;
+
+  const float* af =
+      stage_f32_padded(ScratchSlot::gemm_staged_a, a, bm * tile.mb, kpad);
+  std::vector<float> bf(static_cast<std::size_t>(kpad * npad), 0.0f);
+  for (std::int64_t r = 0; r < b.rows(); ++r) {
+    float* row = bf.data() + r * npad;
+    for (std::int64_t c = 0; c < b.cols(); ++c) row[c] = b(r, c).to_float();
+  }
+  run_blocks_on(af, kpad, RawBView{bf.data(), npad}, m, n, tile, k8_per_block,
+                opts, store, extra_tasks, extra_task);
+}
+
+// Packed entry: A is staged per call (activations change every layer), B
+// is the caller's pre-built pack.
+template <typename StoreFn>
+void run_blocks_packed(
+    const Matrix<half_t>& a, const PackedOperand& b, std::int64_t m,
+    std::int64_t n, std::int64_t k, const TileConfig& tile,
+    const FunctionalOptions& opts, const StoreFn& store,
+    std::int64_t extra_tasks = 0,
+    const std::function<void(std::int64_t)>* extra_task = nullptr) {
+  AIFT_CHECK_MSG(tile.valid(), "invalid tile config " << tile.name());
+  AIFT_CHECK_MSG(b.compatible(k, n, tile),
+                 "PackedOperand (" << b.rows << "x" << b.cols << ", kb="
+                                   << b.kb << ", nb=" << b.nb
+                                   << ") does not serve a " << k << "x" << n
+                                   << " B under tile " << tile.name());
+  const std::int64_t bm = (m + tile.mb - 1) / tile.mb;
+  const std::int64_t k_slabs = (k + tile.kb - 1) / tile.kb;
+  const std::int64_t k8_per_block = k_slabs * (tile.kb / MmaShape::kK);
+  const std::int64_t kpad = k_slabs * tile.kb;
+
+  const float* af =
+      stage_f32_padded(ScratchSlot::gemm_staged_a, a, bm * tile.mb, kpad);
+  run_blocks_on(af, kpad, PanelBView{b.panels.data(), b.kpad}, m, n, tile,
+                k8_per_block, opts, store, extra_tasks, extra_task);
+}
+
 // The FP16 store epilogue (round-to-nearest-even, clamped to the real
-// unpadded output), shared by the single-request and batched entry points:
-// the stacking bit-identity invariant requires both paths to store through
-// one definition.
+// unpadded output), shared by the single-request and batched entry points
+// of both operand layouts: the stacking and packing bit-identity
+// invariants require every path to store through one definition. Full
+// interior blocks take the unguarded loops — the bounds can only clip on
+// the grid's edge row/column, so re-checking them per element there is
+// pure overhead.
 auto f16_store(Matrix<half_t>& c, const TileConfig& tile, std::int64_t m,
                std::int64_t n) {
   return [&c, &tile, m, n](std::int64_t r0, std::int64_t c0,
-                           const std::vector<float>& acc) {
+                           const float* acc) {
+    if (r0 + tile.mb <= m && c0 + tile.nb <= n) {
+      for (int r = 0; r < tile.mb; ++r) {
+        for (int cc = 0; cc < tile.nb; ++cc) {
+          c(r0 + r, c0 + cc) =
+              half_t(acc[static_cast<std::size_t>(r) * tile.nb + cc]);
+        }
+      }
+      return;
+    }
     for (int r = 0; r < tile.mb; ++r) {
       if (r0 + r >= m) break;
       for (int cc = 0; cc < tile.nb; ++cc) {
@@ -146,47 +367,39 @@ auto f16_store(Matrix<half_t>& c, const TileConfig& tile, std::int64_t m,
   };
 }
 
-}  // namespace
-
-void functional_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b,
-                     Matrix<half_t>& c, const TileConfig& tile,
-                     const FunctionalOptions& opts) {
-  AIFT_CHECK(a.cols() == b.rows());
-  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
-  const std::int64_t m = a.rows(), n = b.cols(), k = a.cols();
-  run_blocks(a, b, m, n, k, tile, opts, f16_store(c, tile, m, n));
+// FP32 store epilogue of the f32out variants, same interior fast path.
+auto f32_store(Matrix<float>& c, const TileConfig& tile, std::int64_t m,
+               std::int64_t n) {
+  return [&c, &tile, m, n](std::int64_t r0, std::int64_t c0,
+                           const float* acc) {
+    if (r0 + tile.mb <= m && c0 + tile.nb <= n) {
+      for (int r = 0; r < tile.mb; ++r) {
+        for (int cc = 0; cc < tile.nb; ++cc) {
+          c(r0 + r, c0 + cc) = acc[static_cast<std::size_t>(r) * tile.nb + cc];
+        }
+      }
+      return;
+    }
+    for (int r = 0; r < tile.mb; ++r) {
+      if (r0 + r >= m) break;
+      for (int cc = 0; cc < tile.nb; ++cc) {
+        if (c0 + cc >= n) break;
+        c(r0 + r, c0 + cc) = acc[static_cast<std::size_t>(r) * tile.nb + cc];
+      }
+    }
+  };
 }
 
-void functional_gemm_f32out(const Matrix<half_t>& a, const Matrix<half_t>& b,
-                            Matrix<float>& c, const TileConfig& tile,
-                            const FunctionalOptions& opts) {
-  AIFT_CHECK(a.cols() == b.rows());
-  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
-  const std::int64_t m = a.rows(), n = b.cols(), k = a.cols();
-  run_blocks(a, b, m, n, k, tile, opts,
-             [&](std::int64_t r0, std::int64_t c0, const std::vector<float>& acc) {
-               for (int r = 0; r < tile.mb; ++r) {
-                 if (r0 + r >= m) break;
-                 for (int cc = 0; cc < tile.nb; ++cc) {
-                   if (c0 + cc >= n) break;
-                   c(r0 + r, c0 + cc) =
-                       acc[static_cast<std::size_t>(r) * tile.nb + cc];
-                 }
-               }
-             });
-}
-
-void functional_gemm_batched(const Matrix<half_t>& a, const Matrix<half_t>& b,
-                             Matrix<half_t>& c, std::int64_t rows_per_request,
-                             const TileConfig& tile,
-                             const BatchedGemmOptions& opts) {
-  AIFT_CHECK(a.cols() == b.rows());
-  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
-  AIFT_CHECK_MSG(rows_per_request > 0 && a.rows() % rows_per_request == 0,
-                 "stacked A of " << a.rows() << " rows is not a whole number "
+// Shared validation + request-local fault translation of the batched entry
+// points (both operand layouts dispatch batches identically).
+FunctionalOptions batched_options(const BatchedGemmOptions& opts,
+                                  std::int64_t a_rows,
+                                  std::int64_t rows_per_request) {
+  AIFT_CHECK_MSG(rows_per_request > 0 && a_rows % rows_per_request == 0,
+                 "stacked A of " << a_rows << " rows is not a whole number "
                                  << "of " << rows_per_request
                                  << "-row requests");
-  const std::int64_t batch = a.rows() / rows_per_request;
+  const std::int64_t batch = a_rows / rows_per_request;
   AIFT_CHECK(opts.faults.empty() ||
              static_cast<std::int64_t>(opts.faults.size()) == batch);
   AIFT_CHECK(opts.extra_tasks == 0 || opts.extra_task != nullptr);
@@ -202,10 +415,71 @@ void functional_gemm_batched(const Matrix<half_t>& a, const Matrix<half_t>& b,
       fopts.faults.push_back(shifted);
     }
   }
+  return fopts;
+}
 
+}  // namespace
+
+void functional_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                     Matrix<half_t>& c, const TileConfig& tile,
+                     const FunctionalOptions& opts) {
+  AIFT_CHECK(a.cols() == b.rows());
+  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::int64_t m = a.rows(), n = b.cols(), k = a.cols();
+  run_blocks(a, b, m, n, k, tile, opts, f16_store(c, tile, m, n));
+}
+
+void functional_gemm(const Matrix<half_t>& a, const PackedOperand& b,
+                     Matrix<half_t>& c, const TileConfig& tile,
+                     const FunctionalOptions& opts) {
+  AIFT_CHECK(a.cols() == b.rows);
+  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols);
+  const std::int64_t m = a.rows(), n = b.cols, k = a.cols();
+  run_blocks_packed(a, b, m, n, k, tile, opts, f16_store(c, tile, m, n));
+}
+
+void functional_gemm_f32out(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                            Matrix<float>& c, const TileConfig& tile,
+                            const FunctionalOptions& opts) {
+  AIFT_CHECK(a.cols() == b.rows());
+  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::int64_t m = a.rows(), n = b.cols(), k = a.cols();
+  run_blocks(a, b, m, n, k, tile, opts, f32_store(c, tile, m, n));
+}
+
+void functional_gemm_f32out(const Matrix<half_t>& a, const PackedOperand& b,
+                            Matrix<float>& c, const TileConfig& tile,
+                            const FunctionalOptions& opts) {
+  AIFT_CHECK(a.cols() == b.rows);
+  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols);
+  const std::int64_t m = a.rows(), n = b.cols, k = a.cols();
+  run_blocks_packed(a, b, m, n, k, tile, opts, f32_store(c, tile, m, n));
+}
+
+void functional_gemm_batched(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                             Matrix<half_t>& c, std::int64_t rows_per_request,
+                             const TileConfig& tile,
+                             const BatchedGemmOptions& opts) {
+  AIFT_CHECK(a.cols() == b.rows());
+  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  const FunctionalOptions fopts =
+      batched_options(opts, a.rows(), rows_per_request);
   const std::int64_t m = a.rows(), n = b.cols(), k = a.cols();
   run_blocks(a, b, m, n, k, tile, fopts, f16_store(c, tile, m, n),
              opts.extra_tasks, &opts.extra_task);
+}
+
+void functional_gemm_batched(const Matrix<half_t>& a, const PackedOperand& b,
+                             Matrix<half_t>& c, std::int64_t rows_per_request,
+                             const TileConfig& tile,
+                             const BatchedGemmOptions& opts) {
+  AIFT_CHECK(a.cols() == b.rows);
+  AIFT_CHECK(c.rows() == a.rows() && c.cols() == b.cols);
+  const FunctionalOptions fopts =
+      batched_options(opts, a.rows(), rows_per_request);
+  const std::int64_t m = a.rows(), n = b.cols, k = a.cols();
+  run_blocks_packed(a, b, m, n, k, tile, fopts, f16_store(c, tile, m, n),
+                    opts.extra_tasks, &opts.extra_task);
 }
 
 Matrix<float> reference_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b) {

@@ -16,6 +16,7 @@
 #include "common/half.hpp"
 #include "common/matrix.hpp"
 #include "gemm/gemm_shape.hpp"
+#include "gemm/packed_operand.hpp"
 #include "gemm/tile_config.hpp"
 
 namespace aift {
@@ -52,9 +53,23 @@ void functional_gemm(const Matrix<half_t>& a, const Matrix<half_t>& b,
                      Matrix<half_t>& c, const TileConfig& tile,
                      const FunctionalOptions& opts = {});
 
+/// Packed-operand fast path: B was converted and panel-packed once
+/// (gemm/packed_operand.hpp), so this call skips the per-call FP32
+/// conversion and reads B contiguously. Bit-identical to the unpacked
+/// overload — outputs, counters and fault semantics — because packing
+/// changes operand layout, never the K decomposition (CTest-pinned).
+void functional_gemm(const Matrix<half_t>& a, const PackedOperand& b,
+                     Matrix<half_t>& c, const TileConfig& tile,
+                     const FunctionalOptions& opts = {});
+
 /// Variant that keeps the FP32 accumulators (no FP16 output rounding);
 /// used by tests that verify accumulation semantics in isolation.
 void functional_gemm_f32out(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                            Matrix<float>& c, const TileConfig& tile,
+                            const FunctionalOptions& opts = {});
+
+/// Packed-operand form of the FP32-accumulator variant.
+void functional_gemm_f32out(const Matrix<half_t>& a, const PackedOperand& b,
                             Matrix<float>& c, const TileConfig& tile,
                             const FunctionalOptions& opts = {});
 
@@ -89,6 +104,14 @@ struct BatchedGemmOptions {
 /// request still pays a full mb-row tile) and shares one padded FP32
 /// conversion of the weights across the whole batch.
 void functional_gemm_batched(const Matrix<half_t>& a, const Matrix<half_t>& b,
+                             Matrix<half_t>& c, std::int64_t rows_per_request,
+                             const TileConfig& tile,
+                             const BatchedGemmOptions& opts = {});
+
+/// Packed-operand form of the batched entry point: the serving engine
+/// packs each layer's weights once at session construction and every
+/// wave, rewind and campaign trial serves from the same pack.
+void functional_gemm_batched(const Matrix<half_t>& a, const PackedOperand& b,
                              Matrix<half_t>& c, std::int64_t rows_per_request,
                              const TileConfig& tile,
                              const BatchedGemmOptions& opts = {});

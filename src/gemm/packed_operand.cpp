@@ -1,0 +1,69 @@
+#include "gemm/packed_operand.hpp"
+
+#include "common/check.hpp"
+
+namespace aift {
+namespace {
+
+// Structural FNV-1a 64, field-by-field like CalibrationTable::fingerprint:
+// cheap, stable across platforms, and any bit of the operand or the pack
+// geometry flips it.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t fingerprint_of(const Matrix<half_t>& b, const TileConfig& tile) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(b.rows()));
+  fnv_mix(h, static_cast<std::uint64_t>(b.cols()));
+  fnv_mix(h, static_cast<std::uint64_t>(tile.kb));
+  fnv_mix(h, static_cast<std::uint64_t>(tile.nb));
+  for (std::int64_t r = 0; r < b.rows(); ++r) {
+    for (std::int64_t c = 0; c < b.cols(); ++c) {
+      fnv_mix(h, b(r, c).bits());
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+bool PackedOperand::compatible(std::int64_t b_rows, std::int64_t b_cols,
+                               const TileConfig& tile) const {
+  return rows == b_rows && cols == b_cols && kb == tile.kb && nb == tile.nb;
+}
+
+PackedOperand pack_operand(const Matrix<half_t>& b, const TileConfig& tile) {
+  AIFT_CHECK_MSG(tile.valid(), "invalid tile config " << tile.name());
+  PackedOperand p;
+  p.rows = b.rows();
+  p.cols = b.cols();
+  p.kb = tile.kb;
+  p.nb = tile.nb;
+  p.kpad = (b.rows() + tile.kb - 1) / tile.kb * tile.kb;
+  p.npad = (b.cols() + tile.nb - 1) / tile.nb * tile.nb;
+  p.panels.assign(static_cast<std::size_t>(p.npad * p.kpad), 0.0f);
+  for (std::int64_t c = 0; c < b.cols(); ++c) {
+    // k-major group panels: column c's k-th value at (c/8)*kpad*8 + k*8 +
+    // c%8, so each MMA column group is contiguous per k row.
+    float* strip = p.panels.data() + (c / 8) * p.kpad * 8 + c % 8;
+    for (std::int64_t r = 0; r < b.rows(); ++r) {
+      strip[r * 8] = b(r, c).to_float();
+    }
+  }
+  p.fingerprint = fingerprint_of(b, tile);
+  return p;
+}
+
+std::uint64_t packed_fingerprint(const Matrix<half_t>& b,
+                                 const TileConfig& tile) {
+  return fingerprint_of(b, tile);
+}
+
+}  // namespace aift

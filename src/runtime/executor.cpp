@@ -89,8 +89,7 @@ void ContinuousBatch::recover_row(const Row& row, std::size_t layer_index,
     FunctionalOptions fopts;
     fopts.parallel = opts_.parallel;
     fopts.faults = faults_for(row, layer_index, attempt);
-    functional_gemm(a_local, layer.weights, c_local, layer.entry.exec_tile(),
-                    fopts);
+    session_->layer_gemm(layer_index, a_local, c_local, fopts);
     ++trace.executions;
     if (!session_->check_layer(layer, a_local, c_local)) break;
     ++trace.detections;
@@ -193,8 +192,7 @@ void ContinuousBatch::step() {
       // batched kernel directly (keeps the facade path cheap).
       Row& row = rows_[members.front()];
       Matrix<half_t> c(shape.m, shape.n);
-      functional_gemm_batched(row.a, layer.weights, c, shape.m,
-                              layer.entry.exec_tile(), gopts);
+      session_->layer_gemm_batched(li, row.a, c, shape.m, gopts);
       outputs[members.front()] = std::move(c);
     } else {
       const auto b = static_cast<std::int64_t>(members.size());
@@ -204,8 +202,7 @@ void ContinuousBatch::step() {
                    g * shape.m);
       }
       Matrix<half_t> stacked_c(b * shape.m, shape.n);
-      functional_gemm_batched(stacked_a, layer.weights, stacked_c, shape.m,
-                              layer.entry.exec_tile(), gopts);
+      session_->layer_gemm_batched(li, stacked_a, stacked_c, shape.m, gopts);
       for (std::int64_t g = 0; g < b; ++g) {
         outputs[members[static_cast<std::size_t>(g)]] =
             copy_rows(stacked_c, g * shape.m, shape.m);
@@ -257,7 +254,7 @@ void ContinuousBatch::step() {
       FunctionalOptions fopts;
       fopts.parallel = opts_.parallel;
       fopts.faults = faults_for(row, row.cursor, 0);  // architectural attempt 0
-      functional_gemm(row.a, layer.weights, c, layer.entry.exec_tile(), fopts);
+      session_->layer_gemm(row.cursor, row.a, c, fopts);
       outputs[i] = std::move(c);
     }
   }

@@ -36,9 +36,14 @@ InferenceSession::InferenceSession(InferencePlan plan, SessionOptions opts)
     const auto& entry = plan_.entries[i];
     Layer layer{entry,
                 Matrix<half_t>(entry.layer.gemm.k, entry.layer.gemm.n),
-                std::nullopt, std::nullopt, std::nullopt};
+                std::nullopt, std::nullopt, std::nullopt, std::nullopt};
     Rng rng(derive_seed(opts_.weight_seed, static_cast<std::uint64_t>(i)));
     rng.fill_uniform(layer.weights, -0.5, 0.5);
+    if (opts_.pack_weights) {
+      // Pack once for the layer's planned execution tile; every GEMM of
+      // this layer — waves, retries, campaign trials — serves from it.
+      layer.packed = pack_operand(layer.weights, entry.exec_tile());
+    }
 
     switch (entry.scheme()) {
       case Scheme::none:
@@ -60,6 +65,12 @@ InferenceSession::InferenceSession(InferencePlan plan, SessionOptions opts)
         layer.repl.emplace(entry.exec_tile(),
                            ReplicationKind::single_accumulation);
         break;
+    }
+    if (layer.thread && opts_.pack_weights) {
+      // Like the operand pack: the per-lane Bt checksums are a pure
+      // function of the immutable weights and tile, so build them once
+      // here instead of once per request-check on the serving path.
+      layer.thread->prepare(layer.weights);
     }
     layers_.push_back(std::move(layer));
   }
@@ -83,6 +94,37 @@ Matrix<half_t> InferenceSession::make_input(std::uint64_t seed) const {
 const Matrix<half_t>& InferenceSession::weights(std::size_t layer) const {
   AIFT_CHECK(layer < layers_.size());
   return layers_[layer].weights;
+}
+
+const PackedOperand* InferenceSession::packed_weights(std::size_t layer) const {
+  AIFT_CHECK(layer < layers_.size());
+  return layers_[layer].packed ? &*layers_[layer].packed : nullptr;
+}
+
+void InferenceSession::layer_gemm(std::size_t layer, const Matrix<half_t>& a,
+                                  Matrix<half_t>& c,
+                                  const FunctionalOptions& opts) const {
+  const Layer& l = layers_[layer];
+  if (l.packed) {
+    functional_gemm(a, *l.packed, c, l.entry.exec_tile(), opts);
+  } else {
+    functional_gemm(a, l.weights, c, l.entry.exec_tile(), opts);
+  }
+}
+
+void InferenceSession::layer_gemm_batched(std::size_t layer,
+                                          const Matrix<half_t>& a,
+                                          Matrix<half_t>& c,
+                                          std::int64_t rows_per_request,
+                                          const BatchedGemmOptions& opts) const {
+  const Layer& l = layers_[layer];
+  if (l.packed) {
+    functional_gemm_batched(a, *l.packed, c, rows_per_request,
+                            l.entry.exec_tile(), opts);
+  } else {
+    functional_gemm_batched(a, l.weights, c, rows_per_request,
+                            l.entry.exec_tile(), opts);
+  }
 }
 
 bool InferenceSession::check_layer(const Layer& layer, const Matrix<half_t>& a,
@@ -116,8 +158,7 @@ std::vector<Matrix<half_t>> InferenceSession::layer_inputs(
     const GemmShape& shape = layers_[i].entry.layer.gemm;
     const GemmShape& next = layers_[i + 1].entry.layer.gemm;
     Matrix<half_t> c(shape.m, shape.n);
-    functional_gemm(inputs[i], layers_[i].weights, c,
-                    layers_[i].entry.exec_tile());
+    layer_gemm(i, inputs[i], c, {});
     inputs.push_back(activate_and_repack(c, opts_.activation, next.m, next.k));
   }
   return inputs;

@@ -84,6 +84,13 @@ struct SessionOptions {
   int max_retries = 3;
   /// Activation applied between layers (never to the final output).
   Activation activation = Activation::squash;
+  /// Pack each layer's weights once at construction (gemm/packed_operand):
+  /// every run, batch wave, rewind and campaign trial then serves from the
+  /// cached pack instead of re-converting the weights per GEMM call. The
+  /// packed and unpacked paths are bit-identical (CTest-pinned); `false`
+  /// keeps the per-call conversion path, used by benches as the
+  /// pre-packing baseline and by tests pinning the identity.
+  bool pack_weights = true;
 };
 
 class InferenceSession {
@@ -101,6 +108,10 @@ class InferenceSession {
   [[nodiscard]] Matrix<half_t> make_input(std::uint64_t seed) const;
 
   [[nodiscard]] const Matrix<half_t>& weights(std::size_t layer) const;
+
+  /// The layer's weight pack (pack_weights), or nullptr when the session
+  /// was built with pack_weights = false. Lives as long as the session.
+  [[nodiscard]] const PackedOperand* packed_weights(std::size_t layer) const;
 
   [[nodiscard]] SessionResult run(const Matrix<half_t>& input,
                                   const SessionRunOptions& run_opts = {}) const;
@@ -126,6 +137,10 @@ class InferenceSession {
   struct Layer {
     LayerPlanEntry entry;
     Matrix<half_t> weights;  // K x N
+    // The weights packed for entry.exec_tile() (pack_weights; fingerprinted
+    // like ProfileCache entries). Weights are immutable for the session's
+    // lifetime, so the pack is built exactly once, here.
+    std::optional<PackedOperand> packed;
     // Checker instance matching entry.scheme() (at most one engaged).
     std::optional<GlobalAbft> global;
     std::optional<ThreadLevelAbft> thread;
@@ -141,6 +156,16 @@ class InferenceSession {
 
   [[nodiscard]] bool check_layer(const Layer& layer, const Matrix<half_t>& a,
                                  const Matrix<half_t>& c) const;
+
+  // The one place execution chooses between the packed fast path and the
+  // per-call conversion path — every layer GEMM (serial, batched, retry,
+  // speculative re-execution) funnels through these, so the two paths can
+  // never drift apart per call site.
+  void layer_gemm(std::size_t layer, const Matrix<half_t>& a,
+                  Matrix<half_t>& c, const FunctionalOptions& opts) const;
+  void layer_gemm_batched(std::size_t layer, const Matrix<half_t>& a,
+                          Matrix<half_t>& c, std::int64_t rows_per_request,
+                          const BatchedGemmOptions& opts) const;
 
   InferencePlan plan_;
   SessionOptions opts_;

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+
 #include "common/rng.hpp"
 #include "gemm/functional.hpp"
 
@@ -93,6 +96,66 @@ TEST_P(ThreadAbftParam, DetectsMidKFault) {
   Env env(p.shape, p.tile, 43, {FaultSpec{1, 1, 1, 0x40000000u}});
   ThreadLevelAbft abft(p.tile, p.side);
   EXPECT_TRUE(abft.check(env.a, env.b, env.c).fault_detected);
+}
+
+TEST_P(ThreadAbftParam, PreparedCheckIsBitIdentical) {
+  // prepare(b) hoists the per-lane Bt checksums to construction time; the
+  // residuals and thresholds of a prepared check must equal the online
+  // check's to the last bit (same sums in the same order), on clean and
+  // faulty outputs alike.
+  const auto& p = GetParam();
+  for (const bool faulty : {false, true}) {
+    Env env(p.shape, p.tile, 44,
+            faulty ? std::vector<FaultSpec>{FaultSpec{0, 0, -1, 0x02000000u}}
+                   : std::vector<FaultSpec>{});
+    ThreadLevelAbft online(p.tile, p.side);
+    ThreadLevelAbft prepared(p.tile, p.side);
+    prepared.prepare(env.b);
+    ASSERT_TRUE(prepared.prepared());
+    ASSERT_FALSE(online.prepared());
+
+    auto lhs = online.check(env.a, env.b, env.c);
+    auto rhs = prepared.check(env.a, env.b, env.c);
+    // Blocks append their failures in pool-completion order; sort both
+    // sides into grid order so the comparison is order-insensitive.
+    const auto grid_order = [](const ThreadCheckFailure& x,
+                               const ThreadCheckFailure& y) {
+      return std::tie(x.block_row, x.block_col, x.warp_m, x.warp_n, x.lane,
+                      x.row) <
+             std::tie(y.block_row, y.block_col, y.warp_m, y.warp_n, y.lane,
+                      y.row);
+    };
+    std::sort(lhs.failures.begin(), lhs.failures.end(), grid_order);
+    std::sort(rhs.failures.begin(), rhs.failures.end(), grid_order);
+    EXPECT_EQ(lhs.fault_detected, rhs.fault_detected);
+    EXPECT_EQ(lhs.threads_checked, rhs.threads_checked);
+    ASSERT_EQ(lhs.failures.size(), rhs.failures.size());
+    for (std::size_t i = 0; i < lhs.failures.size(); ++i) {
+      const auto& lf = lhs.failures[i];
+      const auto& rf = rhs.failures[i];
+      EXPECT_EQ(lf.block_row, rf.block_row);
+      EXPECT_EQ(lf.block_col, rf.block_col);
+      EXPECT_EQ(lf.warp_m, rf.warp_m);
+      EXPECT_EQ(lf.warp_n, rf.warp_n);
+      EXPECT_EQ(lf.lane, rf.lane);
+      EXPECT_EQ(lf.row, rf.row);
+      EXPECT_EQ(lf.residual, rf.residual);    // exact, not approximate
+      EXPECT_EQ(lf.threshold, rf.threshold);  // exact, not approximate
+    }
+  }
+}
+
+TEST(ThreadAbft, PreparedTableIgnoredForOtherDimensions) {
+  // A table built for one operand must not serve a differently-shaped
+  // check: the checker falls back to the online path and stays correct.
+  const TileConfig tile{32, 32, 32, 16, 16, 2};
+  Env big({64, 64, 64}, tile, 45);
+  Env small({32, 32, 32}, tile, 46);
+  ThreadLevelAbft abft(tile, ThreadAbftSide::one_sided);
+  abft.prepare(big.b);
+  const auto res = abft.check(small.a, small.b, small.c);
+  EXPECT_FALSE(res.fault_detected);
+  EXPECT_GT(res.threads_checked, 0);
 }
 
 TEST(ThreadAbft, OneSidedLocalizesRow) {
