@@ -1,0 +1,82 @@
+#pragma once
+// Clang thread-safety analysis annotations (no-ops everywhere else).
+//
+// The standing invariants in ROADMAP.md lean on lock discipline: the
+// serving engine's stats ledger reconciles only because every counter
+// mutation happens under mu_, the stepping-shard ownership protocol is a
+// flag handed between threads under that same lock, and the profile cache
+// is shared by the whole worker pool. Until now those protocols lived in
+// comments and were enforced after the fact by TSan — which only sees the
+// interleavings a test happens to schedule. These macros make the
+// protocols machine-checked at COMPILE time under Clang's
+// -Wthread-safety: a guarded field touched without its mutex, a *_locked
+// helper called off-lock, or an unbalanced acquire/release becomes a
+// -Werror diagnostic in the Clang CI leg (see .github/workflows/ci.yml)
+// before the code ever runs.
+//
+// Usage (see common/mutex.hpp for the annotated Mutex/MutexLock types):
+//
+//   aift::Mutex mu_;
+//   std::int64_t depth_ AIFT_GUARDED_BY(mu_);
+//   void refill_locked() AIFT_REQUIRES(mu_);
+//
+// Off Clang (GCC builds, which include the local tier-1 verify and the
+// ASan/UBSan/TSan CI jobs) every macro expands to nothing, so the
+// annotations cost nothing and cannot change codegen anywhere.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define AIFT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AIFT_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the capability
+/// kind in diagnostics).
+#define AIFT_CAPABILITY(x) AIFT_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability (MutexLock / UniqueLock in common/mutex.hpp).
+#define AIFT_SCOPED_CAPABILITY AIFT_THREAD_ANNOTATION(scoped_lockable)
+
+/// A data member that may only be read or written while holding `x`.
+#define AIFT_GUARDED_BY(x) AIFT_THREAD_ANNOTATION(guarded_by(x))
+
+/// A pointer member whose *pointee* is protected by `x` (the pointer
+/// itself may be read freely).
+#define AIFT_PT_GUARDED_BY(x) AIFT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the given capabilities
+/// (the `_locked` helper convention).
+#define AIFT_REQUIRES(...) \
+  AIFT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding the given
+/// capabilities (documents "called with mu_ released" contracts).
+#define AIFT_EXCLUDES(...) AIFT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define AIFT_ACQUIRE(...) \
+  AIFT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability.
+#define AIFT_RELEASE(...) \
+  AIFT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define AIFT_TRY_ACQUIRE(result, ...) \
+  AIFT_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Asserts (without acquiring) that the calling thread holds the
+/// capability — for code reachable only with the lock already held.
+#define AIFT_ASSERT_CAPABILITY(x) \
+  AIFT_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define AIFT_RETURN_CAPABILITY(x) AIFT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis inside one function. Reserved for
+/// lock-passing shapes the analysis cannot follow (e.g. a helper that
+/// temporarily releases a caller-owned UniqueLock); every use carries a
+/// comment saying why.
+#define AIFT_NO_THREAD_SAFETY_ANALYSIS \
+  AIFT_THREAD_ANNOTATION(no_thread_safety_analysis)

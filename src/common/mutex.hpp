@@ -1,0 +1,91 @@
+#pragma once
+// Annotated mutex wrappers for Clang thread-safety analysis.
+//
+// std::mutex carries no capability attributes under libstdc++, so code
+// locking one is invisible to -Wthread-safety: every access to a
+// GUARDED_BY field would diagnose even with the lock correctly held.
+// These thin wrappers put the attributes on the type. They add no state
+// and no behavior — aift::Mutex IS a std::mutex (one private member, all
+// methods forwarding inline), so TSan, lock performance and
+// condition-variable interop are exactly what they were before.
+//
+// Condition variables: std::condition_variable::wait demands a
+// std::unique_lock<std::mutex>&, so UniqueLock wraps one and exposes it
+// via native(). The analysis does not look inside wait() — which is
+// correct: the capability is held before the call and held after it
+// returns, and the release/reacquire inside is the condition variable's
+// contract, not the caller's.
+
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+namespace aift {
+
+/// std::mutex with thread-safety capability attributes.
+class AIFT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AIFT_ACQUIRE() { mu_.lock(); }
+  void unlock() AIFT_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() AIFT_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+  /// The wrapped std::mutex, for std::condition_variable interop via
+  /// UniqueLock::native(). Holding it IS holding this capability; the
+  /// analysis cannot see through the alias, so callers go through the
+  /// annotated lock()/unlock()/UniqueLock paths instead of locking the
+  /// native handle directly.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard equivalent: acquires at construction, releases at
+/// scope exit. Not unlockable mid-scope — use UniqueLock for that.
+class AIFT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AIFT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() AIFT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock equivalent: locked at construction, manually
+/// unlockable/relockable, and waitable (native() feeds
+/// std::condition_variable::wait). The analysis tracks lock()/unlock()
+/// through the scoped-capability state machine, so "touched a guarded
+/// field after unlock()" diagnoses at compile time.
+class AIFT_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) AIFT_ACQUIRE(mu) : lock_(mu.native()) {}
+  /// std::unique_lock releases iff still owned; the annotation says
+  /// "releases" because scope exit ends the capability either way.
+  ~UniqueLock() AIFT_RELEASE() = default;
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() AIFT_ACQUIRE() { lock_.lock(); }
+  void unlock() AIFT_RELEASE() { lock_.unlock(); }
+  [[nodiscard]] bool owns_lock() const { return lock_.owns_lock(); }
+
+  /// For std::condition_variable::wait/wait_for only: the wait's
+  /// release-and-reacquire nets out to "still held", which matches what
+  /// the analysis assumes across the call.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace aift

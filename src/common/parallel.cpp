@@ -6,17 +6,29 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace aift {
 namespace {
 
 int detect_workers() {
-  if (const char* env = std::getenv("AIFT_NUM_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
+  // Read once, before any worker exists (the pool is a function-local
+  // static), so the getenv data race clang-tidy's concurrency-mt-unsafe
+  // worries about cannot occur here.
+  if (const char* env = std::getenv("AIFT_NUM_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
+    // strtol, not atoi: atoi has undefined behavior on out-of-range input
+    // (cert-err34-c) and cannot distinguish "0" from garbage. A value
+    // that is not a clean positive decimal falls through to the
+    // hardware default rather than silently becoming 0 workers.
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n >= 1 && n <= 4096) {
+      return static_cast<int>(n);
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 4 : static_cast<int>(hw);
@@ -36,7 +48,7 @@ class Pool {
 
   ~Pool() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -59,7 +71,7 @@ class Pool {
     job->fn = &fn;
     job->cursor.store(begin, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       jobs_.push_back(job);
     }
     cv_.notify_all();
@@ -67,14 +79,24 @@ class Pool {
     work_on(*job);  // the calling thread participates
 
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      done_cv_.wait(lk, [&] { return job->active.load() == 0; });
+      UniqueLock lk(mu_);
+      // The predicate reads only the job's atomic, so it needs no
+      // capability annotation of its own.
+      done_cv_.wait(lk.native(), [&] { return job->active.load() == 0; });
       jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
       // An outer job displaced by this (nested) one may still have work;
       // wake idle workers so they rejoin it.
       if (next_job_locked() != nullptr) cv_.notify_all();
     }
-    if (job->error) std::rethrow_exception(job->error);
+    std::exception_ptr error;
+    {
+      // active == 0 already publishes the error (acq_rel on the counter),
+      // but reading under the job's own lock keeps the access pattern
+      // uniform and the thread-safety analysis exact.
+      MutexLock lk(job->error_mu);
+      error = job->error;
+    }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
@@ -83,8 +105,8 @@ class Pool {
     const std::function<void(std::int64_t)>* fn = nullptr;
     std::atomic<std::int64_t> cursor{0};
     std::atomic<int> active{0};  // threads currently executing this job
-    std::exception_ptr error;
-    std::mutex error_mu;
+    Mutex error_mu;
+    std::exception_ptr error AIFT_GUARDED_BY(error_mu);
 
     bool drained() const noexcept {
       return cursor.load(std::memory_order_relaxed) >= end;
@@ -101,21 +123,21 @@ class Pool {
       try {
         for (std::int64_t i = lo; i < hi; ++i) (*job.fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(job.error_mu);
+        MutexLock lk(job.error_mu);
         if (!job.error) job.error = std::current_exception();
         job.cursor.store(job.end, std::memory_order_relaxed);  // drain
       }
     }
     if (job.active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       done_cv_.notify_all();
     }
   }
 
   // Newest undrained job, or null. Workers prefer the most recently
   // posted job: under nesting that is the inner job, whose completion the
-  // outer job's trials are blocked on. Caller must hold mu_.
-  std::shared_ptr<Job> next_job_locked() const {
+  // outer job's trials are blocked on.
+  std::shared_ptr<Job> next_job_locked() const AIFT_REQUIRES(mu_) {
     for (auto it = jobs_.rbegin(); it != jobs_.rend(); ++it) {
       if (!(*it)->drained()) return *it;
     }
@@ -126,8 +148,11 @@ class Pool {
     for (;;) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lk(mu_);
-        cv_.wait(lk, [&] {
+        UniqueLock lk(mu_);
+        // The predicate runs with mu_ held (condition_variable contract);
+        // the annotation tells the analysis so, since the call through
+        // wait() is opaque to it.
+        cv_.wait(lk.native(), [&]() AIFT_REQUIRES(mu_) {
           if (stop_) return true;
           job = next_job_locked();
           return job != nullptr;
@@ -139,14 +164,14 @@ class Pool {
   }
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
   /// Active (posted, not yet completed) jobs, oldest first. Nested
   /// parallel_for pushes inner jobs on top; removal is by identity when
   /// the posting run() returns.
-  std::vector<std::shared_ptr<Job>> jobs_;
-  bool stop_ = false;
+  std::vector<std::shared_ptr<Job>> jobs_ AIFT_GUARDED_BY(mu_);
+  bool stop_ AIFT_GUARDED_BY(mu_) = false;
 };
 
 Pool& pool() {

@@ -21,6 +21,14 @@
 // an already-large-enough buffer, a miss had to (re)allocate. Tests pin
 // "zero new allocations per steady-state serving round" on the miss
 // counter so the optimization cannot silently rot.
+//
+// Thread-safety annotations (common/annotations.hpp): this file has
+// nothing to annotate BY DESIGN — the buffers are thread_local (no
+// capability can be shared) and the two counters are std::atomic, which
+// the Clang analysis treats as safe unguarded. If a future change ever
+// replaces an atomic here with a plain counter, it must come back under
+// an aift::Mutex + AIFT_GUARDED_BY or the Clang CI leg will flag every
+// cross-thread access.
 
 #include <cstddef>
 #include <cstdint>

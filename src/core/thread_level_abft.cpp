@@ -1,9 +1,9 @@
 #include "core/thread_level_abft.hpp"
 
 #include <cmath>
-#include <mutex>
 
 #include "common/check.hpp"
+#include "common/mutex.hpp"
 #include "common/parallel.hpp"
 
 namespace aift {
@@ -73,7 +73,7 @@ ThreadLevelResult ThreadLevelAbft::check(const Matrix<half_t>& a,
   }
 
   ThreadLevelResult result;
-  std::mutex result_mu;
+  Mutex result_mu;  // serializes worker-local result merges
 
   parallel_for(0, bm * bn, [&](std::int64_t block) {
     const std::int64_t bi = block / bn;
@@ -174,7 +174,7 @@ ThreadLevelResult ThreadLevelAbft::check(const Matrix<half_t>& a,
       }
     }
 
-    std::lock_guard<std::mutex> lk(result_mu);
+    MutexLock lk(result_mu);
     result.threads_checked += local_threads;
     for (auto& f : local_failures) result.failures.push_back(f);
   });

@@ -31,7 +31,7 @@ std::size_t ProfileKeyHash::operator()(const ProfileKey& key) const noexcept {
 ProfiledKernel ProfileCache::get_or_compute(const ProfileKey& key,
                                             const ComputeFn& compute) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
@@ -43,7 +43,7 @@ ProfiledKernel ProfileCache::get_or_compute(const ProfileKey& key,
   // insert wins and later racers return their (identical) local result.
   ProfiledKernel result = compute();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.misses;
     entries_.emplace(key, result);
   }
@@ -51,17 +51,17 @@ ProfiledKernel ProfileCache::get_or_compute(const ProfileKey& key,
 }
 
 ProfileCacheStats ProfileCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t ProfileCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 void ProfileCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   stats_ = ProfileCacheStats{};
 }

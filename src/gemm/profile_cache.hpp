@@ -20,10 +20,11 @@
 #include <bit>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "gemm/profiler.hpp"
 
 namespace aift {
@@ -96,9 +97,10 @@ class ProfileCache {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<ProfileKey, ProfiledKernel, ProfileKeyHash> entries_;
-  ProfileCacheStats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<ProfileKey, ProfiledKernel, ProfileKeyHash> entries_
+      AIFT_GUARDED_BY(mu_);
+  ProfileCacheStats stats_ AIFT_GUARDED_BY(mu_);
 };
 
 }  // namespace aift

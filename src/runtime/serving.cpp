@@ -70,6 +70,9 @@ ServingEngine::ServingEngine(Options opts) : opts_(std::move(opts)) {
       "an injected clock requires stepped mode (Options::threaded = false): "
       "the batcher thread sleeps in real time, so fake timestamps would "
       "silently turn every due/deadline decision into nonsense");
+  // The injected-clock seam itself: the ONE place a real clock may enter
+  // the engine (threaded mode only — stepped mode rejects it above).
+  // aift-lint: allow(nondeterminism)
   if (!opts_.clock) opts_.clock = [] { return Clock::now(); };
   if (opts_.threaded) batcher_ = std::thread([this] { batcher_loop(); });
 }
@@ -92,7 +95,7 @@ void ServingEngine::add_model(const std::string& name, InferencePlan plan,
   // expensive part — do it outside the engine lock.
   auto shard = std::make_unique<Shard>(name, std::move(plan), policy,
                                        session_opts);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   AIFT_CHECK_MSG(accepting_, "cannot add_model after shutdown");
   const bool inserted = shards_.emplace(name, std::move(shard)).second;
   AIFT_CHECK_MSG(inserted, "model '" << name << "' is already registered");
@@ -110,13 +113,13 @@ void ServingEngine::add_model_from_file(const std::string& name,
   if (!calibration_path.empty()) calib = load_calibration(calibration_path);
   add_model(name, std::move(plan), policy, session_opts);
   if (calib.has_value()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shards_.at(name)->calibration = std::move(calib);
   }
 }
 
 std::vector<std::string> ServingEngine::models() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(shards_.size());
   for (const auto& [name, shard] : shards_) names.push_back(name);
@@ -124,7 +127,7 @@ std::vector<std::string> ServingEngine::models() const {
 }
 
 const InferenceSession& ServingEngine::session(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = shards_.find(name);
   AIFT_CHECK_MSG(it != shards_.end(), "unknown model '" << name << "'");
   return it->second->session;
@@ -132,7 +135,7 @@ const InferenceSession& ServingEngine::session(const std::string& name) const {
 
 const CalibrationTable* ServingEngine::calibration(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = shards_.find(name);
   AIFT_CHECK_MSG(it != shards_.end(), "unknown model '" << name << "'");
   return it->second->calibration.has_value() ? &*it->second->calibration
@@ -149,7 +152,7 @@ std::future<ServedResult> ServingEngine::submit(
                  "deadline must be >= 0 (0 = the model's default_slo), got "
                      << req.deadline.count() << "us");
 
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   AIFT_CHECK_MSG(accepting_, "submit after shutdown");
   const auto it = shards_.find(model);
   AIFT_CHECK_MSG(it != shards_.end(), "unknown model '" << model << "'");
@@ -348,14 +351,14 @@ void ServingEngine::resolve_shed(std::vector<Shed> shed) {
         std::move(s.model), s.pending.priority, s.queued_us, s.late_us)));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shed_unresolved_ -= static_cast<std::int64_t>(shed.size());
   }
   idle_cv_.notify_all();
 }
 
 ServingEngine::DispatchOutcome ServingEngine::dispatch_due(
-    std::unique_lock<std::mutex>& lock, bool force) {
+    UniqueLock& lock, bool force) {
   DispatchOutcome outcome;
   Formed formed = form_due_locked(now(), force);
   const bool execute = formed.shard != nullptr;
@@ -414,7 +417,7 @@ void ServingEngine::execute_batch(Formed formed) {
   // future.get() and immediately reads stats() must see this batch
   // counted — including a failed one.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.batches;
     if (static_cast<std::int64_t>(stats_.batch_size_hist.size()) <=
         batch_size) {
@@ -472,7 +475,7 @@ void ServingEngine::execute_batch(Formed formed) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --in_flight_;
   }
   idle_cv_.notify_all();
@@ -496,7 +499,7 @@ void ServingEngine::continuous_round(Formed formed) {
   if (wave_error) {
     const Clock::time_point at = now();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.batches;
       if (static_cast<std::int64_t>(stats_.batch_size_hist.size()) <=
           wave_size) {
@@ -583,7 +586,7 @@ void ServingEngine::continuous_round(Formed formed) {
   // execute_batch): a caller that wakes on future.get() and immediately
   // reads stats() must see its request counted.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (wave_size > 0) {
       ++stats_.batches;
       if (static_cast<std::int64_t>(stats_.batch_size_hist.size()) <=
@@ -648,7 +651,7 @@ std::size_t ServingEngine::pump() {
                  "pump() drives stepped engines only; a threaded engine's "
                  "batcher dispatches on its own");
   std::size_t dispatched = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   for (;;) {
     const DispatchOutcome outcome = dispatch_due(lock, /*force=*/false);
     if (outcome.batch) ++dispatched;
@@ -660,7 +663,7 @@ std::int64_t ServingEngine::pump_step() {
   AIFT_CHECK_MSG(!opts_.threaded,
                  "pump_step() drives stepped engines only; a threaded "
                  "engine's batcher dispatches on its own");
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   (void)dispatch_due(lock, /*force=*/false);
   std::int64_t live = 0;
   for (const auto& [name, shard] : shards_) {
@@ -676,14 +679,14 @@ void ServingEngine::drain() {
   // in flight — or any shed another thread popped but has not yet
   // resolved (shed_unresolved_: those futures are no longer pending but
   // not yet settled either).
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   for (;;) {
     if (!dispatch_due(lock, /*force=*/true).any) {
       if (in_flight_ == 0 && shed_unresolved_ == 0 &&
           pending_locked() == 0) {
         return;
       }
-      idle_cv_.wait(lock);
+      idle_cv_.wait(lock.native());
     }
   }
 }
@@ -691,7 +694,7 @@ void ServingEngine::drain() {
 void ServingEngine::shutdown() {
   std::thread batcher;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     accepting_ = false;
     stop_ = true;
     // Claim the thread under the lock: of two concurrent shutdown()
@@ -708,12 +711,12 @@ void ServingEngine::shutdown() {
 }
 
 ServingStats ServingEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void ServingEngine::batcher_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  UniqueLock lock(mu_);
   for (;;) {
     if (dispatch_due(lock, /*force=*/stop_).any) continue;
     if (stop_) return;
@@ -742,9 +745,9 @@ void ServingEngine::batcher_loop() {
     if (have_deadline) {
       const auto remaining = deadline - now();
       if (remaining <= Clock::duration::zero()) continue;
-      work_cv_.wait_for(lock, remaining);
+      work_cv_.wait_for(lock.native(), remaining);
     } else {
-      work_cv_.wait(lock);
+      work_cv_.wait(lock.native());
     }
   }
 }

@@ -73,13 +73,14 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "runtime/executor.hpp"
 
 namespace aift {
@@ -425,8 +426,14 @@ class ServingEngine {
     /// A thread is running this shard's round (admit + step + settle)
     /// off-lock and exclusively owns `cont` and `live` until it clears
     /// the flag; scheduling passes skip the shard meanwhile. The flag is
-    /// only read/written under mu_, which supplies the happens-before
-    /// between consecutive owners.
+    /// only read/written under the engine's mu_, which supplies the
+    /// happens-before between consecutive owners. (Every Shard field is
+    /// guarded by the owning engine's mu_ — except `session`, `executor`,
+    /// `cont` and `live`, which the round thread owns exclusively while
+    /// `stepping` is set. Clang's GUARDED_BY cannot name the enclosing
+    /// object's member from a nested struct, so the protocol is enforced
+    /// one level up: every ServingEngine method that touches a Shard is
+    /// annotated AIFT_REQUIRES(mu_) or takes a scoped lock.)
     bool stepping = false;
 
     Shard(std::string model_name, InferencePlan plan, const BatchPolicy& p,
@@ -464,13 +471,15 @@ class ServingEngine {
   /// not the front — the queue is deadline-sorted), or, edf, the most
   /// urgent request reaching deadline - dispatch_margin, whichever is
   /// earlier. Caller holds mu_; the queue must be non-empty.
-  [[nodiscard]] Clock::time_point next_due_locked(const Shard& shard) const;
+  [[nodiscard]] Clock::time_point next_due_locked(const Shard& shard) const
+      AIFT_REQUIRES(mu_);
 
   /// Sheds every expired request on every edf shard, then pops the next
   /// due batch in urgency order (edf: earliest deadline, priority, seq;
   /// fifo: oldest head request), or leaves Formed::shard null. `force`
   /// waives the hold policy (drain/shutdown). Caller holds mu_.
-  Formed form_due_locked(Clock::time_point at, bool force);
+  Formed form_due_locked(Clock::time_point at, bool force)
+      AIFT_REQUIRES(mu_);
 
   struct DispatchOutcome {
     bool any = false;    ///< something happened (a batch and/or sheds)
@@ -479,43 +488,48 @@ class ServingEngine {
 
   /// One scheduling pass shared by pump()/drain()/batcher_loop(): forms
   /// under the lock, then releases it to resolve sheds and execute the
-  /// batch, reacquiring before returning. `lock` must hold mu_.
-  DispatchOutcome dispatch_due(std::unique_lock<std::mutex>& lock,
-                               bool force);
+  /// batch, reacquiring before returning. `lock` must hold mu_. The
+  /// unlock/relock dance on a caller-owned lock is the one shape Clang's
+  /// analysis cannot follow across a function boundary, hence the
+  /// per-function opt-out (the callees it dispatches to are analyzed).
+  DispatchOutcome dispatch_due(UniqueLock& lock, bool force)
+      AIFT_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Resolves shed promises to DeadlineExceeded. Called with mu_ released
   /// (their stats were already recorded under the lock in
   /// form_due_locked, so a waiter that wakes sees them counted).
-  void resolve_shed(std::vector<Shed> shed);
+  void resolve_shed(std::vector<Shed> shed) AIFT_EXCLUDES(mu_);
 
   /// Executes a formed batch and fulfills its promises. Called with mu_
   /// released; takes mu_ only to update stats.
-  void execute_batch(Formed formed);
+  void execute_batch(Formed formed) AIFT_EXCLUDES(mu_);
 
   /// Runs one continuous round: admits the wave into the shard's open
   /// ContinuousBatch, advances it one layer step, and settles every row
   /// that retired (fulfilling promises + stats). Called with mu_
   /// released and the shard's `stepping` flag held.
-  void continuous_round(Formed formed);
+  void continuous_round(Formed formed) AIFT_EXCLUDES(mu_);
 
-  [[nodiscard]] std::int64_t pending_locked() const;
+  [[nodiscard]] std::int64_t pending_locked() const AIFT_REQUIRES(mu_);
   void batcher_loop();
 
   Options opts_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable work_cv_;  ///< batcher: new work / shutdown
   std::condition_variable idle_cv_;  ///< drain(): queue empty + not busy
-  std::map<std::string, std::unique_ptr<Shard>> shards_;
-  ServingStats stats_;
-  std::uint64_t next_seq_ = 0;
-  std::int64_t in_flight_ = 0;  ///< batches currently executing
+  std::map<std::string, std::unique_ptr<Shard>> shards_ AIFT_GUARDED_BY(mu_);
+  ServingStats stats_ AIFT_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ AIFT_GUARDED_BY(mu_) = 0;
+  /// Batches currently executing.
+  std::int64_t in_flight_ AIFT_GUARDED_BY(mu_) = 0;
   /// Sheds popped from a queue whose DeadlineExceeded promise has not
   /// been set yet (resolution happens off-lock): drain() counts them as
   /// outstanding work, or it could return before a shed future settles.
-  std::int64_t shed_unresolved_ = 0;
-  bool accepting_ = true;
-  bool stop_ = false;
-  std::thread batcher_;
+  std::int64_t shed_unresolved_ AIFT_GUARDED_BY(mu_) = 0;
+  bool accepting_ AIFT_GUARDED_BY(mu_) = true;
+  bool stop_ AIFT_GUARDED_BY(mu_) = false;
+  /// Claimed (moved out) under mu_ by the one shutdown() that joins it.
+  std::thread batcher_ AIFT_GUARDED_BY(mu_);
 };
 
 }  // namespace aift

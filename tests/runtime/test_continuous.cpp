@@ -53,11 +53,13 @@ Model tiny_mlp() {
 }
 
 // Manually advanced time source for stepped engines (the serving suite's
-// idiom).
+// idiom). Starts at a fixed epoch, not the wall clock: the tests assert
+// on durations, never on absolute times, and a fixed origin keeps every
+// run bit-identical.
 struct ManualClock {
   std::shared_ptr<ServingEngine::Clock::time_point> now_ =
       std::make_shared<ServingEngine::Clock::time_point>(
-          ServingEngine::Clock::now());
+          ServingEngine::Clock::time_point{} + std::chrono::hours(1));
 
   [[nodiscard]] ServingEngine::ClockFn fn() const {
     auto now = now_;

@@ -50,11 +50,13 @@ namespace {
 
 using std::chrono::microseconds;
 
-// Manually advanced time source for stepped engines.
+// Manually advanced time source for stepped engines. Starts at a fixed
+// epoch, not the wall clock: the tests assert on durations, never on
+// absolute times, and a fixed origin keeps every run bit-identical.
 struct ManualClock {
   std::shared_ptr<ServingEngine::Clock::time_point> now_ =
       std::make_shared<ServingEngine::Clock::time_point>(
-          ServingEngine::Clock::now());
+          ServingEngine::Clock::time_point{} + std::chrono::hours(1));
 
   [[nodiscard]] ServingEngine::ClockFn fn() const {
     auto now = now_;

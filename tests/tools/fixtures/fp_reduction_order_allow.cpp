@@ -1,0 +1,9 @@
+// aift-lint fixture: MUST PASS via allow() suppression [fp-reduction-order].
+#include <numeric>
+#include <vector>
+
+double integer_reduce(const std::vector<long>& v) {
+  // Integer reduction is associative, so reordering is harmless here.
+  // aift-lint: allow(fp-reduction-order)
+  return static_cast<double>(std::reduce(v.begin(), v.end(), 0L));
+}

@@ -1,0 +1,12 @@
+// aift-lint fixture: MUST PASS [fp-reduction-order].
+// Ordered accumulation: a plain loop and std::accumulate (defined as a
+// left fold) keep per-element order deterministic.
+#include <numeric>
+#include <vector>
+
+double ordered_sums(const std::vector<double>& v) {
+  double a = 0.0;
+  for (double x : v) a += x;
+  double b = std::accumulate(v.begin(), v.end(), 0.0);
+  return a + b;
+}

@@ -1,0 +1,15 @@
+// aift-lint fixture: MUST TRIGGER [fp-reduction-order].
+// Unordered reduction primitives; linted with --as-path src/gemm/...,
+// where per-column accumulation order is a bit-identity invariant.
+#include <numeric>
+#include <vector>
+
+double unordered_sums(const std::vector<double>& v) {
+  double a = std::reduce(v.begin(), v.end(), 0.0);
+  double b = std::transform_reduce(v.begin(), v.end(), 0.0, std::plus<>{},
+                                   [](double x) { return x * x; });
+  double c = 0.0;
+#pragma omp parallel for reduction(+ : c)
+  for (std::size_t i = 0; i < v.size(); ++i) c += v[i];
+  return a + b + c;
+}

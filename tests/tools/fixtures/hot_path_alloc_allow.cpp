@@ -1,0 +1,11 @@
+// aift-lint fixture: MUST PASS via allow() suppression [hot-path-alloc].
+#include <cstdlib>
+
+void run_blocks_cold_init(int nblocks) {
+  // First-touch growth path, sanctioned: runs once per high-water mark,
+  // never in steady state.
+  // aift-lint: allow(hot-path-alloc)
+  float* acc = new float[64];
+  for (int b = 0; b < nblocks; ++b) acc[b % 64] += 1.0F;
+  delete[] acc;
+}

@@ -1,0 +1,24 @@
+// aift-lint fixture: MUST PASS [hot-path-alloc].
+// The hot path draws buffers from the scratch arena; allocation OUTSIDE
+// a run_blocks* body (setup code) is fine, as is a mere declaration or
+// call of run_blocks*.
+#include <cstdlib>
+#include <vector>
+
+float* scratch_floats(int slot, unsigned long count);
+void run_blocks_fixture(int nblocks);
+
+void run_blocks_arena(int nblocks) {
+  float* acc = scratch_floats(0, 64);
+  for (int b = 0; b < nblocks; ++b) {
+    acc[b % 64] += 1.0F;
+  }
+}
+
+std::vector<float> setup_outside_hot_path() {
+  float* staged = new float[16];  // setup path, not run_blocks*
+  std::vector<float> out(staged, staged + 16);
+  delete[] staged;
+  run_blocks_fixture(4);
+  return out;
+}

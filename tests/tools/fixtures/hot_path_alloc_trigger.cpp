@@ -1,0 +1,14 @@
+// aift-lint fixture: MUST TRIGGER [hot-path-alloc].
+// Raw allocations inside a run_blocks* body; linted with --as-path
+// src/gemm/..., where steady-state rounds must not allocate.
+#include <cstdlib>
+
+void run_blocks_fixture(int nblocks) {
+  float* acc = new float[64];
+  void* staged = std::malloc(256);
+  for (int b = 0; b < nblocks; ++b) {
+    acc[b % 64] += 1.0F;
+  }
+  std::free(staged);
+  delete[] acc;
+}

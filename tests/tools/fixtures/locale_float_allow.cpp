@@ -1,0 +1,14 @@
+// aift-lint fixture: MUST PASS via allow() suppression [locale-float].
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+void emit(std::ostream& os, double latency_us) {
+  char buf[64];
+  // Same-line directive form.
+  std::snprintf(buf, sizeof(buf), "%8.3f", latency_us);  // aift-lint: allow(locale-float)
+  // Preceding-line directive form.
+  // aift-lint: allow(locale-float)
+  std::string cell = std::to_string(latency_us);
+  os << latency_us;  // aift-lint: allow(locale-float)
+}

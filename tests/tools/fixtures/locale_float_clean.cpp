@@ -1,0 +1,19 @@
+// aift-lint fixture: MUST PASS [locale-float].
+// The sanctioned idioms: integers through printf/to_string/streams are
+// locale-safe for our purposes, and floats go through the fmt_* helpers
+// (which use std::to_chars internally).
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+std::string fmt_double(double v, int digits);
+std::string fmt_time_us(double us);
+
+void emit(std::ostream& os, double latency_us, int rounds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "rounds=%d", rounds);
+  std::string cell = std::to_string(rounds);
+  os << fmt_double(latency_us, 3);
+  os << fmt_time_us(latency_us);
+  os << rounds;
+}

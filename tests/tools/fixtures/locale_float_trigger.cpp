@@ -1,0 +1,17 @@
+// aift-lint fixture: MUST TRIGGER [locale-float].
+// Every formatting idiom here honors the global C/C++ locale: on a
+// comma-decimal host these sites would emit "3,141" and corrupt CSV
+// artifacts. Linted with --as-path src/runtime/..., i.e. outside the
+// fmt_double / hexfloat whitelist.
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <string>
+
+void emit(std::ostream& os, double latency_us, double overhead_pct) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "p99=%8.3f", latency_us);
+  std::string cell = std::to_string(overhead_pct);
+  os << latency_us;
+  os << std::setprecision(3) << std::fixed;
+}

@@ -1,0 +1,13 @@
+// aift-lint fixture: MUST PASS via allow() suppression [nondeterminism].
+#include <chrono>
+
+std::chrono::steady_clock::time_point sanctioned_seam() {
+  // This models the ONE real-time entry point (e.g. the ServingEngine
+  // default clock); the directive names the rule it suppresses.
+  // aift-lint: allow(nondeterminism)
+  return std::chrono::steady_clock::now();
+}
+
+long same_line_form() {
+  return clock();  // aift-lint: allow(nondeterminism)
+}

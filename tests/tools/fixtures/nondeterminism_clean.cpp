@@ -1,0 +1,28 @@
+// aift-lint fixture: MUST PASS [nondeterminism].
+// Time through an injected ClockFn, randomness through a seeded engine,
+// and identifiers that merely CONTAIN the hot words (opts_.clock(),
+// randomize(), mentions of ::now() in comments) must not fire.
+#include <chrono>
+#include <functional>
+#include <random>
+
+using Clock = std::chrono::steady_clock;
+using ClockFn = std::function<Clock::time_point()>;
+
+struct Options {
+  ClockFn clock;  // injected; defaults wired at the single allow()ed seam
+};
+
+struct Engine {
+  Options opts_;
+
+  // A comment mentioning Clock::now() or std::rand() must not fire.
+  Clock::time_point tick() { return opts_.clock(); }
+};
+
+int randomize(std::mt19937& rng) { return static_cast<int>(rng()); }
+
+int draw(unsigned seed) {
+  std::mt19937 rng(seed);  // seeded, reproducible
+  return randomize(rng);
+}

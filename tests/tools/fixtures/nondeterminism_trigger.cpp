@@ -1,0 +1,18 @@
+// aift-lint fixture: MUST TRIGGER [nondeterminism].
+// Ambient time and entropy reads that bypass the injected ClockFn /
+// common/rng seams; each line is an independent finding.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long ambient_reads() {
+  auto t0 = std::chrono::steady_clock::now();
+  std::random_device rd;
+  int a = std::rand();
+  std::srand(42);
+  std::time_t wall = time(nullptr);
+  long ticks = clock();
+  return static_cast<long>(t0.time_since_epoch().count()) + rd() + a + wall +
+         ticks;
+}

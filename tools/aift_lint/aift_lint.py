@@ -1,0 +1,457 @@
+#!/usr/bin/env python3
+"""aift-lint — domain-invariant checker for the aift tree.
+
+Generic linters cannot know this codebase's standing invariants (see
+ROADMAP.md); this one encodes them as mechanical rules with file/line
+diagnostics, so a violation fails CI at review time instead of waiting
+for a determinism suite or a hostile-locale test to catch the symptom:
+
+  locale-float        Float formatting that honors the global locale
+                      (printf "%f"-family conversions, std::to_string on
+                      a floating expression, raw stream << of a double,
+                      stream float manipulators). A comma-decimal host
+                      would corrupt artifacts and split CSV fields; every
+                      serialization site must go through fmt_double /
+                      the artifact_io hexfloat helpers. Whitelisted
+                      implementation sites: src/common/table.cpp,
+                      src/runtime/artifact_io.cpp.
+
+  nondeterminism      Wall-clock, ambient-entropy or C-library RNG reads
+                      (std::chrono::*::now(), time(), clock(), rand(),
+                      srand(), std::random_device) outside the injected
+                      clock/RNG seams. Scheduling decisions, campaign
+                      trials and tests must draw time from an injected
+                      ClockFn and randomness from common/rng streams, or
+                      bit-identity across execution modes is unprovable.
+
+  fp-reduction-order  Unordered floating-point reduction primitives
+                      (std::reduce, std::transform_reduce,
+                      std::execution::par*, OpenMP reductions) in gemm/
+                      and core/. Every output element's accumulation
+                      order must depend only on the K decomposition —
+                      checksum math and the stacked-GEMM invariant both
+                      rest on that.
+
+  hot-path-alloc      Raw new/malloc/calloc/realloc inside the
+                      run_blocks* GEMM hot path. Steady-state serving
+                      performs zero scratch allocations (pinned by
+                      ScratchTest); per-block buffers come from
+                      common/scratch arenas.
+
+Suppression: append `// aift-lint: allow(<rule>)` to the flagged line,
+or put it on its own line directly above. Suppressions are for sanctioned
+seams (e.g. the ServingEngine default clock, microbench wall-clock
+measurement) and should say why in the surrounding comment.
+
+Usage:
+  aift_lint.py [--as-path VIRTUAL_PATH] [--rules r1,r2] PATH [PATH...]
+
+Paths may be files or directories (searched for *.cpp *.cc *.hpp *.h).
+--as-path lints a single file as if it lived at VIRTUAL_PATH relative to
+the repo root — how the fixture suite exercises path-scoped rules.
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh")
+SKIP_DIR_NAMES = {"build", "build-tsan", "build-asan", "fixtures", ".git",
+                  "Testing"}
+
+ALLOW_RE = re.compile(r"aift-lint:\s*allow\(([a-z0-9_\-, ]+)\)")
+
+
+# --------------------------------------------------------------- masking --
+
+def mask_source(text):
+    """Blanks comments and string/char literals, preserving layout.
+
+    Returns (masked, literals) where `masked` is code-only text of the
+    same shape (every masked char becomes a space, newlines kept) and
+    `literals` maps line number (1-based) -> list of string-literal
+    contents that START on that line. Rules match against `masked` so a
+    mention of Clock::now() in a comment can never fire; the printf rule
+    reads format strings from `literals`.
+    """
+    out = list(text)
+    literals = {}
+    i, n = 0, len(text)
+    line = 1
+    state = "code"
+    lit_start_line = 0
+    lit_buf = []
+    raw_delim = None
+
+    def blank(idx):
+        if out[idx] != "\n":
+            out[idx] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                blank(i)
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                blank(i)
+            elif c == '"':
+                # Raw string literal? Look back for R prefix (R"delim().
+                j = i - 1
+                prefix = ""
+                while j >= 0 and text[j] in "uUL8R":
+                    prefix = text[j] + prefix
+                    j -= 1
+                if prefix.endswith("R"):
+                    m = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+                    raw_delim = ")" + (m.group(1) if m else "") + '"'
+                    state = "raw_string"
+                else:
+                    state = "string"
+                lit_start_line = line
+                lit_buf = []
+                blank(i)
+            elif c == "'":
+                state = "char"
+                blank(i)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+            else:
+                blank(i)
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                blank(i)
+                blank(i + 1)
+                i += 1
+                if nxt == "\n":
+                    line += 1
+                state = "code"
+            else:
+                blank(i)
+        elif state == "string":
+            if c == "\\":
+                lit_buf.append(text[i:i + 2])
+                blank(i)
+                if i + 1 < n:
+                    blank(i + 1)
+                    if nxt == "\n":
+                        line += 1
+                i += 1
+            elif c == '"':
+                blank(i)
+                literals.setdefault(lit_start_line, []).append("".join(lit_buf))
+                state = "code"
+            else:
+                lit_buf.append(c)
+                blank(i)
+        elif state == "raw_string":
+            if text.startswith(raw_delim, i):
+                for k in range(len(raw_delim)):
+                    blank(i + k)
+                literals.setdefault(lit_start_line, []).append("".join(lit_buf))
+                i += len(raw_delim) - 1
+                state = "code"
+            else:
+                lit_buf.append(c)
+                blank(i)
+        elif state == "char":
+            if c == "\\":
+                blank(i)
+                if i + 1 < n:
+                    blank(i + 1)
+                i += 1
+            elif c == "'":
+                blank(i)
+                state = "code"
+            else:
+                blank(i)
+        if text[i] == "\n":
+            line += 1
+        i += 1
+    return "".join(out), literals
+
+
+def allowed_rules(raw_lines):
+    """Line number -> set of rule ids suppressed on that line.
+
+    A directive suppresses its own line; a directive on a line that is
+    nothing but the comment also suppresses the next line.
+    """
+    allow = {}
+    for idx, text in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(text)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        allow.setdefault(idx, set()).update(rules)
+        before = text[: text.find("//")] if "//" in text else text
+        if not before.strip():
+            allow.setdefault(idx + 1, set()).update(rules)
+    return allow
+
+
+# ----------------------------------------------------------------- rules --
+
+PRINTF_CALL_RE = re.compile(
+    r"\b(?:v?f?printf|v?s[n]?printf)\s*\(")
+PRINTF_FLOAT_CONV_RE = re.compile(
+    r"(?<!%)%[-+ #0']*(?:\d+|\*)?(?:\.(?:\d+|\*))?(?:l|L)?[aAeEfFgG]")
+TOSTRING_RE = re.compile(r"std\s*::\s*to_string\s*\(([^;]*)\)")
+FLOAT_EVIDENCE_RE = re.compile(
+    r"\d+\.\d|\b(?:double|float)\b|_(?:us|ms|pct|frac|ratio)\b"
+    r"|\b(?:latency|elapsed|speedup|overhead|intensity|coverage"
+    r"|attainment|percent)\w*")
+STREAM_FLOAT_RE = re.compile(
+    r"<<\s*(?:"
+    r"\d+\.\d+(?:[eE][-+]?\d+)?[fF]?\b"
+    r"|(?!fmt_)[A-Za-z_][\w.]*(?:_us|_ms|_pct|_frac|_ratio)\b(?!\w*\()"
+    r"|(?!fmt_)[A-Za-z_]\w*(?:latency|elapsed|speedup)\w*\b"
+    r"|\w+\.(?:overhead_pct|mean_latency_us|deadline_attainment)\(\)"
+    r")")
+STREAM_MANIP_RE = re.compile(
+    r"std\s*::\s*(?:setprecision|fixed|scientific|defaultfloat|hexfloat)\b")
+
+NONDET_PATTERNS = [
+    (re.compile(r"::\s*now\s*\("),
+     "wall-clock read (::now()) outside the injected-clock seam"),
+    (re.compile(r"std\s*::\s*random_device\b"),
+     "ambient entropy (std::random_device) outside the seeded RNG seam"),
+    (re.compile(r"(?<![\w.>])s?rand\s*\("),
+     "C-library RNG outside the seeded RNG seam"),
+    (re.compile(r"(?<![\w.>])time\s*\(\s*(?:NULL|nullptr|0|&)?"),
+     "wall-clock read (time()) outside the injected-clock seam"),
+    (re.compile(r"(?<![\w.>])clock\s*\(\s*\)"),
+     "CPU-clock read (clock()) outside the injected-clock seam"),
+]
+
+FP_REDUCTION_PATTERNS = [
+    (re.compile(r"std\s*::\s*reduce\b"),
+     "std::reduce reassociates floating-point accumulation"),
+    (re.compile(r"std\s*::\s*transform_reduce\b"),
+     "std::transform_reduce reassociates floating-point accumulation"),
+    (re.compile(r"std\s*::\s*execution\s*::\s*(?:par\b|par_unseq\b|unseq\b)"),
+     "parallel execution policies unorder floating-point accumulation"),
+    (re.compile(r"#\s*pragma\s+omp\b.*\breduction\b"),
+     "OpenMP reductions reassociate floating-point accumulation"),
+]
+
+ALLOC_RE = re.compile(
+    r"(?<![\w.>])new\b(?!\s*\()|\bnew\s*\[|(?<![\w.>])(?:malloc|calloc"
+    r"|realloc|aligned_alloc|posix_memalign)\s*\(")
+HOT_FN_RE = re.compile(r"\brun_blocks\w*\s*\(")
+
+
+def under(path, *prefixes):
+    p = path.replace(os.sep, "/")
+    return any(p == pre or p.startswith(pre) for pre in prefixes)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: error: [{self.rule}] {self.message}"
+
+
+def check_locale_float(rel, raw_lines, masked_lines, literals, out):
+    if not under(rel, "src/"):
+        return
+    if under(rel, "src/common/table.cpp", "src/runtime/artifact_io.cpp"):
+        return  # the sanctioned locale-independent formatting sites
+    open_call_lines = 0
+    for ln, code in enumerate(masked_lines, start=1):
+        if PRINTF_CALL_RE.search(code):
+            open_call_lines = 4  # format string may wrap a few lines
+        if open_call_lines > 0:
+            for lit in literals.get(ln, []):
+                if PRINTF_FLOAT_CONV_RE.search(lit):
+                    out.append(Finding(
+                        rel, ln, "locale-float",
+                        "printf-family float conversion honors the global "
+                        "locale; use fmt_double (common/table) or hexfloat "
+                        "(runtime/artifact_io)"))
+            if ";" in code:
+                open_call_lines = 0
+            else:
+                open_call_lines -= 1
+        for m in TOSTRING_RE.finditer(code):
+            if FLOAT_EVIDENCE_RE.search(m.group(1)):
+                out.append(Finding(
+                    rel, ln, "locale-float",
+                    "std::to_string on a floating expression is "
+                    "locale-dependent; use fmt_double (common/table)"))
+        if STREAM_FLOAT_RE.search(code):
+            out.append(Finding(
+                rel, ln, "locale-float",
+                "raw stream << of a floating value honors the imbued "
+                "locale; wrap it in fmt_double / fmt_pct / fmt_time_us"))
+        if STREAM_MANIP_RE.search(code):
+            out.append(Finding(
+                rel, ln, "locale-float",
+                "stream float manipulators imply locale-dependent float "
+                "formatting; use fmt_double (common/table)"))
+
+
+def check_nondeterminism(rel, masked_lines, out):
+    if not under(rel, "src/", "tests/"):
+        return
+    for ln, code in enumerate(masked_lines, start=1):
+        for pat, msg in NONDET_PATTERNS:
+            if pat.search(code):
+                out.append(Finding(
+                    rel, ln, "nondeterminism",
+                    msg + " (inject a ClockFn / derive a common/rng stream "
+                    "instead)"))
+
+
+def check_fp_reduction(rel, masked_lines, out):
+    if not under(rel, "src/gemm/", "src/core/"):
+        return
+    for ln, code in enumerate(masked_lines, start=1):
+        for pat, msg in FP_REDUCTION_PATTERNS:
+            if pat.search(code):
+                out.append(Finding(
+                    rel, ln, "fp-reduction-order",
+                    msg + "; per-column accumulation order must depend only "
+                    "on the K decomposition"))
+
+
+def check_hot_path_alloc(rel, masked_lines, out):
+    if not under(rel, "src/gemm/"):
+        return
+    # Track brace depth through each run_blocks* definition's body.
+    depth = 0
+    in_hot = False
+    hot_name_line = 0
+    for ln, code in enumerate(masked_lines, start=1):
+        if not in_hot and HOT_FN_RE.search(code) and depth == 0:
+            # A definition opens a brace at depth 0 on this or a nearby
+            # line; a call site inside another function sits at depth > 0.
+            in_hot = True
+            hot_name_line = ln
+        if in_hot and ALLOC_RE.search(code) and depth > 0:
+            out.append(Finding(
+                rel, ln, "hot-path-alloc",
+                "raw allocation inside the run_blocks* hot path (entered at "
+                f"line {hot_name_line}); use common/scratch arenas — "
+                "steady-state serving rounds must not allocate"))
+        for ch in code:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0 and in_hot:
+                    in_hot = False
+        if in_hot and depth == 0 and ";" in code:
+            in_hot = False  # declaration (or call statement), not a body
+
+
+CHECKS = {
+    "locale-float": None,  # dispatched explicitly; needs literals
+    "nondeterminism": None,
+    "fp-reduction-order": None,
+    "hot-path-alloc": None,
+}
+
+
+def lint_file(path, rel, selected):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"aift-lint: cannot read {path}: {e}", file=sys.stderr)
+        return None
+    raw_lines = text.splitlines()
+    masked, literals = mask_source(text)
+    masked_lines = masked.splitlines()
+    allow = allowed_rules(raw_lines)
+
+    findings = []
+    if "locale-float" in selected:
+        check_locale_float(rel, raw_lines, masked_lines, literals, findings)
+    if "nondeterminism" in selected:
+        check_nondeterminism(rel, masked_lines, findings)
+    if "fp-reduction-order" in selected:
+        check_fp_reduction(rel, masked_lines, findings)
+    if "hot-path-alloc" in selected:
+        check_hot_path_alloc(rel, masked_lines, findings)
+    return [f for f in findings if f.rule not in allow.get(f.line, set())]
+
+
+def gather_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs[:] = sorted(d for d in dirs if d not in SKIP_DIR_NAMES)
+                for name in sorted(names):
+                    if name.endswith(CXX_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"aift-lint: no such path: {p}", file=sys.stderr)
+            return None
+    return files
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="aift-lint", add_help=True)
+    ap.add_argument("paths", nargs="+")
+    ap.add_argument("--as-path", default=None,
+                    help="lint a single file as if it lived at this "
+                         "repo-relative path (fixture testing)")
+    ap.add_argument("--rules", default=None,
+                    help="comma-separated subset of rules to run")
+    ap.add_argument("--root", default=None,
+                    help="repo root for computing rule-scoping paths "
+                         "(default: current directory)")
+    args = ap.parse_args(argv)
+
+    selected = set(CHECKS)
+    if args.rules:
+        selected = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = selected - set(CHECKS)
+        if unknown:
+            print(f"aift-lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    if args.as_path and (len(args.paths) != 1 or
+                         not os.path.isfile(args.paths[0])):
+        print("aift-lint: --as-path takes exactly one file", file=sys.stderr)
+        return 2
+
+    root = os.path.abspath(args.root or os.getcwd())
+    files = gather_files(args.paths)
+    if files is None:
+        return 2
+
+    all_findings = []
+    for path in files:
+        if args.as_path:
+            rel = args.as_path.replace(os.sep, "/")
+        else:
+            rel = os.path.relpath(os.path.abspath(path), root)
+            rel = rel.replace(os.sep, "/")
+        result = lint_file(path, rel, selected)
+        if result is None:
+            return 2
+        all_findings.extend(result)
+
+    for f in all_findings:
+        print(f)
+    if all_findings:
+        print(f"aift-lint: {len(all_findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
