@@ -65,11 +65,7 @@ class Pool {
     const std::int64_t chunk =
         std::max<std::int64_t>(1, n / std::max<std::int64_t>(1, chunks_target));
 
-    auto job = std::make_shared<Job>();
-    job->end = end;
-    job->chunk = chunk;
-    job->fn = &fn;
-    job->cursor.store(begin, std::memory_order_relaxed);
+    auto job = std::make_shared<Job>(begin, end, chunk, fn);
     {
       MutexLock lk(mu_);
       jobs_.push_back(job);
@@ -101,9 +97,16 @@ class Pool {
 
  private:
   struct Job {
-    std::int64_t end = 0, chunk = 1;
-    const std::function<void(std::int64_t)>* fn = nullptr;
-    std::atomic<std::int64_t> cursor{0};
+    Job(std::int64_t begin, std::int64_t end_in, std::int64_t chunk_in,
+        const std::function<void(std::int64_t)>& fn_in)
+        : end(end_in), chunk(chunk_in), fn(&fn_in), cursor(begin) {}
+
+    // The range and body are fixed for the job's lifetime; const-qualify
+    // them so workers can only ever race on the atomics below.
+    const std::int64_t end;
+    const std::int64_t chunk;
+    const std::function<void(std::int64_t)>* const fn;
+    std::atomic<std::int64_t> cursor;
     std::atomic<int> active{0};  // threads currently executing this job
     Mutex error_mu;
     std::exception_ptr error AIFT_GUARDED_BY(error_mu);

@@ -366,6 +366,9 @@ ServingEngine::DispatchOutcome ServingEngine::dispatch_due(
   // nothing new — progress (any), not a batch.
   outcome.batch = execute && !formed.requests.empty();
   outcome.any = execute || !formed.shed.empty();
+  // !outcome.any implies form_due_locked returned no shard and no sheds,
+  // so `formed` is provably empty here — there is no promise to drop.
+  // aift-analyze: allow(promise-ledger)
   if (!outcome.any) return outcome;
   if (execute) ++in_flight_;
   lock.unlock();
@@ -530,6 +533,7 @@ void ServingEngine::continuous_round(Formed formed) {
   // cont/live until it is cleared under the lock below.
   const Clock::time_point admitted_at = now();
   std::exception_ptr error;
+  std::size_t admitted = 0;  // rows moved into shard.live so far
   std::vector<std::pair<std::int64_t, SessionResult>> retired;
   try {
     if (!shard.cont) shard.cont.emplace(shard.executor.begin(opts_.batch));
@@ -545,16 +549,21 @@ void ServingEngine::continuous_round(Formed formed) {
       row.admitted = admitted_at;
       shard.live.emplace(id, std::move(row));
       wave_ids.push_back(id);
+      ++admitted;
+      if (opts_.on_admit) {
+        opts_.on_admit(shard.name, static_cast<std::int64_t>(admitted),
+                       wave_size);
+      }
     }
     const auto cohort = static_cast<std::int64_t>(shard.live.size());
     for (const std::int64_t id : wave_ids) shard.live[id].cohort = cohort;
     if (!shard.cont->idle()) shard.cont->step();
     retired = shard.cont->take_finished();
   } catch (...) {
-    // submit() validation makes this unreachable short of an engine bug,
-    // but an open batch whose step threw is not safely resumable: fail
-    // every in-flight row rather than losing their futures, and reset
-    // the shard's batch.
+    // submit() validation makes this unreachable short of an engine bug
+    // (or a throwing on_admit hook), but an open batch whose step threw
+    // is not safely resumable: fail every in-flight row rather than
+    // losing their futures, and reset the shard's batch.
     error = std::current_exception();
   }
   const Clock::time_point finished_at = now();
@@ -565,8 +574,18 @@ void ServingEngine::continuous_round(Formed formed) {
   };
   std::vector<Settled> settled;
   if (error) {
-    settled.reserve(shard.live.size());
+    settled.reserve(shard.live.size() + formed.requests.size() - admitted);
     for (auto& [id, row] : shard.live) {
+      settled.push_back(Settled{std::move(row), SessionResult{}});
+    }
+    // Rows the throw cut off before admission never reached shard.live
+    // but still hold their promises: settle them with the same error, or
+    // their callers hang and submitted == completed + failed + shed +
+    // queue_depth stops reconciling.
+    for (std::size_t r = admitted; r < formed.requests.size(); ++r) {
+      Shard::LiveRow row;
+      row.request = std::move(formed.requests[r]);
+      row.admitted = admitted_at;
       settled.push_back(Settled{std::move(row), SessionResult{}});
     }
     shard.live.clear();

@@ -301,6 +301,17 @@ class ServingEngine {
     /// its requests count as `failed`. Tests use it to exercise that path.
     std::function<void(const std::string& model, std::int64_t batch_size)>
         on_dispatch;
+    /// Observability hook for continuous admission waves, invoked off-lock
+    /// after each row of a wave joins the shard's open batch (rows
+    /// admitted so far in this wave, wave size). An exception thrown here
+    /// follows the engine-failure path: the open batch is not safely
+    /// resumable, so every in-flight row *and* the wave's not-yet-admitted
+    /// remainder fail with the exception and the shard's batch resets.
+    /// Tests use it to exercise that path — it is the only supported way
+    /// to observe a mid-wave engine failure.
+    std::function<void(const std::string& model, std::int64_t admitted,
+                       std::int64_t wave_size)>
+        on_admit;
   };
 
   ServingEngine();  ///< default Options: threaded, steady clock
@@ -488,12 +499,16 @@ class ServingEngine {
 
   /// One scheduling pass shared by pump()/drain()/batcher_loop(): forms
   /// under the lock, then releases it to resolve sheds and execute the
-  /// batch, reacquiring before returning. `lock` must hold mu_. The
-  /// unlock/relock dance on a caller-owned lock is the one shape Clang's
-  /// analysis cannot follow across a function boundary, hence the
-  /// per-function opt-out (the callees it dispatches to are analyzed).
+  /// batch, reacquiring before returning. AIFT_REQUIRES(mu_) states the
+  /// lock-passing contract (`lock` must own mu_ on entry and owns it
+  /// again on return), so call sites are fully checked; the suppression
+  /// is narrowly scoped to the body, whose unlock/relock dance on a
+  /// caller-owned lock is the one shape Clang's analysis cannot follow
+  /// across a function boundary (the callees it dispatches to are
+  /// analyzed, and aift-analyze's lock-discipline simulation proves the
+  /// body releases mu_ before every blocking call).
   DispatchOutcome dispatch_due(UniqueLock& lock, bool force)
-      AIFT_NO_THREAD_SAFETY_ANALYSIS;
+      AIFT_REQUIRES(mu_) AIFT_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Resolves shed promises to DeadlineExceeded. Called with mu_ released
   /// (their stats were already recorded under the lock in

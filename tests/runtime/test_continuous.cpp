@@ -15,8 +15,10 @@
 //    queued requests into the in-flight batch at boundaries under the
 //    scheduler's order; EDF still sheds an expired request even when the
 //    open batch has capacity for it; a failing admission wave poisons
-//    only that wave; and the stats ledger (submitted == completed +
-//    failed + shed + queue_depth) holds at quiescence.
+//    only that wave; a mid-wave engine failure resolves every promise,
+//    including the wave's not-yet-admitted tail; and the stats ledger
+//    (submitted == completed + failed + shed + queue_depth) holds at
+//    quiescence.
 //
 // CTest runs this binary additionally pinned to AIFT_NUM_THREADS=1/2/8
 // (continuous_determinism_threads_*), like the executor/serving suites —
@@ -494,6 +496,71 @@ TEST_F(ContinuousServingTest, FailedWavePoisonsOnlyTheWave) {
   EXPECT_DOUBLE_EQ(stats.queue_us_max, 500.0);
   EXPECT_DOUBLE_EQ(stats.mean_queue_us(), 500.0 / 3.0);
   expect_reconciled(stats);
+}
+
+// A mid-wave engine failure (injected through on_admit, the only
+// supported seam) resolves *every* promise: the rows already admitted,
+// the rows of earlier waves still in flight, and — the regression this
+// pins — the wave's not-yet-admitted tail, which never reaches the
+// shard's live map. Before the fix the tail's futures hung forever and
+// submitted == completed + failed + shed + queue_depth stopped
+// reconciling (aift-analyze promise-ledger finding).
+TEST_F(ContinuousServingTest, MidWaveFailureResolvesUnadmittedTail) {
+  ManualClock clock;
+  bool fail_mid_wave = false;
+  ServingEngine::Options opts = stepped_options(clock);
+  opts.on_admit = [&fail_mid_wave](const std::string& model,
+                                   std::int64_t admitted,
+                                   std::int64_t wave_size) {
+    if (fail_mid_wave && admitted == 2) {
+      throw std::runtime_error("injected engine failure in " + model +
+                               " after 2/" + std::to_string(wave_size) +
+                               " admissions");
+    }
+  };
+  ServingEngine engine(std::move(opts));
+  BatchPolicy policy = continuous_policy();
+  policy.max_batch = 8;
+  engine.add_model("dlrm", plan(), policy);
+  const auto& session = engine.session("dlrm");
+
+  // Wave 1: two healthy rows join and advance a step.
+  auto a = engine.submit("dlrm", session.make_input(61));
+  auto b = engine.submit("dlrm", session.make_input(62));
+  EXPECT_EQ(engine.pump_step(), 2);
+
+  // Wave 2: three rows; the injected failure fires after the second
+  // admission, so w2 is the wave's un-admitted tail.
+  fail_mid_wave = true;
+  auto w0 = engine.submit("dlrm", session.make_input(63));
+  auto w1 = engine.submit("dlrm", session.make_input(64));
+  auto w2 = engine.submit("dlrm", session.make_input(65));
+  EXPECT_EQ(engine.pump_step(), 0);  // the open batch reset
+
+  // The open batch is not safely resumable, so every future resolves
+  // with the injected error — in-flight a/b, admitted w0/w1, and the
+  // un-admitted w2.
+  EXPECT_THROW((void)a.get(), std::runtime_error);
+  EXPECT_THROW((void)b.get(), std::runtime_error);
+  EXPECT_THROW((void)w0.get(), std::runtime_error);
+  EXPECT_THROW((void)w1.get(), std::runtime_error);
+  EXPECT_THROW((void)w2.get(), std::runtime_error);
+
+  const ServingStats after = engine.stats();
+  EXPECT_EQ(after.submitted, 5);
+  EXPECT_EQ(after.completed, 0);
+  EXPECT_EQ(after.failed, 5);
+  EXPECT_EQ(after.queue_depth, 0);
+  expect_reconciled(after);
+
+  // The shard's batch was reset, so the engine keeps serving.
+  fail_mid_wave = false;
+  auto c = engine.submit("dlrm", session.make_input(66));
+  while (engine.pump_step() > 0) {
+  }
+  expect_identical(c.get().session, session.run(session.make_input(66)),
+                   "post-failure row");
+  expect_reconciled(engine.stats());
 }
 
 // drain() settles an open batch: force rounds keep admitting and stepping

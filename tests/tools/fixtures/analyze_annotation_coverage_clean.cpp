@@ -1,0 +1,32 @@
+// Exempt shapes the annotation-coverage pass must NOT fire on:
+// annotated, const, atomic, and synchronization-primitive members of a
+// Mutex-owning class — and mutable members of classes owning no mutex.
+
+namespace aift {
+
+class Registry {
+ public:
+  void bump() {
+    MutexLock lk(mu_);
+    hits_ += 1;
+  }
+  int read() const {
+    MutexLock lk(mu_);
+    return hits_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int hits_ AIFT_GUARDED_BY(mu_) = 0;
+  std::atomic<int> fast_hits_{0};
+  const int capacity_ = 64;
+  std::condition_variable cv_;
+};
+
+// No mutex owned: the completeness rule does not apply here.
+class Plain {
+ public:
+  int depth = 0;
+};
+
+}  // namespace aift

@@ -1,0 +1,32 @@
+// Deliberate annotation-coverage violations: mutable state in
+// Mutex-owning classes without AIFT_GUARDED_BY.
+
+namespace aift {
+
+// hits_ is mutated in bump() and read in read() — two member functions
+// share it across the mutex, so it needs AIFT_GUARDED_BY(mu_).
+class Registry {
+ public:
+  void bump() {
+    MutexLock lk(mu_);
+    hits_ += 1;
+  }
+  int read() {
+    MutexLock lk(mu_);
+    return hits_;
+  }
+
+ private:
+  Mutex mu_;
+  int hits_ = 0;
+};
+
+// Public mutable state in a Mutex-owning class: any caller can race it
+// without ever taking the lock.
+class Exposed {
+ public:
+  Mutex mu_;
+  int depth = 0;
+};
+
+}  // namespace aift

@@ -1,0 +1,32 @@
+// Real determinism-taint violations, fully suppressed by justified
+// `// aift-analyze: allow(determinism-taint)` seams.
+
+namespace aift {
+
+double debug_stamp() {
+  return static_cast<double>(
+      // Diagnostics only: the stamp feeds a log line, never block bytes.
+      // aift-analyze: allow(determinism-taint)
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+void run_blocks_debug(int n) {
+  for (int i = 0; i < n; ++i) {
+    (void)debug_stamp();
+  }
+}
+
+struct Ledger {
+  std::unordered_map<int, double> cells;
+};
+
+void merge(Ledger& out, const Ledger& in) {
+  // Each key is accumulated independently; visit order cannot change
+  // any output cell, only the (unobserved) accumulation schedule.
+  // aift-analyze: allow(determinism-taint)
+  for (const auto& kv : in.cells) {
+    out.cells[kv.first] += kv.second;
+  }
+}
+
+}  // namespace aift

@@ -1,0 +1,42 @@
+// Sanctioned seams the determinism-taint pass must NOT fire on: the
+// injected clock (a call through a function-typed member is unresolvable
+// by construction — exactly the seam boundary), a seeded RNG, and
+// ordered-container iteration.
+
+namespace aift {
+
+class Engine {
+ public:
+  // The injected-clock seam: opts_.clock() resolves to nothing the call
+  // graph can follow, which is what makes it the sanctioned boundary.
+  double stamp() { return to_seconds(opts_.clock()); }
+
+  // A bit-identity root; everything it reaches is deterministic.
+  void run_blocks_batch(int n) {
+    std::mt19937 rng(seed_);
+    for (int i = 0; i < n; ++i) {
+      total_ += stamp() + static_cast<double>(rng());
+    }
+  }
+
+ private:
+  struct Options {
+    ClockFn clock;
+  };
+  Options opts_;
+  unsigned seed_ = 42;
+  double total_ = 0.0;
+};
+
+struct Ledger {
+  std::map<int, double> cells;
+};
+
+// Ordered container: iteration order is the key order, bit-stable.
+void merge(Ledger& out, const Ledger& in) {
+  for (const auto& kv : in.cells) {
+    out.cells[kv.first] += kv.second;
+  }
+}
+
+}  // namespace aift

@@ -1,0 +1,34 @@
+// Deliberate determinism-taint violations: ambient time and unordered
+// iteration reachable from bit-identity roots, outside the sanctioned
+// ClockFn / seeded-RNG seams.
+
+namespace aift {
+
+// One hop below the root: an ambient wall-clock read.
+double stamp_helper() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+// A bit-identity root by naming contract (run_blocks*).
+void run_blocks_fixture(int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += stamp_helper();
+  }
+  (void)total;
+}
+
+struct Ledger {
+  std::unordered_map<int, double> cells;
+};
+
+// `merge` is a root: stats merges must be iteration-order independent,
+// and unordered_map iteration order is implementation-defined.
+void merge(Ledger& out, const Ledger& in) {
+  for (const auto& kv : in.cells) {
+    out.cells[kv.first] += kv.second;
+  }
+}
+
+}  // namespace aift

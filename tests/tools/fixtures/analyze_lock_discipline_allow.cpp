@@ -1,0 +1,27 @@
+// Real lock-discipline violations, every one suppressed by a justified
+// `// aift-analyze: allow(lock-discipline)` seam — the analyzer must
+// report nothing here.
+
+namespace aift {
+
+class Worker {
+ public:
+  void blocking_hold() {
+    MutexLock lk(mu_);
+    // Startup-only path: the worker set is not yet published when this
+    // sleeps, so nothing can contend on mu_ meanwhile.
+    // aift-analyze: allow(lock-discipline)
+    std::this_thread::sleep_for(interval_);
+  }
+
+  // Bootstrap shim kept for one release; its caller serializes access.
+  // aift-analyze: allow(lock-discipline)
+  void opaque_dance() AIFT_NO_THREAD_SAFETY_ANALYSIS { counter_ = 1; }
+
+ private:
+  Mutex mu_;
+  int counter_ = 0;
+  int interval_ = 0;
+};
+
+}  // namespace aift

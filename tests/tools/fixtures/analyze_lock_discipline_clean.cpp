@@ -1,0 +1,56 @@
+// Near-miss idioms the lock-discipline pass must NOT fire on: every
+// shape here is the disciplined version of a trigger-fixture violation.
+
+namespace aift {
+
+class Worker {
+ public:
+  // Blocking after release: the scoped lock's scope ends first.
+  void release_then_block() {
+    {
+      MutexLock lk(mu_);
+      generation_ += 1;
+    }
+    std::this_thread::sleep_for(interval_);
+  }
+
+  // A cv wait holding exactly the lock it releases is the contract.
+  void wait_own_lock() {
+    UniqueLock lk(mu_);
+    cv_.wait(lk.native());
+  }
+
+  // The suppression is justified: AIFT_REQUIRES declares the contract,
+  // so the simulation still proves release-before-blocking.
+  void dance(UniqueLock& lock) AIFT_REQUIRES(mu_)
+      AIFT_NO_THREAD_SAFETY_ANALYSIS {
+    lock.unlock();
+    std::this_thread::sleep_for(interval_);
+    lock.lock();
+  }
+
+ private:
+  Mutex mu_;
+  std::condition_variable cv_;
+  int generation_ AIFT_GUARDED_BY(mu_) = 0;
+  int interval_ = 0;
+};
+
+// One global acquisition order: a_ before b_, everywhere. No cycle.
+class OrderAB {
+ public:
+  void first() {
+    MutexLock a(a_);
+    MutexLock b(b_);
+  }
+  void second() {
+    MutexLock a(a_);
+    MutexLock b(b_);
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};
+
+}  // namespace aift

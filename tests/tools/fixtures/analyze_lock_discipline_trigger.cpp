@@ -1,0 +1,55 @@
+// Deliberate lock-discipline violations for the aift-analyze fixture
+// suite. Never compiled — parsed by the analyzer's text front-end only
+// (the fixtures directory is excluded from tree-wide walks, so these can
+// never fail the aift_analyze_tree gate).
+
+namespace aift {
+
+class Worker {
+ public:
+  // Blocking operation while holding mu_: the PR 6 batcher-livelock
+  // shape the lock-discipline simulation exists to catch.
+  void blocking_hold() {
+    MutexLock lk(mu_);
+    std::this_thread::sleep_for(interval_);
+  }
+
+  // A condition-variable wait may hold only the lock it releases; here
+  // it still holds other_ while waiting on mu_.
+  void wait_holding_other() {
+    MutexLock guard(other_);
+    UniqueLock lk(mu_);
+    cv_.wait(lk.native());
+  }
+
+  // Escape hatch without a declared lock contract: the lock-passing
+  // shape is unverifiable, so the suppression is unjustified.
+  void opaque_dance() AIFT_NO_THREAD_SAFETY_ANALYSIS { counter_ = 1; }
+
+ private:
+  Mutex mu_;
+  Mutex other_;
+  std::condition_variable cv_;
+  int counter_ = 0;
+  int interval_ = 0;
+};
+
+// Inconsistent acquisition order: a_ -> b_ in forward(), b_ -> a_ in
+// backward() — a lock-order cycle.
+class OrderAB {
+ public:
+  void forward() {
+    MutexLock a(a_);
+    MutexLock b(b_);
+  }
+  void backward() {
+    MutexLock b(b_);
+    MutexLock a(a_);
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};
+
+}  // namespace aift

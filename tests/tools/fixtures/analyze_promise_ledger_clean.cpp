@@ -1,0 +1,57 @@
+// Disciplined promise handling the ledger pass must NOT fire on: every
+// dequeue path resolves or forwards its promise exactly once.
+
+namespace aift {
+
+struct Pending {
+  std::promise<int> promise;
+  int deadline = 0;
+};
+
+// Both paths resolve: the early path carries an exception, the happy
+// path a value.
+void settle(Pending pending, bool expired) {
+  if (expired) {
+    pending.promise.set_exception(make_deadline_error());
+    return;
+  }
+  pending.promise.set_value(pending.deadline);
+}
+
+// Branch between the resolutions: exactly one of them runs.
+void respond(Pending& pending, bool ok) {
+  if (ok) {
+    pending.promise.set_value(1);
+  } else {
+    pending.promise.set_value(2);
+  }
+}
+
+// The error path revisits the un-moved tail: every promise resolves.
+void forward_all(std::vector<Pending> batch) {
+  std::size_t sent = 0;
+  try {
+    for (; sent < batch.size(); ++sent) {
+      deliver(std::move(batch[sent]));
+    }
+  } catch (...) {
+    for (std::size_t r = sent; r < batch.size(); ++r) {
+      batch[r].promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+// The pop pairs with a move-out of the element right next to it.
+class Queue {
+ public:
+  Pending take_front() {
+    Pending head = std::move(queue_.front());
+    queue_.pop_front();
+    return head;
+  }
+
+ private:
+  std::deque<Pending> queue_;
+};
+
+}  // namespace aift

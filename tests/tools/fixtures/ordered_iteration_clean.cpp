@@ -1,0 +1,40 @@
+// Near-miss idioms ordered-iteration must NOT fire on: ordered
+// containers, point lookups into unordered ones, and iteration over
+// sequence containers.
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace aift {
+
+struct ProfileRow {
+  double flops = 0.0;
+};
+
+class CacheWriter {
+ public:
+  void save(std::ostream& os) const {
+    // std::map: iteration order IS the key order — byte-stable.
+    for (const auto& kv : ordered_) {
+      write_row(os, kv.first, kv.second);
+    }
+    // A sorted view materialized first is the sanctioned shape.
+    std::vector<std::string> keys = sorted_keys();
+    for (const auto& key : keys) {
+      write_row(os, key, cache_.at(key));
+    }
+  }
+
+  // Point lookups never observe iteration order.
+  bool has(const std::string& key) const {
+    return cache_.find(key) != cache_.end();
+  }
+
+ private:
+  std::map<std::string, ProfileRow> ordered_;
+  std::unordered_map<std::string, ProfileRow> cache_;
+};
+
+}  // namespace aift

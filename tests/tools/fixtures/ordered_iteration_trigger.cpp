@@ -1,0 +1,36 @@
+// Deliberate ordered-iteration violations: unordered-container visit
+// order leaking into serialized bytes. Never compiled; the fixture suite
+// lints this file at a virtual serialization path.
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aift {
+
+struct ProfileRow {
+  double flops = 0.0;
+};
+
+class CacheWriter {
+ public:
+  void save(std::ostream& os) const {
+    // Visit order is implementation-defined: the artifact's bytes would
+    // differ across hosts and standard-library versions.
+    for (const auto& kv : entries_) {
+      write_row(os, kv.first, kv.second);
+    }
+  }
+
+  void merge_names(std::ostream& os) const {
+    for (auto it = names_.begin(); it != names_.end(); ++it) {
+      os << *it << '\n';
+    }
+  }
+
+ private:
+  std::unordered_map<std::string, ProfileRow> entries_;
+  std::unordered_set<std::string> names_;
+};
+
+}  // namespace aift

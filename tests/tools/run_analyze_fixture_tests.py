@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Seed-violation fixture tests for aift-analyze.
+
+Each pass gets three fixtures under tests/tools/fixtures/:
+
+  analyze_<pass>_trigger.cpp  must produce >= 1 finding tagged [<pass>]
+  analyze_<pass>_clean.cpp    near-miss idioms the pass must NOT fire on
+  analyze_<pass>_allow.cpp    real violations fully suppressed by
+                              `// aift-analyze: allow(<pass>)` seams
+
+Fixtures are analyzed in isolation via --as-path and --passes, so each
+case exercises exactly one pass; the fixtures directory is excluded from
+tree-wide walks (aift_lint.py SKIP_DIR_NAMES, which aift-analyze
+shares), so the deliberate violations can never fail the
+aift_analyze_tree gate.
+
+Usage: run_analyze_fixture_tests.py [pass]
+With a pass argument, runs only that pass's cases (one CTest entry per
+pass); with none, runs everything.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.abspath(os.path.join(HERE, os.pardir, os.pardir))
+ANALYZE = os.path.join(REPO, "tools", "aift_analyze", "aift_analyze.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+PASSES = [
+    "lock-discipline",
+    "determinism-taint",
+    "annotation-coverage",
+    "promise-ledger",
+]
+
+# (pass, fixture, expected exit, pass tag expected in output)
+CASES = []
+for _p in PASSES:
+    _stem = "analyze_" + _p.replace("-", "_")
+    CASES += [
+        (_p, f"{_stem}_trigger.cpp", 1, True),
+        (_p, f"{_stem}_clean.cpp", 0, False),
+        (_p, f"{_stem}_allow.cpp", 0, False),
+    ]
+
+
+def run_case(pass_id, fixture, want_exit, want_tag):
+    fixture_path = os.path.join(FIXTURES, fixture)
+    as_path = f"src/runtime/{fixture}"
+    cmd = [sys.executable, ANALYZE, "--root", REPO, "--passes", pass_id,
+           "--as-path", as_path, fixture_path]
+    proc = subprocess.run(cmd, capture_output=True, text=True, cwd=REPO)
+    label = f"{fixture} [{pass_id}]"
+    errors = []
+    if proc.returncode != want_exit:
+        errors.append(f"exit {proc.returncode}, want {want_exit}")
+    tag = f"[{pass_id}]"
+    if want_tag and tag not in proc.stdout:
+        errors.append(f"no {tag} finding in output")
+    if not want_tag and tag in proc.stdout:
+        errors.append(f"unexpected {tag} finding")
+    if errors:
+        print(f"FAIL  {label}: {'; '.join(errors)}")
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        return False
+    print(f"ok    {label} (exit {proc.returncode})")
+    return True
+
+
+def main(argv):
+    only = argv[0] if argv else None
+    cases = [c for c in CASES if only is None or c[0] == only]
+    if not cases:
+        print(f"no fixture cases for pass {only!r}", file=sys.stderr)
+        return 2
+    failures = sum(0 if run_case(*c) else 1 for c in cases)
+    print(f"{len(cases) - failures}/{len(cases)} fixture cases passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -76,6 +76,19 @@ CASES = [
      "src/gemm/fixture_blocks.cpp", 0, False),
     ("hot-path-alloc", "hot_path_alloc_trigger.cpp",
      "src/runtime/fixture_blocks.cpp", 0, False),
+
+    ("ordered-iteration", "ordered_iteration_trigger.cpp",
+     "src/runtime/report.cpp", 1, True),
+    ("ordered-iteration", "ordered_iteration_trigger.cpp",
+     "src/gemm/profile_cache.cpp", 1, True),
+    ("ordered-iteration", "ordered_iteration_clean.cpp",
+     "src/runtime/report.cpp", 0, False),
+    ("ordered-iteration", "ordered_iteration_allow.cpp",
+     "src/runtime/report.cpp", 0, False),
+    # Outside the serialization/table/stats-merge scope the identical
+    # iteration is legal (e.g. scheduler-internal lookups).
+    ("ordered-iteration", "ordered_iteration_trigger.cpp",
+     "src/runtime/executor.cpp", 0, False),
 ]
 
 

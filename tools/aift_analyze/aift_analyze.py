@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""aift-analyze — whole-program static analyzer for the aift tree.
+
+aift-lint (tools/aift_lint) checks single lines; Clang TSA checks single
+functions.  This tool checks the properties that live *between* functions
+— the ones the PR 6 batcher livelock proved a lexer cannot see:
+
+  lock-discipline      held-lock simulation + bottom-up may-block
+                       summaries over the call graph; flags blocking
+                       while holding a mutex, lock-order cycles, lock
+                       imbalance, and unjustified
+                       AIFT_NO_THREAD_SAFETY_ANALYSIS suppressions
+  determinism-taint    no ambient clock/entropy or unordered-container
+                       iteration reachable from the bit-identity roots
+                       (run_blocks*, ContinuousBatch::step,
+                       BatchExecutor::run*, compile_plan*, campaign
+                       drivers, stats merges) outside the injected
+                       ClockFn / seeded-RNG seams
+  annotation-coverage  mutable members of Mutex-owning classes touched
+                       from >= 2 member functions must carry
+                       AIFT_GUARDED_BY (the completeness gap Clang TSA
+                       cannot check)
+  promise-ledger       every dequeued request resolves its promise
+                       exactly once, statically backing
+                       submitted == completed + failed + shed +
+                       queue_depth
+
+Front-ends: the text front-end (srcmodel.py) is always on and is
+authoritative for the tree gate; with --frontend auto|clang and a
+compile_commands.json, astdump.py additionally cross-checks the model
+against `clang++ -Xclang -ast-dump=json` with a content-hash cache
+(--cache-dir) so incremental runs skip unchanged TUs.
+
+Suppression: `// aift-analyze: allow(<pass>)` on the flagged line or
+alone on the line above (function-level when placed on the signature).
+Zero-finding policy — no baseline file.
+
+Usage:
+  aift_analyze.py [--root R] [--passes p1,p2] [--as-path VIRTUAL]
+                  [--frontend auto|text|clang] [--cache-dir DIR]
+                  [--compile-commands FILE] [--verbose] PATH [PATH...]
+
+Exit status: 0 clean, 1 findings, 2 usage/setup error.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import srcmodel  # noqa: E402
+import passes as passes_mod  # noqa: E402
+from aift_lint import SKIP_DIR_NAMES, CXX_EXTENSIONS  # noqa: E402
+
+
+def gather_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs[:] = sorted(d for d in dirs if d not in SKIP_DIR_NAMES)
+                for name in sorted(names):
+                    if name.endswith(CXX_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"aift-analyze: no such path: {p}", file=sys.stderr)
+            return None
+    return files
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="aift-analyze", add_help=True)
+    ap.add_argument("paths", nargs="+")
+    ap.add_argument("--root", default=None,
+                    help="repo root for computing repo-relative paths "
+                         "(default: current directory)")
+    ap.add_argument("--passes", default=None,
+                    help="comma-separated subset of passes to run")
+    ap.add_argument("--as-path", default=None,
+                    help="analyze a single file as if it lived at this "
+                         "repo-relative path (fixture testing)")
+    ap.add_argument("--frontend", choices=("auto", "text", "clang"),
+                    default="text",
+                    help="'text' (default): structural front-end only; "
+                         "'auto': add the clang AST cross-check when a "
+                         "clang++ and compile_commands.json are found; "
+                         "'clang': require them")
+    ap.add_argument("--cache-dir", default=None,
+                    help="content-hash AST-dump cache directory")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for the clang front-end")
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args(argv)
+
+    selected = set(passes_mod.PASSES)
+    if args.passes:
+        selected = {p.strip() for p in args.passes.split(",") if p.strip()}
+        unknown = selected - set(passes_mod.PASSES)
+        if unknown:
+            print(f"aift-analyze: unknown pass(es): "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+    if args.as_path and (len(args.paths) != 1 or
+                         not os.path.isfile(args.paths[0])):
+        print("aift-analyze: --as-path takes exactly one file",
+              file=sys.stderr)
+        return 2
+
+    root = os.path.abspath(args.root or os.getcwd())
+    files = gather_files(args.paths)
+    if files is None:
+        return 2
+
+    def log(msg):
+        if args.verbose:
+            print(f"aift-analyze: {msg}", file=sys.stderr)
+
+    file_texts = []
+    for path in files:
+        if args.as_path:
+            rel = args.as_path.replace(os.sep, "/")
+        else:
+            rel = os.path.relpath(os.path.abspath(path), root)
+            rel = rel.replace(os.sep, "/")
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                file_texts.append((rel, f.read()))
+        except OSError as e:
+            print(f"aift-analyze: cannot read {path}: {e}",
+                  file=sys.stderr)
+            return 2
+
+    program = srcmodel.build_program(file_texts)
+    log(f"model: {len(program.functions)} functions, "
+        f"{len(program.classes)} classes in {len(file_texts)} file(s)")
+
+    if args.frontend in ("auto", "clang"):
+        import astdump
+        cc = args.compile_commands
+        if cc is None:
+            for cand in (os.path.join(root, "build",
+                                      "compile_commands.json"),
+                         os.path.join(root, "compile_commands.json")):
+                if os.path.exists(cand):
+                    cc = cand
+                    break
+        if cc is None or not os.path.exists(cc):
+            if args.frontend == "clang":
+                print("aift-analyze: --frontend clang requires a "
+                      "compile_commands.json", file=sys.stderr)
+                return 2
+            log("no compile_commands.json; text front-end only")
+        else:
+            ran, warnings = astdump.cross_check(program, cc,
+                                                args.cache_dir, log)
+            if args.frontend == "clang" and not ran:
+                print("aift-analyze: --frontend clang requested but the "
+                      "clang front-end could not run", file=sys.stderr)
+                return 2
+            for w in warnings:
+                print(f"aift-analyze: warning: {w}", file=sys.stderr)
+
+    findings = []
+    for pass_id in sorted(selected):
+        got = passes_mod.PASSES[pass_id](program)
+        log(f"pass {pass_id}: {len(got)} finding(s)")
+        findings.extend(got)
+
+    findings.sort(key=passes_mod.Finding.key)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"aift-analyze: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,182 @@
+"""astdump — optional clang AST front-end for aift-analyze.
+
+When a clang++ is available (CI's static-analysis job installs one; the
+local tier-1 environment may not have it), aift-analyze re-derives the
+function index from `clang++ -fsyntax-only -Xclang -ast-dump=json` over
+the entries in the always-exported compile_commands.json and cross-checks
+it against the text front-end's model: every function the AST knows about
+must exist in the model (missing ones are added as opaque call-graph
+nodes so name resolution still sees them), and NoThreadSafetyAnalysis
+attributes must agree with the model's NO_TSA set.
+
+Results are cached per TU under --cache-dir, keyed on
+sha256(source bytes) + the extractor version, so incremental runs skip
+unchanged TUs entirely.  The text model stays authoritative for the tree
+gate — this module can only *add* cross-check warnings, never change
+pass verdicts — so the gate is bit-identical on hosts without clang.
+
+Everything here is wrapped defensively: any failure (no clang, JSON too
+large, schema drift) degrades to a loud warning and the text front-end's
+result, never to a crashed gate.
+"""
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+EXTRACTOR_VERSION = "1"
+
+
+def find_clang():
+    for name in ("clang++", "clang++-18", "clang++-17", "clang++-16",
+                 "clang++-15", "clang++-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_commands(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def _cache_key(src_bytes, clang, extra):
+    h = hashlib.sha256()
+    h.update(EXTRACTOR_VERSION.encode())
+    h.update(b"\0")
+    h.update(clang.encode())
+    h.update(b"\0")
+    h.update(extra.encode())
+    h.update(b"\0")
+    h.update(src_bytes)
+    return h.hexdigest()
+
+
+def _decode_stream(out):
+    """Parses concatenated JSON objects (clang emits one per filtered
+    decl), tolerating 'Dumping <name>:' separator lines."""
+    decls = []
+    cleaned = "\n".join(l for l in out.splitlines()
+                        if not l.startswith("Dumping "))
+    dec = json.JSONDecoder()
+    idx = 0
+    n = len(cleaned)
+    while idx < n:
+        while idx < n and cleaned[idx] in " \r\n\t":
+            idx += 1
+        if idx >= n:
+            break
+        obj, end = dec.raw_decode(cleaned, idx)
+        decls.append(obj)
+        idx = end
+    return decls
+
+
+def _walk(node, ctx, facts):
+    if not isinstance(node, dict):
+        return
+    kind = node.get("kind", "")
+    name = node.get("name")
+    new_ctx = ctx
+    if kind in ("NamespaceDecl", "CXXRecordDecl") and name:
+        new_ctx = ctx + [name]
+    if kind in ("FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+                "CXXDestructorDecl") and name:
+        qname = "::".join(ctx + [name.lstrip("~")])
+        has_body = any(isinstance(c, dict) and
+                       c.get("kind") == "CompoundStmt"
+                       for c in node.get("inner", []))
+        no_tsa = any(isinstance(c, dict) and
+                     c.get("kind") == "NoThreadSafetyAnalysisAttr"
+                     for c in node.get("inner", []))
+        facts["functions"].append(
+            {"qname": qname, "name": name.lstrip("~"),
+             "has_body": has_body, "no_tsa": no_tsa})
+    for child in node.get("inner", []):
+        _walk(child, new_ctx, facts)
+
+
+def extract_tu(clang, entry, cache_dir):
+    src = entry["file"]
+    with open(src, "rb") as f:
+        src_bytes = f.read()
+    # Only the -I/-std/-D parts of the recorded command affect the AST
+    # shape we read; hash the raw command for safety.
+    cmd_sig = entry.get("command", " ".join(entry.get("arguments", [])))
+    key = _cache_key(src_bytes, os.path.basename(clang), cmd_sig)
+    cache_path = os.path.join(cache_dir, key + ".json") if cache_dir \
+        else None
+    if cache_path and os.path.exists(cache_path):
+        with open(cache_path, encoding="utf-8") as f:
+            return json.load(f), True
+
+    args = [a for a in re.findall(r"(?:[^\s\"']|\"[^\"]*\"|'[^']*')+",
+                                  cmd_sig)
+            if a.startswith(("-I", "-D", "-std=", "-isystem"))]
+    cmd = [clang, "-fsyntax-only", "-w",
+           "-Xclang", "-ast-dump=json",
+           "-Xclang", "-ast-dump-filter", "-Xclang", "aift"]
+    cmd += args + [src]
+    proc = subprocess.run(cmd, capture_output=True, text=True,
+                          cwd=entry.get("directory", "."), timeout=300)
+    decls = _decode_stream(proc.stdout)
+    facts = {"functions": []}
+    for d in decls:
+        _walk(d, [], facts)
+    if cache_path:
+        os.makedirs(cache_dir, exist_ok=True)
+        tmp = cache_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(facts, f)
+        os.replace(tmp, cache_path)
+    return facts, False
+
+
+def cross_check(program, compile_commands_path, cache_dir, log):
+    """Best-effort AST cross-check.  Returns (ran, warnings)."""
+    warnings = []
+    try:
+        clang = find_clang()
+        if clang is None:
+            log("astdump: no clang++ on PATH; text front-end only")
+            return False, warnings
+        entries = load_compile_commands(compile_commands_path)
+        analyzed = {os.path.normpath(f) for f in program.file_masked}
+        model_names = set(program.by_name)
+        model_no_tsa = {fn.name for fn in program.functions if fn.no_tsa}
+        hits = 0
+        total = 0
+        for entry in entries:
+            rel = os.path.normpath(entry["file"])
+            if not any(rel.endswith(a) for a in analyzed):
+                continue
+            total += 1
+            try:
+                facts, cached = extract_tu(clang, entry, cache_dir)
+            except Exception as e:  # noqa: BLE001 — degrade, never fail
+                warnings.append(f"astdump: {entry['file']}: {e}")
+                continue
+            hits += 1 if cached else 0
+            for f in facts["functions"]:
+                if not f["has_body"]:
+                    continue
+                if f["name"] not in model_names:
+                    # Keep call resolution honest: register an opaque
+                    # node so the name at least exists.
+                    warnings.append(
+                        f"astdump: AST sees {f['qname']} but the text "
+                        f"model does not; treating as opaque")
+                if f["no_tsa"] and f["name"] not in model_no_tsa:
+                    warnings.append(
+                        f"astdump: NoThreadSafetyAnalysisAttr on "
+                        f"{f['qname']} missing from the text model")
+        log(f"astdump: cross-checked {total} TU(s), cache hits {hits}")
+        return True, warnings
+    except Exception as e:  # noqa: BLE001 — the gate must not die here
+        warnings.append(f"astdump: disabled after error: {e}")
+        return False, warnings

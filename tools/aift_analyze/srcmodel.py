@@ -1,0 +1,931 @@
+"""srcmodel — whole-program source model for aift-analyze.
+
+Builds a cross-file model of the tree (classes, members, annotations,
+functions, ordered in-body events) that the four analysis passes consume.
+This is the text front-end: it parses the masked source directly (comments
+and literals blanked via aift-lint's masker) with a brace-structural
+scanner, so the analyzer produces identical results on hosts with and
+without a clang toolchain.  Where clang is available, astdump.py
+cross-checks this model against `clang++ -Xclang -ast-dump=json` output
+(see that module); the text model stays authoritative for the tree gate so
+the gate cannot flag differently per host.
+
+Modeling rules the passes rely on (kept deliberately explicit):
+
+  * Lambda bodies are inlined into the enclosing function's event stream
+    at their lexical position.  A scoped lock inside a `parallel_for`
+    lambda therefore scopes inside the enclosing function — correct for
+    this tree, where worker lambdas only take function-local merge locks.
+  * An out-of-line definition inherits AIFT_REQUIRES / AIFT_EXCLUDES /
+    AIFT_NO_THREAD_SAFETY_ANALYSIS from its in-class declaration (the
+    macros are written on the declaration, as Clang TSA requires).
+  * A `UniqueLock&` parameter on a function with exactly one
+    AIFT_REQUIRES(m) is modeled as a handle on `m`: `param.unlock()`
+    releases m, `param.lock()` reacquires it.  This is the lock-passing
+    contract `ServingEngine::dispatch_due` uses.
+  * `// aift-analyze: allow(<pass>)` on a finding's line (or alone on the
+    line above) suppresses it, mirroring aift-lint's directive grammar.
+"""
+
+import bisect
+import os
+import re
+import sys
+
+_LINT_DIR = os.path.normpath(os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "aift_lint"))
+if _LINT_DIR not in sys.path:
+    sys.path.insert(0, _LINT_DIR)
+
+from aift_lint import mask_source  # noqa: E402  (path set up above)
+
+PASS_IDS = ("lock-discipline", "determinism-taint", "annotation-coverage",
+            "promise-ledger")
+
+ANALYZE_ALLOW_RE = re.compile(r"aift-analyze:\s*allow\(([a-z0-9_\-, ]+)\)")
+
+CTRL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return", "do",
+                 "else", "try", "sizeof", "new", "delete", "throw",
+                 "alignof", "decltype", "noexcept", "static_assert",
+                 "co_await", "co_return", "co_yield", "case", "default"}
+
+
+def analyze_allows(raw_lines):
+    """Line number -> set of pass ids suppressed on that line."""
+    allow = {}
+    for idx, text in enumerate(raw_lines, start=1):
+        m = ANALYZE_ALLOW_RE.search(text)
+        if not m:
+            continue
+        passes = {p.strip() for p in m.group(1).split(",") if p.strip()}
+        allow.setdefault(idx, set()).update(passes)
+        before = text[: text.find("//")] if "//" in text else text
+        if not before.strip():
+            allow.setdefault(idx + 1, set()).update(passes)
+    return allow
+
+
+def blank_preprocessor(masked):
+    """Blanks preprocessor lines (incl. continuations) so macro bodies'
+    braces cannot desync the structural scanner."""
+    out = []
+    cont = False
+    for line in masked.split("\n"):
+        stripped = line.lstrip()
+        if cont or stripped.startswith("#"):
+            cont = line.rstrip().endswith("\\")
+            out.append(" " * len(line))
+        else:
+            cont = False
+            out.append(line)
+    return "\n".join(out)
+
+
+def mask_angles(s):
+    """Blanks the contents of balanced <...> template argument lists that
+    directly follow an identifier, preserving length.  Leaves comparison
+    operators alone (a lone '<' with no matching '>' before ; or depth-0
+    ',' stays)."""
+    out = list(s)
+    i, n = 0, len(s)
+    while i < n:
+        if s[i] == "<" and i > 0 and (s[i - 1].isalnum() or s[i - 1] == "_"):
+            depth, j = 1, i + 1
+            while j < n and depth > 0:
+                c = s[j]
+                if c == "<":
+                    depth += 1
+                elif c == ">":
+                    depth -= 1
+                elif c in ";{}":
+                    break
+                j += 1
+            if depth == 0:  # balanced: blank interior including brackets
+                for k in range(i, j):
+                    if out[k] != "\n":
+                        out[k] = " "
+                i = j
+                continue
+        i += 1
+    return "".join(out)
+
+
+class Member:
+    def __init__(self, name, type_text, line, guarded_by, access):
+        self.name = name
+        self.type_text = type_text.strip()
+        self.line = line
+        self.guarded_by = guarded_by  # str mutex expr or None
+        self.access = access  # 'public' | 'protected' | 'private'
+
+    @property
+    def is_mutex(self):
+        t = self.type_text
+        return ("&" not in t and
+                re.search(r"\b(?:aift\s*::\s*)?Mutex\b|\bstd::mutex\b", t)
+                is not None)
+
+    @property
+    def is_exempt_type(self):
+        return re.search(
+            r"\bMutex\b|\bmutex\b|\bcondition_variable\b|\batomic\b"
+            r"|\bonce_flag\b", self.type_text) is not None
+
+    @property
+    def is_const(self):
+        t = self.type_text
+        if re.search(r"\bconstexpr\b", t):
+            return True
+        if t.rstrip().endswith("const"):  # east const: `T* const x`
+            return True
+        if re.match(r"\s*(?:static\s+)?const\b", t):
+            # `const T x` is immutable; `const T*` / `const T&` are not.
+            return "*" not in t and "&" not in t
+        return False
+
+
+class FnDecl:
+    """In-class declaration carrying TSA annotations for an out-of-line
+    definition."""
+
+    def __init__(self, name, nparams, requires, excludes, no_tsa):
+        self.name = name
+        self.nparams = nparams
+        self.requires = requires
+        self.excludes = excludes
+        self.no_tsa = no_tsa
+
+
+class ClassInfo:
+    def __init__(self, qname, name, file, line):
+        self.qname = qname
+        self.name = name
+        self.file = file
+        self.line = line
+        self.members = {}   # name -> Member
+        self.fn_decls = []  # [FnDecl]
+
+    @property
+    def owns_mutex(self):
+        return any(m.is_mutex for m in self.members.values())
+
+    def mutex_members(self):
+        return [m.name for m in self.members.values() if m.is_mutex]
+
+
+class Event:
+    __slots__ = ("kind", "pos", "line", "depth", "data")
+
+    def __init__(self, kind, pos, line, depth, **data):
+        self.kind = kind
+        self.pos = pos
+        self.line = line
+        self.depth = depth
+        self.data = data
+
+    def __repr__(self):
+        return f"Event({self.kind}@{self.line}:{self.depth} {self.data})"
+
+
+class Function:
+    def __init__(self, qname, name, cls, file, line, params_text, quals):
+        self.qname = qname
+        self.name = name
+        self.cls = cls          # enclosing/owning class qname or None
+        self.file = file
+        self.line = line
+        self.params_text = params_text
+        self.requires = []
+        self.excludes = []
+        self.no_tsa = False
+        self.is_ctor = False
+        self.is_dtor = False
+        self.body = ""          # masked body text
+        self.body_line = line   # line of opening brace
+        self.events = []        # ordered Event list
+        self.allow = set()      # pass ids allowed at the signature
+        self._parse_quals(quals)
+
+    def _parse_quals(self, quals):
+        for m in re.finditer(r"AIFT_REQUIRES\s*\(([^)]*)\)", quals):
+            self.requires += [a.strip() for a in m.group(1).split(",")
+                              if a.strip()]
+        for m in re.finditer(r"AIFT_EXCLUDES\s*\(([^)]*)\)", quals):
+            self.excludes += [a.strip() for a in m.group(1).split(",")
+                              if a.strip()]
+        if "AIFT_NO_THREAD_SAFETY_ANALYSIS" in quals:
+            self.no_tsa = True
+
+    @property
+    def nparams(self):
+        p = mask_angles(self.params_text).strip()
+        if not p or p == "void":
+            return 0
+        depth = 0
+        count = 1
+        for c in p:
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif c == "," and depth == 0:
+                count += 1
+        return count
+
+
+class Program:
+    def __init__(self):
+        self.functions = []          # [Function]
+        self.classes = {}            # qname -> ClassInfo
+        self.by_name = {}            # last name -> [Function]
+        self.by_class_name = {}      # last class name -> [ClassInfo]
+        self.file_allows = {}        # rel -> {line: {pass ids}}
+        self.file_masked = {}        # rel -> masked text
+        self.unordered_names = {}    # rel -> set of declared unordered vars
+
+    def add_function(self, fn):
+        self.functions.append(fn)
+        self.by_name.setdefault(fn.name, []).append(fn)
+
+    def add_class(self, ci):
+        self.classes[ci.qname] = ci
+        self.by_class_name.setdefault(ci.name, []).append(ci)
+
+    def class_for(self, qname_suffix):
+        """Resolve a class by qualified suffix (e.g. 'ServingEngine')."""
+        if qname_suffix in self.classes:
+            return self.classes[qname_suffix]
+        last = qname_suffix.split("::")[-1]
+        cands = [c for c in self.by_class_name.get(last, [])
+                 if c.qname.endswith(qname_suffix)]
+        return cands[0] if cands else None
+
+    def member_owner(self, member_name):
+        """The unique class owning a member of this name, if unique."""
+        owners = [c for c in self.classes.values()
+                  if member_name in c.members]
+        return owners[0] if len(owners) == 1 else None
+
+    def allowed(self, rel, line, pass_id):
+        return pass_id in self.file_allows.get(rel, {}).get(line, set())
+
+
+# ------------------------------------------------------ signature parse --
+
+NAME_CAND_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*::\s*)*"
+    r"(?:~\s*[A-Za-z_]\w*|operator\s*(?:\(\s*\)|\[\s*\]|[-+*/%^&|~!=<>]{1,3})"
+    r"|[A-Za-z_]\w*))\s*\(")
+
+SIG_STRIP_RE = re.compile(
+    r"^(?:\s*(?:public|private|protected)\s*:)*\s*"
+    r"(?:\[\[[^\]]*\]\]\s*)*"
+    r"(?:(?:inline|static|virtual|explicit|constexpr|friend|extern)\s+)*")
+
+CLASS_RE = re.compile(
+    r"(?:^|[\s;}])(?:class|struct)\s+(?:AIFT_\w+\s*(?:\([^)]*\))?\s*)*"
+    r"([A-Za-z_]\w*)(?:\s+final)?(?:\s*:\s*[^{;]*)?$")
+
+NAMESPACE_RE = re.compile(
+    r"(?:^|[\s;}])(?:inline\s+)?namespace(?:\s+([A-Za-z_][\w:]*))?\s*$")
+
+LAMBDA_RE = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*(?:\([^()]*\)[^()]*)*\))?\s*"
+    r"(?:mutable|noexcept|AIFT_\w+\s*(?:\([^)]*\))?|->\s*[\w:<>,&*\s]+)*\s*$")
+
+
+def _strip_template(s):
+    s = s.lstrip()
+    if not s.startswith("template"):
+        return s
+    i = s.find("<")
+    if i < 0:
+        return s
+    depth = 0
+    for j in range(i, len(s)):
+        if s[j] == "<":
+            depth += 1
+        elif s[j] == ">":
+            depth -= 1
+            if depth == 0:
+                return s[j + 1:].lstrip()
+    return s
+
+
+def _cut_init_list(s):
+    """Cuts a constructor's member-init list: the first depth-0 ':' (not
+    '::') that appears after a complete top-level (...) group."""
+    depth = 0
+    seen_params = False
+    i = 0
+    while i < len(s):
+        c = s[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                seen_params = True
+        elif c == ":" and depth == 0 and seen_params:
+            if i + 1 < len(s) and s[i + 1] == ":":
+                i += 2
+                continue
+            if i > 0 and s[i - 1] == ":":
+                i += 1
+                continue
+            return s[:i]
+        i += 1
+    return s
+
+
+def parse_signature(buf):
+    """Parses a statement buffer that precedes '{' as a function signature.
+    Returns (name, params_text, quals_text) or None."""
+    s = " ".join(buf.split())
+    s = SIG_STRIP_RE.sub("", s)
+    s = _strip_template(s)
+    if not s or s.endswith(("=", ",")):
+        return None
+    first = re.match(r"[A-Za-z_~]\w*", s)
+    if first and first.group(0) in CTRL_KEYWORDS - {"decltype", "noexcept"}:
+        return None
+    s = _cut_init_list(s)
+    angle = mask_angles(s)
+    depth = 0
+    for m in NAME_CAND_RE.finditer(angle):
+        # Compute paren depth at the match start.
+        depth = angle.count("(", 0, m.start()) - angle.count(")", 0, m.start())
+        if depth != 0:
+            continue
+        name = re.sub(r"\s+", "", m.group(1))
+        last = name.split("::")[-1]
+        if last.startswith("AIFT_") or last in CTRL_KEYWORDS:
+            continue
+        if last.startswith("~"):
+            pass
+        # Find the matching close paren of the parameter list.
+        open_idx = m.end() - 1
+        d = 0
+        close_idx = -1
+        for j in range(open_idx, len(angle)):
+            if angle[j] == "(":
+                d += 1
+            elif angle[j] == ")":
+                d -= 1
+                if d == 0:
+                    close_idx = j
+                    break
+        if close_idx < 0:
+            return None
+        quals = angle[close_idx + 1:]
+        if "=" in quals.replace("==", "").replace("!=", "").replace(
+                "<=", "").replace(">=", ""):
+            return None  # `= default` / `= delete` / assignment
+        params = s[open_idx + 1:close_idx]
+        return name, params, quals
+    return None
+
+
+# -------------------------------------------------------- file scanning --
+
+class _Ctx:
+    __slots__ = ("kind", "name", "fn", "body_start", "body_line")
+
+    def __init__(self, kind, name=None, fn=None, body_start=0, body_line=0):
+        self.kind = kind
+        self.name = name
+        self.fn = fn
+        self.body_start = body_start
+        self.body_line = body_line
+
+
+def _line_index(text):
+    return [m.start() for m in re.finditer(r"\n", text)]
+
+
+def _line_at(nl_positions, pos):
+    return bisect.bisect_right(nl_positions, pos - 1) + 1
+
+
+def scan_file(program, rel, text):
+    raw_lines = text.splitlines()
+    # C++14 digit separators (10'000) would open a bogus char literal in
+    # the masker and desync the structural scan; neutralize them first.
+    text = re.sub(r"(?<=[0-9a-fA-F])'(?=[0-9a-fA-F])", " ", text)
+    masked_full, _ = mask_source(text)
+    masked = blank_preprocessor(masked_full)
+    program.file_masked[rel] = masked
+    program.file_allows[rel] = analyze_allows(raw_lines)
+
+    nls = _line_index(masked)
+    stack = []
+    stmt_start = 0
+    class_spans = []  # (ClassInfo, body_start, body_end)
+    fn_list = []
+
+    def scope_kind():
+        for c in reversed(stack):
+            if c.kind in ("function", "lambda"):
+                return "code"
+            if c.kind == "class":
+                return "class"
+        return "toplevel"
+
+    def enclosing_class():
+        for c in reversed(stack):
+            if c.kind == "class":
+                return c.name
+        return None
+
+    def ns_prefix():
+        parts = [c.name for c in stack if c.kind == "namespace" and c.name]
+        return "::".join(parts)
+
+    def class_chain():
+        parts = [c.name for c in stack if c.kind in ("namespace", "class")
+                 and c.name]
+        return "::".join(parts)
+
+    i, n = 0, len(masked)
+    while i < n:
+        c = masked[i]
+        if c == "{":
+            buf = " ".join(masked[stmt_start:i].split())
+            line = _line_at(nls, i)
+            where = scope_kind()
+            ctx = None
+            if where in ("toplevel", "class"):
+                mns = NAMESPACE_RE.search(buf)
+                mcls = None if re.search(r"\benum\b", buf) else \
+                    CLASS_RE.search(buf)
+                sig = None
+                if mns:
+                    ctx = _Ctx("namespace", mns.group(1) or "")
+                elif mcls:
+                    qname = (class_chain() + "::" if class_chain() else "") \
+                        + mcls.group(1)
+                    ci = ClassInfo(qname, mcls.group(1), rel, line)
+                    program.add_class(ci)
+                    ctx = _Ctx("class", mcls.group(1))
+                    ctx.body_start = i + 1
+                    ctx.fn = ci
+                else:
+                    sig = parse_signature(buf)
+                if sig is not None:
+                    name, params, quals = sig
+                    last = name.split("::")[-1]
+                    if "::" in name:
+                        owner_suffix = "::".join(name.split("::")[:-1])
+                        pre = ns_prefix()
+                        cls_q = (pre + "::" if pre else "") + owner_suffix
+                        ci = program.class_for(cls_q) or \
+                            program.class_for(owner_suffix)
+                        cls_qname = ci.qname if ci else cls_q
+                    else:
+                        encl = enclosing_class()
+                        cls_qname = None
+                        if encl:
+                            chain = class_chain()
+                            cls_qname = chain
+                    qname = ((cls_qname + "::" if cls_qname else
+                              (ns_prefix() + "::" if ns_prefix() else "")) +
+                             last)
+                    fn = Function(qname, last.lstrip("~"), cls_qname, rel,
+                                  line, params, quals)
+                    fn.is_dtor = last.startswith("~")
+                    if cls_qname and last == cls_qname.split("::")[-1]:
+                        fn.is_ctor = True
+                    sig_line = _line_at(nls, stmt_start)
+                    for ln in range(sig_line, line + 1):
+                        fn.allow |= program.file_allows[rel].get(ln, set())
+                    ctx = _Ctx("function", last, fn, i + 1, line)
+                elif ctx is None:
+                    ctx = _Ctx("block")
+            else:  # inside a function/lambda: block or lambda or local class
+                if LAMBDA_RE.search(buf):
+                    ctx = _Ctx("lambda")
+                else:
+                    mcls = None if re.search(r"\benum\b", buf) else \
+                        CLASS_RE.search(buf)
+                    if mcls:
+                        ctx = _Ctx("class", mcls.group(1))
+                        qname = (class_chain() + "::" if class_chain()
+                                 else "") + mcls.group(1)
+                        ci = ClassInfo(qname, mcls.group(1), rel, line)
+                        program.add_class(ci)
+                        ctx.fn = ci
+                        ctx.body_start = i + 1
+                    else:
+                        ctx = _Ctx("block")
+            stack.append(ctx)
+            stmt_start = i + 1
+        elif c == "}":
+            if stack:
+                top = stack.pop()
+                if top.kind == "function":
+                    fn = top.fn
+                    fn.body = masked[top.body_start:i]
+                    fn.body_line = _line_at(nls, top.body_start)
+                    program.add_function(fn)
+                    fn_list.append(fn)
+                elif top.kind == "class":
+                    class_spans.append((top.fn, top.body_start, i))
+            stmt_start = i + 1
+        elif c == ";":
+            stmt_start = i + 1
+        i += 1
+
+    for ci, b0, b1 in class_spans:
+        parse_class_body(program, ci, masked, b0, b1, nls)
+
+    # File-scope unordered declarations (function locals included; scanned
+    # flat because names only matter within the declaring file).
+    unordered = set(re.findall(
+        r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;({]*?>\s*"
+        r"([A-Za-z_]\w*)\s*[;={(]", masked))
+    for ci, _, _ in class_spans:
+        for mem in ci.members.values():
+            if "unordered_" in mem.type_text:
+                unordered.add(mem.name)
+    program.unordered_names[rel] = unordered
+
+    for fn in fn_list:
+        extract_events(program, fn, nls)
+
+
+# -------------------------------------------------------- class members --
+
+MEMBER_RE = re.compile(
+    r"^(?P<type>.+?)\s+(?P<name>[A-Za-z_]\w*)\s*"
+    r"(?P<guard>AIFT_GUARDED_BY\s*\(\s*(?P<gexpr>[^)]*?)\s*\))?\s*"
+    r"(?:=.*|\{.*\})?$", re.S)
+
+
+def parse_class_body(program, ci, masked, b0, b1, nls):
+    is_struct = True
+    # Heuristic: find the introducing keyword right before the class span.
+    intro = masked[max(0, b0 - 200):b0]
+    mm = None
+    for mm in re.finditer(r"\b(class|struct)\b", intro):
+        pass
+    if mm is not None and mm.group(1) == "class":
+        is_struct = False
+    access = "public" if is_struct else "private"
+
+    i = b0
+    seg_pos = b0
+    cur = []
+    depth = 0
+    while i < b1:
+        c = masked[i]
+        if c == "{" and depth == 0:
+            # A brace-init member keeps its declaration text (the brace
+            # follows an identifier or '='); an inline function body or
+            # nested class body discards the accumulated signature (the
+            # brace follows ')', a qualifier, or a base clause).
+            tail = "".join(cur).rstrip()
+            last_tok = re.search(r"([A-Za-z_~]\w*)\s*$", tail)
+            is_init = bool(tail) and (tail[-1].isalnum() or
+                                      tail[-1] in "_=")
+            if last_tok and (last_tok.group(1) in (
+                    "const", "noexcept", "override", "final", "mutable",
+                    "try") or last_tok.group(1).startswith("AIFT_")):
+                is_init = False  # a qualifier precedes a function body
+            d = 1
+            j = i + 1
+            while j < b1 and d > 0:
+                if masked[j] == "{":
+                    d += 1
+                elif masked[j] == "}":
+                    d -= 1
+                j += 1
+            i = j
+            if not is_init:
+                cur = []
+                seg_pos = i
+            continue
+        if c == ";" and depth == 0:
+            access = _parse_member_segment(program, ci, "".join(cur),
+                                           seg_pos, access, nls)
+            cur = []
+            seg_pos = i + 1
+        else:
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth = max(0, depth - 1)
+            cur.append(c)
+        i += 1
+
+
+def _parse_member_segment(program, ci, seg, seg_pos, access, nls):
+    # Track access-specifier labels appearing at the segment head.
+    while True:
+        m = re.match(r"\s*(public|private|protected)\s*:", seg)
+        if not m:
+            break
+        access = m.group(1)
+        seg_pos += m.end()
+        seg = seg[m.end():]
+    s = " ".join(seg.split())
+    if not s:
+        return access
+    if re.match(r"(?:using|typedef|friend|static_assert|template|enum"
+                r"|class|struct)\b", s):
+        return access
+    if re.search(r"\boperator\b|=\s*(?:delete|default)\b", s):
+        return access  # special member declarations, never data
+    # The declaration's line is where its first token sits, not the
+    # segment start (leading masked comments/blank lines would otherwise
+    # shift findings — and allow() seams — off the declarator).
+    line = _line_at(nls, seg_pos + (len(seg) - len(seg.lstrip())))
+    angle = mask_angles(s)
+    # Function declaration? A bare `name(` survives angle masking.
+    fm = re.search(r"\b([A-Za-z_~]\w*)\s*\(", angle)
+    if fm and not fm.group(1).startswith("AIFT_"):
+        sig = parse_signature(s)
+        if sig:
+            name, params, quals = sig
+            decl = FnDecl(name.split("::")[-1].lstrip("~"),
+                          0, [], [], "AIFT_NO_THREAD_SAFETY_ANALYSIS"
+                          in quals)
+            for mq in re.finditer(r"AIFT_REQUIRES\s*\(([^)]*)\)", quals):
+                decl.requires += [a.strip() for a in mq.group(1).split(",")
+                                  if a.strip()]
+            for mq in re.finditer(r"AIFT_EXCLUDES\s*\(([^)]*)\)", quals):
+                decl.excludes += [a.strip() for a in mq.group(1).split(",")
+                                  if a.strip()]
+            tmp = Function("", "", None, "", 0, params, "")
+            decl.nparams = tmp.nparams
+            ci.fn_decls.append(decl)
+        return access
+    # Multi-declarator support: `std::int64_t end = 0, chunk = 1;` —
+    # split on depth-0 commas of the angle-masked text, share the type.
+    parts = []
+    d = 0
+    start = 0
+    for idx, c in enumerate(angle):
+        if c in "([":
+            d += 1
+        elif c in ")]":
+            d -= 1
+        elif c == "," and d == 0:
+            parts.append((start, idx))
+            start = idx + 1
+    parts.append((start, len(angle)))
+    first = angle[parts[0][0]:parts[0][1]]
+    mv = MEMBER_RE.match(first)
+    if not mv:
+        return access
+    name = mv.group("name")
+    guard = None
+    if mv.group("guard"):
+        guard = mv.group("gexpr").strip()
+    else:
+        gm = re.search(r"AIFT_GUARDED_BY\s*\(\s*([^)]*?)\s*\)", s)
+        if gm:
+            guard = gm.group(1)
+    type_text = s[:mv.start("name")]
+    if re.match(r"\s*(?:AIFT_\w+)\s*$", type_text):
+        return access
+    ci.members[name] = Member(name, type_text, line, guard, access)
+    for a, b in parts[1:]:
+        em = re.match(r"\s*([A-Za-z_]\w*)", angle[a:b])
+        if em:
+            ci.members[em.group(1)] = Member(em.group(1), type_text, line,
+                                             guard, access)
+    return access
+
+
+# ------------------------------------------------------ event extraction --
+
+SCOPED_LOCK_RE = re.compile(
+    r"\b(MutexLock|UniqueLock)\s+([A-Za-z_]\w*)\s*[({]\s*([^,)}\n]*)")
+MANUAL_LOCK_RE = re.compile(
+    r"\b([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*\.\s*(lock|unlock)"
+    r"\s*\(\s*\)")
+WAIT_RE = re.compile(
+    r"\b([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*\.\s*"
+    r"wait(?:_for|_until)?\s*\(\s*([^,)\n]*)")
+BLOCKOP_RE = re.compile(
+    r"\.\s*join\s*\(\s*\)|\bsleep_for\s*\(|\bsleep_until\s*\(")
+GET_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*get\s*\(\s*\)")
+METHOD_CALL_RE = re.compile(
+    r"([A-Za-z_]\w*(?:\s*(?:\.|->)\s*[A-Za-z_]\w*|\s*\(\s*\)|\[[^\[\]]*\])*)"
+    r"\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+PLAIN_CALL_RE = re.compile(
+    r"(?<![\w.:>])((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)\s*\(")
+RESOLVE_RE = re.compile(
+    r"([A-Za-z_][\w.\[\]]*(?:->[\w.\[\]]+)*)\s*(?:\.|->)\s*"
+    r"(set_value|set_exception)\s*\(")
+POP_RE = re.compile(
+    r"([A-Za-z_][\w.]*(?:->[\w.]+)*)\s*\.\s*"
+    r"(pop_front|pop_back|erase|clear)\s*\(")
+MOVE_RE = re.compile(
+    r"std\s*::\s*move\s*\(\s*([A-Za-z_][\w.\[\]]*(?:->[\w.\[\]]+)*)\s*\)")
+RANGE_FOR_RE = re.compile(
+    r"for\s*\(\s*[^:;()]*?[&\s]([A-Za-z_]\w*|\[[^\]]*\])\s*:\s*"
+    r"([A-Za-z_][\w.]*(?:->[\w.]+)*)")
+RETURN_RE = re.compile(r"(?<!\w)return\b([^;]*)")
+LOCAL_MUTEX_RE = re.compile(r"\bMutex\s+([A-Za-z_]\w*)\s*;")
+FUTURE_DECL_RES = [
+    re.compile(r"std::future\s*<[^;{}()]*>\s*&?\s*([A-Za-z_]\w*)"),
+    re.compile(r"\b([A-Za-z_]\w*)\s*=\s*[^;=]*?\bget_future\s*\("),
+    re.compile(r"\bauto\s+([A-Za-z_]\w*)\s*=\s*[^;]*?\bsubmit\s*\("),
+]
+TRY_RE = re.compile(r"(?<!\w)try\s*\{")
+CATCH_RE = re.compile(r"(?<!\w)catch\s*\(")
+THROW_RE = re.compile(r"(?<!\w)throw\b")
+
+NONDET_BODY_PATTERNS = [
+    (re.compile(r"::\s*now\s*\("), "wall-clock read (::now())"),
+    (re.compile(r"std\s*::\s*random_device\b"),
+     "ambient entropy (std::random_device)"),
+    (re.compile(r"(?<![\w.>])s?rand\s*\("), "C-library RNG"),
+    (re.compile(r"(?<![\w.>])time\s*\(\s*(?:NULL|nullptr|0|&)?"),
+     "wall-clock read (time())"),
+    (re.compile(r"(?<![\w.>])clock\s*\(\s*\)"), "CPU-clock read (clock())"),
+]
+
+NOT_CALLEES = CTRL_KEYWORDS | {
+    "lock", "unlock", "native", "wait", "wait_for", "wait_until",
+    "assert", "defined", "static_cast", "dynamic_cast", "const_cast",
+    "reinterpret_cast", "move", "forward", "swap", "make_shared",
+    "make_unique", "emplace", "emplace_back", "push_back",
+}
+
+
+def _capture_args(body, open_paren_pos, cap=400):
+    d = 0
+    for j in range(open_paren_pos, min(len(body), open_paren_pos + cap)):
+        if body[j] == "(":
+            d += 1
+        elif body[j] == ")":
+            d -= 1
+            if d == 0:
+                return body[open_paren_pos + 1:j]
+    return body[open_paren_pos + 1:open_paren_pos + cap]
+
+
+def lambda_spans(body):
+    """[(start, end)] body spans of lambda bodies, so passes can tell a
+    lambda's `return` from the enclosing function's."""
+    spans = []
+    for m in re.finditer(
+            r"\[[^\[\]]*\]\s*(?:\([^()]*(?:\([^()]*\)[^()]*)*\))?\s*"
+            r"(?:mutable|noexcept|AIFT_\w+\s*(?:\([^)]*\))?"
+            r"|->\s*[\w:<>,&*\s]+?)*\s*\{", body):
+        d = 0
+        for j in range(m.end() - 1, len(body)):
+            if body[j] == "{":
+                d += 1
+            elif body[j] == "}":
+                d -= 1
+                if d == 0:
+                    spans.append((m.end() - 1, j))
+                    break
+    return spans
+
+
+def extract_events(program, fn, nls):
+    body = fn.body
+    base = 0  # positions are body-relative; convert to file lines via span
+    # Map body pos -> file line: find fn body's start offset in file text.
+    # We stored only the body substring, so recompute lines from fn.body_line
+    # by counting newlines inside the body.
+    body_nls = [m.start() for m in re.finditer(r"\n", body)]
+
+    def line_of(pos):
+        return fn.body_line + bisect.bisect_right(body_nls, pos - 1)
+
+    # Brace depth prefix for scope tracking.
+    brace_pos = []
+    depth_after = []
+    d = 0
+    for m in re.finditer(r"[{}]", body):
+        d += 1 if m.group(0) == "{" else -1
+        brace_pos.append(m.start())
+        depth_after.append(d)
+
+    def depth_of(pos):
+        k = bisect.bisect_right(brace_pos, pos - 1)
+        return depth_after[k - 1] if k else 0
+
+    events = []
+    lspans = lambda_spans(body)
+
+    def add(kind, pos, **data):
+        data["in_lambda"] = any(a < pos < b for a, b in lspans)
+        events.append(Event(kind, pos + base, line_of(pos), depth_of(pos),
+                            **data))
+
+    lock_vars = {}  # var -> mutex expr (UniqueLock/MutexLock vars)
+    for m in SCOPED_LOCK_RE.finditer(body):
+        kind, var, arg = m.group(1), m.group(2), m.group(3).strip()
+        lock_vars[var] = arg
+        add("scoped_lock", m.start(), cls=kind, var=var, mutex=arg)
+    fn.local_mutexes = set(LOCAL_MUTEX_RE.findall(body))
+    # UniqueLock& parameters participate in the lock-passing contract.
+    fn.lock_params = re.findall(r"\bUniqueLock\s*&\s*([A-Za-z_]\w*)",
+                                fn.params_text)
+
+    for m in MANUAL_LOCK_RE.finditer(body):
+        recv, op = m.group(1), m.group(2)
+        add("manual", m.start(), recv=recv, op=op)
+    for m in WAIT_RE.finditer(body):
+        add("cv_wait", m.start(), cv=m.group(1), arg=m.group(2).strip())
+    for m in BLOCKOP_RE.finditer(body):
+        what = re.search(r"[A-Za-z_]\w*", m.group(0)).group(0) + "()"
+        add("block", m.start(), what=what)
+
+    future_vars = set()
+    for pat in FUTURE_DECL_RES:
+        future_vars.update(pat.findall(body))
+    future_vars.update(fv for fv in re.findall(
+        r"std::future\s*<[^;{}()]*>\s*&?\s*([A-Za-z_]\w*)", fn.params_text))
+    for m in GET_RE.finditer(body):
+        if m.group(1) in future_vars:
+            add("block", m.start(), what=f"{m.group(1)}.get()")
+
+    seen_spans = []
+    for m in METHOD_CALL_RE.finditer(body):
+        callee = m.group(2)
+        if callee in NOT_CALLEES or callee.startswith("AIFT_"):
+            continue
+        args = _capture_args(body, m.end() - 1)
+        add("call", m.start(2), callee=callee, recv=m.group(1).strip(),
+            args=args)
+        seen_spans.append((m.start(2), m.end(2)))
+    for m in PLAIN_CALL_RE.finditer(body):
+        callee = re.sub(r"\s+", "", m.group(1))
+        last = callee.split("::")[-1]
+        if (last in NOT_CALLEES or last.startswith("AIFT_") or
+                any(s <= m.start(1) < e for s, e in seen_spans)):
+            continue
+        args = _capture_args(body, m.end() - 1)
+        add("call", m.start(), callee=last, recv=callee, args=args,
+            qualified="::" in callee)
+
+    for m in RESOLVE_RE.finditer(body):
+        add("resolve", m.start(), target=m.group(1), op=m.group(2))
+    for m in POP_RE.finditer(body):
+        add("pop", m.start(), target=m.group(1), op=m.group(2))
+    for m in MOVE_RE.finditer(body):
+        add("move", m.start(), target=m.group(1))
+    for m in RANGE_FOR_RE.finditer(body):
+        add("range_for", m.start(), var=m.group(1), target=m.group(2))
+    for m in RETURN_RE.finditer(body):
+        add("return", m.start(), expr=m.group(1).strip())
+    for m in TRY_RE.finditer(body):
+        add("try", m.start())
+    for m in CATCH_RE.finditer(body):
+        add("catch", m.start())
+    for pat, msg in NONDET_BODY_PATTERNS:
+        for m in pat.finditer(body):
+            add("nondet", m.start(), what=msg)
+    for m in re.finditer(r"\b([A-Za-z_][\w.]*)\s*\.\s*(?:begin|cbegin)"
+                         r"\s*\(\s*\)", body):
+        add("iter_begin", m.start(), target=m.group(1))
+
+    # Scope-end events so the lock simulation can pop scoped locks.
+    for bp, da in zip(brace_pos, depth_after):
+        if body[bp] == "}":
+            events.append(Event("scope_end", bp + base, line_of(bp), da))
+
+    events.sort(key=lambda e: e.pos)
+    fn.events = events
+
+
+# --------------------------------------------------------- program build --
+
+def merge_decl_annotations(program):
+    """Copies TSA annotations from in-class declarations onto out-of-line
+    definitions (matched by owning class + name + param count, falling
+    back to name-only when the count is ambiguous)."""
+    for fn in program.functions:
+        if not fn.cls:
+            continue
+        ci = program.class_for(fn.cls)
+        if not ci:
+            continue
+        cands = [d for d in ci.fn_decls if d.name == fn.name.lstrip("~")]
+        if len(cands) > 1:
+            narrowed = [d for d in cands if d.nparams == fn.nparams]
+            cands = narrowed or cands
+        for d in cands[:1]:
+            for r in d.requires:
+                if r not in fn.requires:
+                    fn.requires.append(r)
+            for r in d.excludes:
+                if r not in fn.excludes:
+                    fn.excludes.append(r)
+            fn.no_tsa = fn.no_tsa or d.no_tsa
+
+
+def build_program(file_texts):
+    """file_texts: iterable of (rel_path, text). Returns a Program."""
+    program = Program()
+    for rel, text in file_texts:
+        scan_file(program, rel, text)
+    merge_decl_annotations(program)
+    return program

@@ -38,6 +38,15 @@ for a determinism suite or a hostile-locale test to catch the symptom:
                       ScratchTest); per-block buffers come from
                       common/scratch arenas.
 
+  ordered-iteration   Iterating an unordered_map/unordered_set inside
+                      serialization, table, or stats-merge code
+                      (common/table, runtime artifact/plan/calibration
+                      IO, runtime/report, gemm/profile_cache), where
+                      iteration order leaks into output bytes. Artifacts
+                      and reports must be byte-stable across hosts and
+                      library versions: iterate a sorted view or use an
+                      ordered container.
+
 Suppression: append `// aift-lint: allow(<rule>)` to the flagged line,
 or put it on its own line directly above. Suppressions are for sanctioned
 seams (e.g. the ServingEngine default clock, microbench wall-clock
@@ -245,6 +254,23 @@ ALLOC_RE = re.compile(
     r"|realloc|aligned_alloc|posix_memalign)\s*\(")
 HOT_FN_RE = re.compile(r"\brun_blocks\w*\s*\(")
 
+# ordered-iteration: files whose outputs are byte-stability contracts.
+ORDERED_ITER_SCOPE = (
+    "src/common/table.",
+    "src/runtime/artifact_io.",
+    "src/runtime/plan_io.",
+    "src/runtime/calibration_io.",
+    "src/runtime/report.",
+    "src/gemm/profile_cache.",
+)
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s*[&*]?\s*"
+    r"([A-Za-z_]\w*)")
+ITER_FOR_RE = re.compile(
+    r"for\s*\([^;()]*:\s*([A-Za-z_][\w.]*(?:->[\w.]+)*)")
+ITER_BEGIN_RE = re.compile(
+    r"\b([A-Za-z_][\w.]*(?:->[\w.]+)*)\s*\.\s*c?r?begin\s*\(")
+
 
 def under(path, *prefixes):
     p = path.replace(os.sep, "/")
@@ -352,11 +378,35 @@ def check_hot_path_alloc(rel, masked_lines, out):
             in_hot = False  # declaration (or call statement), not a body
 
 
+def check_ordered_iteration(rel, masked, masked_lines, out):
+    if not under(rel, *ORDERED_ITER_SCOPE):
+        return
+    # Names declared with an unordered container type anywhere in the
+    # file (members included; the declaration may wrap lines, so scan
+    # the full masked text).
+    names = set(UNORDERED_DECL_RE.findall(masked))
+    if not names:
+        return
+    for ln, code in enumerate(masked_lines, start=1):
+        targets = [m.group(1) for m in ITER_FOR_RE.finditer(code)]
+        targets += [m.group(1) for m in ITER_BEGIN_RE.finditer(code)]
+        for target in targets:
+            base = re.split(r"\.|->", target)[-1]
+            if base in names:
+                out.append(Finding(
+                    rel, ln, "ordered-iteration",
+                    f"iteration over unordered container '{target}' in "
+                    "serialization/table/stats-merge code: visit order is "
+                    "implementation-defined and leaks into output bytes; "
+                    "iterate a sorted view or use an ordered container"))
+
+
 CHECKS = {
     "locale-float": None,  # dispatched explicitly; needs literals
     "nondeterminism": None,
     "fp-reduction-order": None,
     "hot-path-alloc": None,
+    "ordered-iteration": None,
 }
 
 
@@ -381,6 +431,8 @@ def lint_file(path, rel, selected):
         check_fp_reduction(rel, masked_lines, findings)
     if "hot-path-alloc" in selected:
         check_hot_path_alloc(rel, masked_lines, findings)
+    if "ordered-iteration" in selected:
+        check_ordered_iteration(rel, masked, masked_lines, findings)
     return [f for f in findings if f.rule not in allow.get(f.line, set())]
 
 
